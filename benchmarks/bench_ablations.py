@@ -1,0 +1,41 @@
+"""Design-choice ablation benchmarks (DESIGN.md section 4)."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark):
+    result = run_once(
+        benchmark,
+        ablations.run,
+        app="libquantum",
+        v2e_app="gamess",
+        parsec_app="canneal",
+        instructions=1500,
+    )
+    print()
+    print(result.text)
+
+    rows = {row[0]: row for row in result.rows}
+    reference = rows["libquantum IS-Fu (full design)"]
+    no_llc_sb = rows["libquantum IS-Fu no-llc-sb"]
+    # Removing the LLC-SB forces second DRAM accesses for memory-sourced
+    # validations/exposures, and costs real cycles.
+    assert no_llc_sb[4] > reference[4]  # DRAM accesses
+    assert no_llc_sb[2] > 1.2  # normalized cycles
+
+    v2e_ref = rows["gamess IS-Fu (full design)"]
+    no_v2e = rows["gamess IS-Fu no-val-to-exp"]
+    # Without the V->E transformation there are at least as many
+    # validations and no more exposures.
+    assert no_v2e[5] >= v2e_ref[5]
+    assert no_v2e[6] <= v2e_ref[6]
+
+    early_on = rows["2-core race IS-Fu (early squash)"]
+    early_off = rows["2-core race IS-Fu no-early-squash"]
+    # Section V-C2: with the optimization, stale USLs die early; without
+    # it they survive to their validations and fail there.
+    assert early_on[7] > 0  # early squashes happened
+    assert early_off[7] == 0
+    assert early_off[8] >= 1  # converted into validation failures

@@ -1,0 +1,21 @@
+"""Figure 5 benchmark: the Spectre v1 PoC latency profile (secret V=84)."""
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_figure5_spectre_poc(benchmark):
+    result = run_once(benchmark, figure5.run, secret=84, trials=2)
+    print()
+    print(result.text)
+
+    base = result.extras["base"]
+    is_sp = result.extras["is_sp"]
+    # Base: exactly the secret's line is fast (the paper's dip at 84).
+    fast = [v for v in range(256) if base[v] <= 40]
+    assert fast == [84]
+    assert result.extras["base_guess"] == 84
+    # IS-Sp: flat profile, everything at memory latency.
+    assert min(is_sp) >= 100
+    assert result.extras["is_sp_guess"] is None

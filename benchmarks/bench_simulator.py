@@ -1,0 +1,36 @@
+"""Simulator throughput benchmarks (simulated instructions per second).
+
+Not a paper artifact — these track the cost of the cycle-level model
+itself, per scheme, so performance regressions in the simulator are
+visible.
+"""
+
+import pytest
+
+from repro import ConsistencyModel, ProcessorConfig, Scheme
+from repro.runner import run_spec
+
+
+@pytest.mark.parametrize(
+    "scheme", [Scheme.BASE, Scheme.IS_SPECTRE, Scheme.IS_FUTURE]
+)
+def test_simulation_throughput(benchmark, scheme):
+    config = ProcessorConfig(scheme=scheme, consistency=ConsistencyModel.TSO)
+
+    def run():
+        return run_spec("hmmer", config, instructions=1500, warmup=0)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.instructions == 1500
+
+
+def test_multicore_throughput(benchmark):
+    from repro.runner import run_parsec
+
+    config = ProcessorConfig(scheme=Scheme.IS_FUTURE)
+
+    def run():
+        return run_parsec("swaptions", config, instructions=400, warmup=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.instructions == 8 * 400

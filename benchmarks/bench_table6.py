@@ -1,0 +1,39 @@
+"""Table VI benchmark: characterization of InvisiSpec under TSO."""
+
+from conftest import run_once
+
+from repro.experiments import table6
+
+
+def test_table6_characterization(benchmark):
+    result = run_once(
+        benchmark,
+        table6.run,
+        spec_apps=("sjeng", "libquantum", "hmmer"),
+        parsec_apps=("swaptions",),
+        instructions=1500,
+    )
+    print()
+    print(result.text)
+
+    per_app = result.extras["per_app"]
+    from repro.configs import Scheme
+
+    for app_stats in per_app.values():
+        for stats in app_stats.values():
+            total = (
+                stats["exposures_pct"]
+                + stats["val_l1_hit_pct"]
+                + stats["val_l1_miss_pct"]
+            )
+            assert abs(total - 100.0) < 1.0 or total == 0.0
+            # Paper: validation failures are practically zero.
+            assert stats["squash_validation_pct"] < 20.0
+            # Paper: LLC-SB hit rates are very high (99+%), L1-SB low.
+            if stats["llc_sb_hit_rate_pct"]:
+                assert stats["llc_sb_hit_rate_pct"] > 60.0
+
+    # sjeng squashes far more than libquantum (73,752 vs ~0 per 1M insn).
+    sjeng = per_app["sjeng"][Scheme.IS_FUTURE]["squashes_per_m"]
+    libquantum = per_app["libquantum"][Scheme.IS_FUTURE]["squashes_per_m"]
+    assert sjeng > 10 * max(libquantum, 1)

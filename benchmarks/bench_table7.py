@@ -1,0 +1,21 @@
+"""Table VII benchmark: hardware overhead of the InvisiSpec buffers."""
+
+from conftest import run_once
+
+from repro.experiments import table7
+
+
+def test_table7_hardware_overhead(benchmark):
+    result = run_once(benchmark, table7.run)
+    print()
+    print(result.text)
+
+    area = result.row_for("Area (mm^2)")
+    leakage = result.row_for("Leakage power (mW)")
+    # Same order of magnitude as the paper's CACTI numbers.
+    for column in (1, 2):
+        assert 0.005 < float(area[column]) < 0.05
+        assert 0.2 < float(leakage[column]) < 1.0
+    # Access fits comfortably in one 2 GHz cycle (500 ps).
+    access = result.row_for("Access time (ps)")
+    assert float(access[1]) < 250

@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's figures or tables at a
+reduced scale (small app subsets, short instruction windows) so the whole
+suite finishes in minutes; the printed tables carry the same rows the
+paper reports.  ``python -m repro.experiments <name>`` runs the full-scale
+version.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+#: Reduced budgets shared by the benchmark suite.
+SPEC_APPS = ["mcf", "sjeng", "libquantum", "hmmer"]
+PARSEC_APPS = ["blackscholes", "fluidanimate", "swaptions"]
+SPEC_INSTRUCTIONS = 2500
+PARSEC_INSTRUCTIONS = 900
+
+
+@pytest.fixture
+def spec_budget():
+    return SPEC_APPS, SPEC_INSTRUCTIONS
+
+
+@pytest.fixture
+def parsec_budget():
+    return PARSEC_APPS, PARSEC_INSTRUCTIONS
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Mini Figure 4: one workload across all five Table V configurations.
+
+Run:  python examples/fence_comparison.py [workload] [instructions]
+"""
+
+import sys
+
+from repro.configs import ALL_SCHEMES
+from repro.runner import (
+    normalized_execution_time,
+    normalized_traffic,
+    run_matrix,
+)
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "libquantum"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 5000
+    print(f"running {workload} under the five configurations "
+          f"({instructions} measured instructions each)...\n")
+    results = run_matrix(workload, instructions=instructions)
+    exec_norm = normalized_execution_time(results)
+    traffic_norm = normalized_traffic(results)
+
+    print(f"{'config':8}{'exec time':>12}{'traffic':>12}   bar")
+    for scheme in ALL_SCHEMES:
+        bar = "#" * int(exec_norm[scheme] * 12)
+        print(
+            f"{scheme.value:8}{exec_norm[scheme]:>12.2f}"
+            f"{traffic_norm[scheme]:>12.2f}   {bar}"
+        )
+    print("\nFences are the expensive way to be safe; InvisiSpec keeps")
+    print("speculation and pays mostly in network traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""How InvisiSpec's overhead responds to the machine's parameters.
+
+Runs the DRAM-latency sensitivity sweep (see repro.experiments.sweep for
+the ROB/LQ/L1 dimensions): the cost of the doubled memory access grows
+with memory latency, and the LLC-SB is what keeps it bounded.
+
+Run:  python examples/parameter_sweep.py [workload]
+"""
+
+import sys
+
+from repro.experiments import sweep
+
+
+def main():
+    app = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    print(f"sweeping DRAM latency for {app} (Base vs IS-Future)...\n")
+    result = sweep.run(app=app, dimensions=("dram",), instructions=2000)
+    print(result.text)
+
+
+if __name__ == "__main__":
+    main()

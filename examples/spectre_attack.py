@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""The Spectre variant-1 proof of concept (Figures 1 and 5 of the paper).
+
+Trains the victim's bounds check, flushes the transmission array, calls the
+victim out of bounds, and scans — first on the insecure baseline (the
+secret's cache line is the unique fast one), then under InvisiSpec-Spectre
+(flat, all-miss profile: the transient loads never touched the caches).
+
+Run:  python examples/spectre_attack.py [secret-byte]
+"""
+
+import sys
+
+from repro import ProcessorConfig, Scheme
+from repro.security import run_spectre_v1
+
+
+def ascii_plot(latencies, secret, width=64):
+    """Compact latency-vs-index strip: '.' = miss, '#' = cache hit."""
+    cells = []
+    for v in range(0, 256, 4):
+        window = latencies[v:v + 4]
+        cells.append("#" if min(window) <= 40 else ".")
+    strip = "".join(cells)
+    marker = [" "] * len(cells)
+    marker[secret // 4] = "^"
+    return strip + "\n" + "".join(marker) + f" index {secret}"
+
+
+def main():
+    secret = int(sys.argv[1]) if len(sys.argv) > 1 else 84
+    print(f"planting secret byte V = {secret}\n")
+
+    for scheme in (Scheme.BASE, Scheme.IS_SPECTRE):
+        latencies, recovered = run_spectre_v1(
+            ProcessorConfig(scheme=scheme), secret=secret, trials=3
+        )
+        print(f"--- {scheme.value} ---")
+        print(ascii_plot(latencies, secret))
+        if recovered is not None:
+            print(f"attacker recovers V = {recovered} "
+                  f"({'CORRECT' if recovered == secret else 'wrong'}) — leak!")
+        else:
+            print("attacker recovers nothing — attack thwarted")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Driver producing the full-scale results quoted in EXPERIMENTS.md."""
+
+from repro.experiments import (
+    ablations,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    sweep,
+    table6,
+    table7,
+)
+
+STEPS = [
+    ("figure4", lambda: figure4.run(instructions=5000, include_rc=True)),
+    ("figure6", lambda: figure6.run(instructions=5000, include_rc=True)),
+    ("figure5", lambda: figure5.run(trials=3)),
+    ("figure7", lambda: figure7.run(instructions=1500, include_rc=True)),
+    ("figure8", lambda: figure8.run(instructions=1500, include_rc=True)),
+    (
+        "table6",
+        lambda: table6.run(
+            instructions=6000,
+            spec_apps=("sjeng", "libquantum", "omnetpp"),
+            parsec_apps=("bodytrack", "fluidanimate", "swaptions"),
+        ),
+    ),
+    ("table7", lambda: table7.run()),
+    ("ablations", lambda: ablations.run(instructions=4000)),
+    ("sweep", lambda: sweep.run(instructions=3000)),
+]
+
+import sys
+
+only = set(sys.argv[1:])
+for name, step in STEPS:
+    if only and name not in only:
+        continue
+    result = step()
+    with open(f"results/{name}.txt", "w") as handle:
+        handle.write(result.text + "\n")
+    result.save_json(f"results/{name}.json")
+    print(name, "done", flush=True)
+print("ALL DONE", flush=True)

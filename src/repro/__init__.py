@@ -1,0 +1,69 @@
+"""repro — a reproduction of *InvisiSpec: Making Speculative Execution
+Invisible in the Cache Hierarchy* (MICRO 2018).
+
+The package is a from-scratch cycle-level multiprocessor simulator plus the
+InvisiSpec defense, the fence baselines, the attacks the paper's threat
+model covers, synthetic SPEC/PARSEC workloads, and the benchmark harness
+that regenerates every figure and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        ProcessorConfig, Scheme, System, SystemParams,
+    )
+    from repro.workloads import spec_trace
+
+    config = ProcessorConfig(scheme=Scheme.IS_FUTURE)
+    system = System(
+        params=SystemParams.for_spec(),
+        config=config,
+        traces=[spec_trace("mcf", seed=1)],
+        max_instructions=10_000,
+    )
+    result = system.run()
+    print(result.ipc, result.traffic_bytes)
+"""
+
+from .configs import (
+    ALL_SCHEMES,
+    ConsistencyModel,
+    ProcessorConfig,
+    Scheme,
+    config_matrix,
+)
+from .errors import (
+    ConfigError,
+    ConsistencyError,
+    DeadlockError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from .params import CacheParams, CoreParams, NetworkParams, SystemParams, TLBParams
+from .system import RunResult, System
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SCHEMES",
+    "ConsistencyModel",
+    "ProcessorConfig",
+    "Scheme",
+    "config_matrix",
+    "CacheParams",
+    "CoreParams",
+    "NetworkParams",
+    "SystemParams",
+    "TLBParams",
+    "RunResult",
+    "System",
+    "ConfigError",
+    "ConsistencyError",
+    "DeadlockError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "WorkloadError",
+    "__version__",
+]

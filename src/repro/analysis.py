@@ -1,0 +1,106 @@
+"""Derived metrics over :class:`~repro.system.RunResult`.
+
+These are the quantities the paper's prose quotes when explaining its
+results — misses per kilo-instruction, squash rates, validation/exposure
+splits, traffic per instruction — packaged as plain functions so notebooks
+and tests don't re-derive them from raw counters.
+"""
+
+from __future__ import annotations
+
+_SQUASH_REASONS = (
+    "branch",
+    "consistency",
+    "validation_fail",
+    "store_alias",
+    "interrupt",
+    "exception",
+)
+
+
+def mpki(result, level="l1"):
+    """Data-cache misses per kilo-instruction at ``l1`` or ``l2``."""
+    misses = sum(
+        result.count(f"hierarchy.{level}_misses.{kind}")
+        for kind in ("load", "store")
+    )
+    return 1000.0 * misses / max(result.instructions, 1)
+
+
+def branch_mispredict_rate(result):
+    """Mispredictions per resolved branch."""
+    return result.count("core.branch_mispredicts") / max(
+        result.count("core.branches_resolved"), 1
+    )
+
+
+def squashes_per_million(result, reasons=_SQUASH_REASONS):
+    """Total pipeline squashes per million retired instructions."""
+    total = sum(result.count(f"core.squashes.{r}") for r in reasons)
+    return 1e6 * total / max(result.instructions, 1)
+
+
+def squash_breakdown(result):
+    """Fraction of squashes per reason (only nonzero reasons included)."""
+    counts = {
+        reason: result.count(f"core.squashes.{reason}")
+        for reason in _SQUASH_REASONS
+    }
+    total = sum(counts.values())
+    if not total:
+        return {}
+    return {
+        reason: count / total for reason, count in counts.items() if count
+    }
+
+
+def traffic_per_kiloinstruction(result):
+    """NoC bytes per kilo-instruction."""
+    return 1000.0 * result.traffic_bytes / max(result.instructions, 1)
+
+
+def visibility_split(result):
+    """(exposures, L1-hit validations, L1-miss validations) fractions."""
+    exposures = result.count("invisispec.exposures")
+    val_hit = result.count("invisispec.validations_l1_hit")
+    val_miss = result.count("invisispec.validations_l1_miss")
+    total = exposures + val_hit + val_miss
+    if not total:
+        return (0.0, 0.0, 0.0)
+    return (exposures / total, val_hit / total, val_miss / total)
+
+
+def usl_fraction(result):
+    """Fraction of performed loads that were unsafe speculative loads."""
+    usls = result.count("invisispec.usls")
+    loads = result.count("core.loads_performed")
+    return usls / max(loads, 1)
+
+
+def tlb_miss_rate(result):
+    """D-TLB misses per lookup."""
+    hits = result.count("tlb.hits")
+    misses = result.count("tlb.misses")
+    return misses / max(hits + misses, 1)
+
+
+def summarize(result):
+    """A one-stop metric dictionary for reports and notebooks."""
+    exposures, val_hit, val_miss = visibility_split(result)
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "ipc": result.ipc,
+        "l1_mpki": mpki(result, "l1"),
+        "l2_mpki": mpki(result, "l2"),
+        "branch_mispredict_rate": branch_mispredict_rate(result),
+        "squashes_per_million": squashes_per_million(result),
+        "squash_breakdown": squash_breakdown(result),
+        "traffic_bytes": result.traffic_bytes,
+        "traffic_per_ki": traffic_per_kiloinstruction(result),
+        "tlb_miss_rate": tlb_miss_rate(result),
+        "usl_fraction": usl_fraction(result),
+        "exposure_fraction": exposures,
+        "validation_l1_hit_fraction": val_hit,
+        "validation_l1_miss_fraction": val_miss,
+    }

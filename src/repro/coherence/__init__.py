@@ -1,0 +1,16 @@
+"""Directory-based MESI coherence with the InvisiSpec Spec-GetS transaction."""
+
+from .directory import Directory, DirectoryEntry
+from .hierarchy import CacheHierarchy, MemRequest, RequestKind
+from .mesi import MESIState
+from .messages import MessageType
+
+__all__ = [
+    "Directory",
+    "DirectoryEntry",
+    "CacheHierarchy",
+    "MemRequest",
+    "RequestKind",
+    "MESIState",
+    "MessageType",
+]

@@ -1,0 +1,62 @@
+"""Coherence invariant checking.
+
+The classic single-writer/multiple-reader (SWMR) invariant plus
+directory/L1 agreement, checkable at any quiesced point of a simulation.
+The litmus tests call this after every run; it is also handy in notebooks
+when extending the protocol.
+
+Because invalidations and fills travel with latency, the checker is
+meaningful when the machine is quiet (no events in flight); mid-flight
+checks may report transient disagreement that is not a bug.
+"""
+
+from __future__ import annotations
+
+from ..errors import ProtocolError
+from .mesi import MESIState
+
+
+def check_swmr(hierarchy):
+    """Single writer or many readers, never both, for every line."""
+    holders = {}  # line -> [(core, state)]
+    for core_id, l1 in enumerate(hierarchy.l1s):
+        for line in l1.resident_lines():
+            entry = l1.lookup(line, touch=False)
+            holders.setdefault(line, []).append((core_id, entry.state))
+    for line, entries in holders.items():
+        writers = [c for c, s in entries if s.writable]
+        readers = [c for c, s in entries if s is MESIState.SHARED]
+        if writers and (len(writers) > 1 or readers):
+            raise ProtocolError(
+                f"SWMR violated for 0x{line:x}: writers={writers}, "
+                f"readers={readers}"
+            )
+    return True
+
+
+def check_directory_agreement(hierarchy):
+    """Every cached L1 line is tracked by its home directory."""
+    for core_id, l1 in enumerate(hierarchy.l1s):
+        for line in l1.resident_lines():
+            bank = hierarchy.bank_of(line)
+            entry = hierarchy.dirs[bank].entry(line)
+            if entry is None:
+                raise ProtocolError(
+                    f"core {core_id} holds 0x{line:x} but the directory "
+                    f"has no entry"
+                )
+            tracked = entry.owner == core_id or core_id in entry.sharers
+            if not tracked:
+                raise ProtocolError(
+                    f"core {core_id} holds 0x{line:x} untracked "
+                    f"(owner={entry.owner}, sharers={sorted(entry.sharers)})"
+                )
+    return True
+
+
+def check_all(hierarchy):
+    """Every invariant: SWMR, directory agreement, inclusion."""
+    check_swmr(hierarchy)
+    check_directory_agreement(hierarchy)
+    hierarchy.check_inclusion()
+    return True

@@ -1,0 +1,723 @@
+"""The multiprocessor data cache hierarchy.
+
+This module ties together the per-core L1Ds, the banked inclusive shared L2
+with its MESI directory, the mesh NoC, DRAM, and (when InvisiSpec is
+enabled) the per-core LLC speculative buffers.  Cores submit
+:class:`MemRequest` objects; the hierarchy computes transaction latencies,
+accounts every message on the NoC, applies coherence state changes, and
+fires the request callback when data is ready.
+
+Transaction kinds
+-----------------
+
+* ``LOAD`` — a safe/visible read (GetS).  Fills L1 and L2, updates
+  replacement and directory state.
+* ``SPEC_LOAD`` — InvisiSpec's Spec-GetS (Section VI-E1): returns the latest
+  copy of the line *without changing any cache, replacement, or directory
+  state*.  On an LLC miss the line is read from memory and a copy is
+  deposited in the requesting core's LLC-SB.  A Spec-GetS forwarded to an
+  owner that is writing the line back bounces and retries.
+* ``VALIDATE`` / ``EXPOSE`` — the second access of a USL (Section V-A4).
+  Behaves like a visible GetS; on an LLC miss it first checks the
+  requester's LLC-SB (address + epoch match) to avoid a second DRAM access.
+* ``STORE`` — GetX/upgrade.  Invalidates remote sharers; completion waits
+  for the invalidation round trip.  The global memory image is updated at
+  completion (the store *performs*, Section II-B).
+* ``PREFETCH`` — a visible software-prefetch or at-visibility hardware
+  prefetch (GetS into the caches).
+
+Timing simplification: directory state transitions are applied atomically
+when the transaction is processed at its home bank; wire, bank-occupancy,
+and DRAM latencies are layered on top of that atomic step.  The one
+transient window kept is the dirty write-back (its in-flight period is
+when Spec-GetS bounces happen).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import SimulationError
+from ..mem.cache import CacheArray
+from ..mem.dram import DRAMModel
+from ..mem.mshr import MSHRFile
+from ..network.noc import NoC, TrafficCategory
+from .directory import Directory
+from .mesi import MESIState
+
+
+class RequestKind(enum.Enum):
+    LOAD = "load"
+    SPEC_LOAD = "spec_load"
+    VALIDATE = "validate"
+    EXPOSE = "expose"
+    STORE = "store"
+    PREFETCH = "prefetch"
+    SPEC_PREFETCH = "spec_prefetch"
+
+    @property
+    def invisible(self):
+        return self in (RequestKind.SPEC_LOAD, RequestKind.SPEC_PREFETCH)
+
+    @property
+    def visible_read(self):
+        return self in (
+            RequestKind.LOAD,
+            RequestKind.VALIDATE,
+            RequestKind.EXPOSE,
+            RequestKind.PREFETCH,
+        )
+
+
+_CATEGORY_BY_KIND = {
+    RequestKind.LOAD: TrafficCategory.NORMAL,
+    RequestKind.STORE: TrafficCategory.NORMAL,
+    RequestKind.PREFETCH: TrafficCategory.NORMAL,
+    RequestKind.SPEC_LOAD: TrafficCategory.SPECLOAD,
+    RequestKind.SPEC_PREFETCH: TrafficCategory.SPECLOAD,
+    RequestKind.VALIDATE: TrafficCategory.EXPOSE_VALIDATE,
+    RequestKind.EXPOSE: TrafficCategory.EXPOSE_VALIDATE,
+}
+
+
+class MemRequest:
+    """One memory transaction submitted by a core."""
+
+    __slots__ = (
+        "core_id",
+        "addr",
+        "size",
+        "kind",
+        "seq",
+        "lq_index",
+        "epoch",
+        "on_complete",
+        "store_value",
+        "bounces",
+        "accounted",
+    )
+
+    def __init__(
+        self,
+        core_id,
+        addr,
+        size,
+        kind,
+        seq=0,
+        lq_index=0,
+        epoch=0,
+        on_complete=None,
+        store_value=0,
+    ):
+        self.core_id = core_id
+        self.addr = addr
+        self.size = size
+        self.kind = kind
+        self.seq = seq
+        self.lq_index = lq_index
+        self.epoch = epoch
+        self.on_complete = on_complete
+        self.store_value = store_value
+        self.bounces = 0
+        self.accounted = False
+
+
+class AccessResult:
+    """Completion record handed to ``MemRequest.on_complete``."""
+
+    __slots__ = ("level", "data", "version", "ready_cycle", "bounces")
+
+    def __init__(self, level, data, version, ready_cycle, bounces=0):
+        self.level = level  # 'l1' | 'l2' | 'remote_l1' | 'dram' | 'llc_sb' | 'wb'
+        self.data = data  # tuple of byte values, or None for stores
+        self.version = version
+        self.ready_cycle = ready_cycle
+        self.bounces = bounces
+
+
+#: Part of the L2 round trip charged before the directory/tag lookup.
+_L2_TAG_FRACTION = 0.5
+
+
+class CacheHierarchy:
+    """L1s + banked shared L2 + directory + NoC + DRAM (+ LLC-SBs)."""
+
+    #: Cycles a bank is occupied per transaction (pipelined bank port).
+    BANK_OCCUPANCY = 2
+    #: Cycles an L1 port is occupied per access.
+    L1_OCCUPANCY = 1
+    #: Delay before a bounced Spec-GetS retries.
+    BOUNCE_RETRY_DELAY = 4
+    #: Cycles a dirty write-back stays in flight (directory transient).
+    WRITEBACK_DELAY = 6
+
+    def __init__(self, params, kernel, image, counters, seed=0):
+        self.params = params
+        self.kernel = kernel
+        self.image = image
+        self.space = image.space
+        self.counters = counters
+        self.noc = NoC(params.network)
+        self.dram = DRAMModel(latency=params.dram_latency)
+        self.num_banks = params.num_l2_banks
+        self.l1s = [
+            CacheArray(params.l1d, MESIState.INVALID, seed=seed + i)
+            for i in range(params.num_cores)
+        ]
+        self.l2 = [
+            CacheArray(params.l2_bank, MESIState.INVALID, seed=seed + 100 + b)
+            for b in range(self.num_banks)
+        ]
+        self.dirs = [Directory(b) for b in range(self.num_banks)]
+        self.mshrs = [
+            MSHRFile(params.core.mshr_entries) for _ in range(params.num_cores)
+        ]
+        self.llc_sbs = None  # list of LLCSpeculativeBuffer, set by the system
+        self._cores = [None] * params.num_cores
+        self._mshr_waiting = [[] for _ in range(params.num_cores)]
+        self._l1_ports = [[0, 0] for _ in range(params.num_cores)]  # [cycle, used]
+        self._bank_free = [0] * self.num_banks
+        self._mem_node = 0
+
+    # ------------------------------------------------------------------ wiring
+
+    def attach_core(self, core_id, core):
+        """Register the core for invalidation/eviction callbacks."""
+        self._cores[core_id] = core
+
+    def set_llc_sbs(self, llc_sbs):
+        self.llc_sbs = llc_sbs
+
+    # ------------------------------------------------------------- geometry
+
+    def bank_of(self, line_addr):
+        return self.space.line_index(line_addr) % self.num_banks
+
+    def _bank_node(self, bank):
+        return bank % self.params.network.num_nodes
+
+    def _core_node(self, core_id):
+        return core_id % self.params.network.num_nodes
+
+    # ------------------------------------------------------------- port model
+
+    def _l1_slot(self, core_id, now):
+        """First cycle >= now with a free L1 port for this core."""
+        port = self._l1_ports[core_id]
+        if port[0] != now:
+            if port[0] < now:
+                port[0] = now
+                port[1] = 0
+        if port[1] < self.params.l1d.ports:
+            port[1] += 1
+            return port[0]
+        port[0] += 1
+        port[1] = 1
+        return port[0]
+
+    def _bank_slot(self, bank, arrival):
+        """Serialize transactions through a bank's single port."""
+        start = max(arrival, self._bank_free[bank])
+        self._bank_free[bank] = start + self.BANK_OCCUPANCY
+        self.counters.bump("l2.bank_queue_cycles", start - arrival)
+        return start
+
+    # ---------------------------------------------------------------- submit
+
+    def submit(self, req):
+        """Entry point: process ``req`` starting at the current cycle."""
+        now = self.kernel.cycle
+        line = self.space.line_of(req.addr)
+        slot = self._l1_slot(req.core_id, now)
+        l1 = self.l1s[req.core_id]
+        kind = req.kind
+        first_attempt = not req.accounted
+        if first_attempt:
+            req.accounted = True
+            self.counters.bump(f"hierarchy.requests.{kind.value}")
+
+        entry = l1.lookup(line, touch=not kind.invisible)
+        if entry is not None:
+            if kind is RequestKind.STORE:
+                if entry.state.writable:
+                    entry.state = MESIState.MODIFIED
+                    self.dirs[self.bank_of(line)].set_owner(line, req.core_id)
+                    ready = slot + self.params.l1d.round_trip_latency
+                    self._finish_store(req, ready, "l1", _CATEGORY_BY_KIND[kind])
+                    return
+                # Hit in S: ownership upgrade required.
+                self._upgrade(req, line, slot)
+                return
+            l1.stat_hits += 1
+            self.counters.bump(f"hierarchy.l1_hits.{kind.value}")
+            ready = slot + self.params.l1d.round_trip_latency
+            self._complete_read(req, ready, "l1")
+            return
+
+        self._miss(req, line, slot, first_attempt)
+
+    # ------------------------------------------------------------- miss path
+
+    def _miss(self, req, line, slot, first_attempt=True):
+        mshr = self.mshrs[req.core_id]
+        existing = mshr.lookup(line)
+        if existing is not None and self._can_merge(req, existing):
+            # A secondary miss (hit-under-miss): accounted separately, not
+            # as a demand L1 miss.
+            mshr.merge(line, req)
+            self.counters.bump("hierarchy.mshr_merges")
+            if first_attempt:
+                self.counters.bump(
+                    f"hierarchy.l1_misses_secondary.{req.kind.value}"
+                )
+            return
+        if first_attempt:
+            if req.kind is not RequestKind.STORE:
+                self.l1s[req.core_id].stat_misses += 1
+            self.counters.bump(f"hierarchy.l1_misses.{req.kind.value}")
+        if existing is not None:
+            # Program-order or kind-class conflict: issue an independent
+            # transaction (extra Spec-GetS in flight for the same line are
+            # explicitly allowed, Section VI-A2).
+            self.counters.bump("hierarchy.mshr_bypass")
+            self._transaction(req, line, slot)
+            return
+        if mshr.full:
+            self.counters.bump("hierarchy.mshr_full_stalls")
+            self._mshr_waiting[req.core_id].append(req)
+            return
+        mshr.allocate(line, req.seq, req.kind.invisible, self.kernel.cycle)
+        self._transaction(req, line, slot)
+
+    def _can_merge(self, req, mshr_entry):
+        # Never let a request reuse state allocated by a younger instruction
+        # (Section VII); never mix invisible with visible transactions; and
+        # stores always need their own GetX.
+        if req.kind is RequestKind.STORE:
+            return False
+        if req.seq < mshr_entry.allocator_seq:
+            return False
+        return req.kind.invisible == mshr_entry.speculative
+
+    # -------------------------------------------------------- the transaction
+
+    def _transaction(self, req, line, slot):
+        """Compute the full remote transaction for a primary request."""
+        kind = req.kind
+        cat = _CATEGORY_BY_KIND[kind]
+        bank = self.bank_of(line)
+        core_node = self._core_node(req.core_id)
+        bank_node = self._bank_node(bank)
+
+        arrive = slot + self.noc.send(core_node, bank_node, False, cat)
+        t_bank = self._bank_slot(bank, arrive)
+        tag_lat = max(1, int(self.params.l2_bank.round_trip_latency * _L2_TAG_FRACTION))
+        t_dir = t_bank + tag_lat
+
+        directory = self.dirs[bank]
+        dentry = directory.entry(line)
+        owner = dentry.owner if dentry else None
+
+        if owner is not None and owner != req.core_id:
+            self._remote_owner_path(req, line, slot, bank, dentry, t_dir, cat)
+        elif self.l2[bank].contains(line):
+            self._l2_hit_path(req, line, bank, t_bank, cat)
+        else:
+            self._memory_path(req, line, bank, t_dir, cat)
+
+    # -------------------------------------------------- path: remote L1 owner
+
+    def _remote_owner_path(self, req, line, slot, bank, dentry, t_dir, cat):
+        kind = req.kind
+        owner = dentry.owner
+        bank_node = self._bank_node(bank)
+        owner_node = self._core_node(owner)
+        core_node = self._core_node(req.core_id)
+
+        if kind.invisible and dentry.writeback_in_flight(t_dir):
+            # The owner is losing the line: bounce the Spec-GetS.
+            self.noc.send(bank_node, owner_node, False, cat)  # forward
+            nack_lat = self.noc.send(owner_node, core_node, False, cat)
+            req.bounces += 1
+            self.counters.bump("invisispec.spec_gets_bounces")
+            retry_at = t_dir + nack_lat + self.BOUNCE_RETRY_DELAY
+            # Retry the transaction directly: re-entering submit() would
+            # merge the request into its own still-allocated MSHR.
+            self.kernel.schedule_at(
+                retry_at, lambda: self._transaction(req, line, self.kernel.cycle)
+            )
+            return
+
+        fwd_lat = self.noc.send(bank_node, owner_node, False, cat)
+        t_owner = t_dir + fwd_lat + self.params.l1d.round_trip_latency
+        data_lat = self.noc.send(owner_node, core_node, True, cat)
+        ready = t_owner + data_lat
+        self.counters.bump(f"hierarchy.remote_l1.{kind.value}")
+
+        if kind is RequestKind.STORE:
+            # GetX: the owner is invalidated; ownership moves.
+            self._deliver_invalidation(owner, line, t_owner, cat, "coherence")
+            dentry.owner = req.core_id
+            dentry.sharers.discard(req.core_id)
+            self._finish_store(req, ready, "remote_l1", cat)
+            return
+
+        if kind.invisible:
+            # Spec-GetS: data streamed from the owner, no state changes.
+            self._complete_read(req, ready, "remote_l1")
+            return
+
+        # Visible read: owner demotes M/E -> S and writes the line back to
+        # the L2 bank (data message), the requester becomes a sharer.
+        owner_entry = self.l1s[owner].lookup(line, touch=False)
+        if owner_entry is not None:
+            if owner_entry.state.dirty:
+                self.noc.send(owner_node, bank_node, True, cat)  # writeback
+            owner_entry.state = MESIState.SHARED
+        self.dirs[bank].demote_owner(line)
+        self.dirs[bank].add_sharer(line, req.core_id)
+        if not self.l2[bank].contains(line):
+            self._fill_l2(bank, line, t_owner, cat)
+        self._schedule_visible_fill(req, line, ready, "remote_l1", cat)
+
+    # --------------------------------------------------------- path: L2 hit
+
+    def _l2_hit_path(self, req, line, bank, t_bank, cat):
+        kind = req.kind
+        bank_node = self._bank_node(bank)
+        core_node = self._core_node(req.core_id)
+        self.l2[bank].lookup(line, touch=not kind.invisible)
+        self.l2[bank].stat_hits += 1
+        self.counters.bump(f"hierarchy.l2_hits.{kind.value}")
+        data_lat = self.noc.send(bank_node, core_node, True, cat)
+        ready = t_bank + self.params.l2_bank.round_trip_latency + data_lat
+
+        if kind is RequestKind.STORE:
+            ready = self._invalidate_sharers(req, line, bank, t_bank, cat, ready)
+            self.dirs[bank].set_owner(line, req.core_id)
+            self._purge_llc_sbs(line, except_core=None)
+            self._finish_store(req, ready, "l2", cat)
+            return
+
+        if kind.invisible:
+            self._complete_read(req, ready, "l2")
+            return
+
+        self.dirs[bank].add_sharer(line, req.core_id)
+        self._schedule_visible_fill(req, line, ready, "l2", cat)
+
+    # -------------------------------------------------------- path: memory
+
+    def _memory_path(self, req, line, bank, t_dir, cat):
+        kind = req.kind
+        bank_node = self._bank_node(bank)
+        core_node = self._core_node(req.core_id)
+        self.l2[bank].stat_misses += 1
+        self.counters.bump(f"hierarchy.l2_misses.{kind.value}")
+
+        # Validation/exposure first checks the requester's LLC-SB.
+        if kind in (RequestKind.VALIDATE, RequestKind.EXPOSE) and self.llc_sbs:
+            llc_sb = self.llc_sbs[req.core_id]
+            if llc_sb.match(req.lq_index, line, req.epoch):
+                self.counters.bump("invisispec.llc_sb_hits")
+                data_lat = self.noc.send(bank_node, core_node, True, cat)
+                ready = t_dir + llc_sb.access_latency + data_lat
+                self._fill_l2(bank, line, t_dir, cat)
+                self.dirs[bank].add_sharer(line, req.core_id)
+                self._purge_llc_sbs(line, except_core=None)
+                self._schedule_visible_fill(req, line, ready, "llc_sb", cat)
+                return
+            self.counters.bump("invisispec.llc_sb_misses")
+
+        mem_req_lat = self.noc.send(bank_node, self._mem_node, False, cat)
+        dram_done = self.dram.access(t_dir + mem_req_lat, line)
+        mem_data_lat = self.noc.send(self._mem_node, bank_node, True, cat)
+        t_back = dram_done + mem_data_lat
+        data_lat = self.noc.send(bank_node, core_node, True, cat)
+        ready = t_back + data_lat
+        self.counters.bump(f"hierarchy.dram.{kind.value}")
+
+        if kind.invisible:
+            # No fills anywhere; deposit a copy in the requester's LLC-SB.
+            if self.llc_sbs is not None and kind is RequestKind.SPEC_LOAD:
+                self.llc_sbs[req.core_id].insert(
+                    req.lq_index, line, req.epoch, at_cycle=t_back
+                )
+            self._complete_read(req, ready, "dram")
+            return
+
+        # A visible access that misses in the LLC purges the line from every
+        # core's LLC-SB (Section VI-C).
+        self._purge_llc_sbs(line, except_core=None)
+        self._fill_l2(bank, line, t_back, cat)
+
+        if kind is RequestKind.STORE:
+            self.dirs[bank].set_owner(line, req.core_id)
+            self._finish_store(req, ready, "dram", cat)
+            return
+
+        self.dirs[bank].add_sharer(line, req.core_id)
+        self._schedule_visible_fill(req, line, ready, "dram", cat)
+
+    # -------------------------------------------------------- path: upgrade
+
+    def _upgrade(self, req, line, slot):
+        """Store hit in S: acquire ownership, invalidating other sharers."""
+        cat = _CATEGORY_BY_KIND[req.kind]
+        bank = self.bank_of(line)
+        bank_node = self._bank_node(bank)
+        core_node = self._core_node(req.core_id)
+        arrive = slot + self.noc.send(core_node, bank_node, False, cat)
+        t_bank = self._bank_slot(bank, arrive)
+        ack_lat = self.noc.send(bank_node, core_node, False, cat)
+        ready = t_bank + ack_lat + 1
+        ready = self._invalidate_sharers(req, line, bank, t_bank, cat, ready)
+        self.dirs[bank].set_owner(line, req.core_id)
+        entry = self.l1s[req.core_id].lookup(line, touch=False)
+        if entry is not None:
+            entry.state = MESIState.MODIFIED
+        self._purge_llc_sbs(line, except_core=None)
+        self.counters.bump("hierarchy.upgrades")
+        self._finish_store(req, ready, "upgrade", cat)
+
+    # ----------------------------------------------------------- state moves
+
+    def _invalidate_sharers(self, req, line, bank, t_bank, cat, ready):
+        """Send Inv to every other sharer; returns completion including acks."""
+        directory = self.dirs[bank]
+        bank_node = self._bank_node(bank)
+        others = directory.sharers_other_than(line, req.core_id)
+        worst_ack = ready
+        for sharer in others:
+            deliver_lat = self.noc.send(bank_node, self._core_node(sharer), False, cat)
+            deliver_at = t_bank + deliver_lat
+            self._deliver_invalidation(sharer, line, deliver_at, cat, "coherence")
+            ack_lat = self.noc.send(self._core_node(sharer), bank_node, False, cat)
+            worst_ack = max(worst_ack, deliver_at + ack_lat)
+            directory.remove_core(line, sharer)
+        self.counters.bump("coherence.invalidations_sent", len(others))
+        return worst_ack
+
+    def _deliver_invalidation(self, core_id, line, at_cycle, cat, reason):
+        """Schedule the arrival of an Inv at a core's L1."""
+
+        def deliver():
+            self.l1s[core_id].invalidate(line)
+            core = self._cores[core_id]
+            if core is not None:
+                core.on_invalidation(line, reason)
+
+        self.kernel.schedule_at(at_cycle, deliver)
+
+    def _schedule_visible_fill(self, req, line, ready, level, cat):
+        """At ``ready``: install the line in the requester's L1, complete."""
+
+        def finish():
+            self._fill_l1(req.core_id, line, cat)
+            self._do_complete_read(req, level)
+
+        self.kernel.schedule_at(ready, finish)
+
+    def _fill_l1(self, core_id, line, cat, state=None):
+        """Install a line into an L1; state defaults to E (sole copy) or S."""
+        l1 = self.l1s[core_id]
+        existing = l1.lookup(line, touch=False)
+        if existing is not None:
+            if state is not None:
+                existing.state = state
+            return
+        if state is None:
+            bank = self.bank_of(line)
+            dentry = self.dirs[bank].entry(line)
+            if (
+                dentry is not None
+                and dentry.owner is not None
+                and dentry.owner != core_id
+            ):
+                # A conflicting write (re)acquired ownership while this
+                # read's fill was in flight: installing a Shared copy next
+                # to a Modified one would break SWMR.  The data was already
+                # delivered to the requester; simply keep no copy.
+                self.counters.bump("coherence.fills_dropped_by_writer")
+                return
+            others = self.dirs[bank].sharers_other_than(line, core_id)
+            # Register presence at fill time: an invalidation delivered
+            # between the directory's atomic step and this fill must still
+            # find the core tracked.  A sole copy is granted E and tracked
+            # as the owner, so a later remote read demotes it.
+            if others:
+                state = MESIState.SHARED
+                self.dirs[bank].add_sharer(line, core_id)
+            else:
+                state = MESIState.EXCLUSIVE
+                self.dirs[bank].set_owner(line, core_id)
+        _entry, victim = l1.insert(line, state)
+        if victim is not None:
+            self._handle_l1_eviction(core_id, victim, cat)
+
+    def _handle_l1_eviction(self, core_id, victim, cat):
+        vline = victim.line_addr
+        vbank = self.bank_of(vline)
+        directory = self.dirs[vbank]
+        directory.remove_core(vline, core_id)
+        if victim.state.dirty:
+            self.noc.send(
+                self._core_node(core_id), self._bank_node(vbank), True, cat
+            )
+            entry = directory.entry(vline, create=True)
+            entry.wb_pending_until = self.kernel.cycle + self.WRITEBACK_DELAY
+            self.counters.bump("coherence.l1_writebacks")
+        self.counters.bump("coherence.l1_evictions")
+        core = self._cores[core_id]
+        if core is not None:
+            core.on_l1_eviction(vline)
+
+    def _fill_l2(self, bank, line, at_cycle, cat):
+        """Install a line in an inclusive L2 bank, evicting if needed."""
+        l2 = self.l2[bank]
+        if l2.contains(line):
+            return
+        _entry, victim = l2.insert(line, MESIState.SHARED)
+        if victim is None:
+            return
+        vline = victim.line_addr
+        directory = self.dirs[bank]
+        dentry = directory.entry(vline)
+        if dentry is not None:
+            # Inclusive hierarchy: evicting from L2 recalls all L1 copies.
+            holders = set(dentry.sharers)
+            if dentry.owner is not None:
+                holders.add(dentry.owner)
+            for core_id in holders:
+                lat = self.noc.send(
+                    self._bank_node(bank), self._core_node(core_id), False, cat
+                )
+                self._deliver_invalidation(
+                    core_id, vline, at_cycle + lat, cat, "l2_evict"
+                )
+            directory.drop(vline)
+        # Stale LLC-SB copies of the victim can no longer be trusted.
+        self._purge_llc_sbs(vline, except_core=None)
+        self.noc.send(self._bank_node(bank), self._mem_node, True, cat)
+        self.counters.bump("coherence.l2_evictions")
+
+    def _purge_llc_sbs(self, line, except_core):
+        if not self.llc_sbs:
+            return
+        for core_id, llc_sb in enumerate(self.llc_sbs):
+            if except_core is not None and core_id == except_core:
+                continue
+            llc_sb.invalidate_line(line)
+
+    # ------------------------------------------------------------ completion
+
+    def _complete_read(self, req, ready, level):
+        self.kernel.schedule_at(ready, lambda: self._do_complete_read(req, level))
+
+    def _do_complete_read(self, req, level):
+        data, version = self.image.snapshot(req.addr, req.size)
+        result = AccessResult(
+            level, data, version, self.kernel.cycle, bounces=req.bounces
+        )
+        self._release_own_mshr(req)
+        if req.on_complete is not None:
+            req.on_complete(result)
+
+    def _finish_store(self, req, ready, level, cat):
+        line = self.space.line_of(req.addr)
+        bank = self.bank_of(line)
+
+        def perform():
+            # Between the directory's atomic processing of this GetX and the
+            # store performing, a read may have demoted this core and added
+            # sharers.  The store logically orders after those reads, so
+            # ownership is re-asserted now: any sharer that appeared in the
+            # window is invalidated again.
+            directory = self.dirs[bank]
+            now = self.kernel.cycle
+            for sharer in directory.sharers_other_than(line, req.core_id):
+                lat = self.noc.send(
+                    self._bank_node(bank), self._core_node(sharer), False, cat
+                )
+                self._deliver_invalidation(sharer, line, now + lat, cat, "coherence")
+                directory.remove_core(line, sharer)
+                self.counters.bump("coherence.invalidations_sent")
+            directory.set_owner(line, req.core_id)
+            self.image.write(req.addr, req.size, req.store_value)
+            self._fill_l1(req.core_id, line, cat, state=MESIState.MODIFIED)
+            result = AccessResult(level, None, 0, now)
+            self._release_own_mshr(req)
+            if req.on_complete is not None:
+                req.on_complete(result)
+
+        self.kernel.schedule_at(ready, perform)
+
+    def _release_own_mshr(self, req):
+        line = self.space.line_of(req.addr)
+        mshr = self.mshrs[req.core_id]
+        entry = mshr.lookup(line)
+        if entry is not None and entry.allocator_seq == req.seq:
+            targets = list(entry.targets)
+            mshr.complete(line)
+            for target in targets:
+                self._do_complete_read(target, "mshr_merge")
+            self._drain_mshr_waiters(req.core_id)
+
+    def _drain_mshr_waiters(self, core_id):
+        """A freed MSHR lets queued misses proceed (next cycle).
+
+        The whole queue is resubmitted: a resubmitted request may hit the
+        cache or merge rather than allocate, so popping exactly one per
+        release could strand the rest.  Still-blocked requests simply
+        re-queue inside submit().
+        """
+        waiting = self._mshr_waiting[core_id]
+        if not waiting:
+            return
+        batch = list(waiting)
+        waiting.clear()
+
+        def resubmit():
+            for req in batch:
+                self.submit(req)
+
+        self.kernel.schedule(1, resubmit)
+
+    # ------------------------------------------------------ attacker primitive
+
+    def flush_line(self, line_addr):
+        """clflush semantics: evict the line from every cache level.
+
+        The memory image is always architecturally current (stores update
+        it when they perform), so a dirty write-back is a no-op here beyond
+        the accounting.
+        """
+        for core_id, l1 in enumerate(self.l1s):
+            entry = l1.invalidate(line_addr)
+            if entry is not None:
+                self.counters.bump("hierarchy.clflush_l1")
+                core = self._cores[core_id]
+                if core is not None:
+                    core.on_l1_eviction(line_addr)
+        bank = self.bank_of(line_addr)
+        if self.l2[bank].invalidate(line_addr) is not None:
+            self.counters.bump("hierarchy.clflush_l2")
+        self.dirs[bank].drop(line_addr)
+
+    # ---------------------------------------------------------- debug helpers
+
+    def l1_state(self, core_id, addr):
+        entry = self.l1s[core_id].lookup(self.space.line_of(addr), touch=False)
+        return entry.state if entry is not None else MESIState.INVALID
+
+    def check_inclusion(self):
+        """Inclusive-hierarchy invariant: every L1 line is tracked in L2."""
+        for core_id, l1 in enumerate(self.l1s):
+            for line in l1.resident_lines():
+                bank = self.bank_of(line)
+                if not self.l2[bank].contains(line):
+                    raise SimulationError(
+                        f"inclusion violated: core {core_id} holds 0x{line:x} "
+                        f"absent from L2 bank {bank}"
+                    )
+        return True

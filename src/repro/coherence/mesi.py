@@ -1,0 +1,29 @@
+"""MESI cache-line states.
+
+The private L1s hold lines in M/E/S/I.  The shared L2 is inclusive and its
+directory tracks, per line, the set of L1 sharers and the single L1 owner
+(a core holding the line in M or E).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MESIState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def readable(self):
+        return self is not MESIState.INVALID
+
+    @property
+    def writable(self):
+        return self in (MESIState.MODIFIED, MESIState.EXCLUSIVE)
+
+    @property
+    def dirty(self):
+        return self is MESIState.MODIFIED

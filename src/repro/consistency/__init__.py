@@ -1,0 +1,7 @@
+"""Memory consistency models: TSO and Release Consistency."""
+
+from .model import ConsistencyPolicy, make_consistency_policy
+from .rc import RCPolicy
+from .tso import TSOPolicy
+
+__all__ = ["ConsistencyPolicy", "make_consistency_policy", "TSOPolicy", "RCPolicy"]

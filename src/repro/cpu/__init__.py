@@ -1,0 +1,6 @@
+"""Out-of-order core: ISA, branch prediction, ROB, LSQ, and the pipeline."""
+
+from .core import Core
+from .isa import MicroOp, OpKind
+
+__all__ = ["Core", "MicroOp", "OpKind"]

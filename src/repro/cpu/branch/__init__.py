@@ -1,0 +1,7 @@
+"""Branch prediction: tournament predictor, BTB, and return address stack."""
+
+from .btb import BTB
+from .ras import ReturnAddressStack
+from .tournament import TournamentPredictor
+
+__all__ = ["BTB", "ReturnAddressStack", "TournamentPredictor"]

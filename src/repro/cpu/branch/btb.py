@@ -1,0 +1,34 @@
+"""Branch target buffer: direct-mapped PC -> target store (4096 entries)."""
+
+from __future__ import annotations
+
+
+class BTB:
+    """Direct-mapped branch target buffer with partial tags."""
+
+    def __init__(self, entries=4096):
+        self.entries = entries
+        self._tags = [None] * entries
+        self._targets = [0] * entries
+        self.stat_hits = 0
+        self.stat_misses = 0
+
+    def _index(self, pc):
+        return (pc >> 2) % self.entries
+
+    def lookup(self, pc):
+        """Predicted target for ``pc``, or ``None`` on a BTB miss."""
+        idx = self._index(pc)
+        if self._tags[idx] == pc:
+            self.stat_hits += 1
+            return self._targets[idx]
+        self.stat_misses += 1
+        return None
+
+    def update(self, pc, target):
+        idx = self._index(pc)
+        self._tags[idx] = pc
+        self._targets[idx] = target
+
+    def flush(self):
+        self._tags = [None] * self.entries

@@ -1,0 +1,37 @@
+"""Return address stack (16 entries, Table IV).
+
+A circular overwrite stack with checkpoint/restore for squashes, as used by
+real frontends (and abused by the return-mispredict Spectre variant, which
+the threat model in Section IV lists).
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular RAS."""
+
+    def __init__(self, entries=16):
+        self.entries = entries
+        self._stack = [0] * entries
+        self._top = 0  # index of next free slot
+
+    def push(self, return_pc):
+        self._stack[self._top % self.entries] = return_pc
+        self._top += 1
+
+    def pop(self):
+        """Predicted return target (0 if empty-ish; circular underflow wraps)."""
+        self._top -= 1
+        return self._stack[self._top % self.entries]
+
+    def checkpoint(self):
+        return (self._top, list(self._stack))
+
+    def restore(self, checkpoint):
+        self._top, stack = checkpoint
+        self._stack = list(stack)
+
+    @property
+    def depth(self):
+        return self._top

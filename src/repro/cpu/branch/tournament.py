@@ -1,0 +1,111 @@
+"""Tournament branch predictor (Table IV).
+
+A local predictor (per-PC history indexing 2-bit counters), a global
+predictor (global history register indexing 2-bit counters), and a chooser
+(2-bit counters selecting local vs global per global-history index).  This
+is a real, trainable structure: attacker code mistrain it exactly as the
+Spectre PoC requires, and its accuracy on the synthetic workloads sets each
+app's squash rate.
+
+Prediction is made at dispatch with the speculative global history; history
+is repaired on a squash using the checkpoint taken at prediction time.
+"""
+
+from __future__ import annotations
+
+
+def _saturate(counter, taken, maximum=3):
+    if taken:
+        return min(counter + 1, maximum)
+    return max(counter - 1, 0)
+
+
+class TournamentPredictor:
+    """Local + global + chooser, gem5-style."""
+
+    def __init__(
+        self,
+        local_history_entries=1024,
+        local_history_bits=10,
+        local_counter_entries=1024,
+        global_history_bits=12,
+    ):
+        self.local_history_entries = local_history_entries
+        self.local_history_bits = local_history_bits
+        self.local_history_mask = (1 << local_history_bits) - 1
+        self.local_counter_entries = local_counter_entries
+        self.global_history_bits = global_history_bits
+        self.global_history_mask = (1 << global_history_bits) - 1
+
+        self._local_history = [0] * local_history_entries
+        self._local_counters = [1] * local_counter_entries  # weakly not-taken
+        self._global_counters = [1] * (1 << global_history_bits)
+        self._choice_counters = [1] * (1 << global_history_bits)  # prefer local
+        self.global_history = 0
+
+        self.stat_lookups = 0
+        self.stat_mispredicts = 0
+
+    # ------------------------------------------------------------- indexing
+
+    def _local_history_index(self, pc):
+        return (pc >> 2) % self.local_history_entries
+
+    def _local_counter_index(self, pc):
+        history = self._local_history[self._local_history_index(pc)]
+        return history % self.local_counter_entries
+
+    # ------------------------------------------------------------ interface
+
+    def predict(self, pc):
+        """Predict direction; returns ``(taken, checkpoint)``.
+
+        The checkpoint captures the speculative global history so it can be
+        restored when the branch squashes.
+        """
+        self.stat_lookups += 1
+        local_taken = self._local_counters[self._local_counter_index(pc)] >= 2
+        global_taken = self._global_counters[self.global_history] >= 2
+        use_global = self._choice_counters[self.global_history] >= 2
+        taken = global_taken if use_global else local_taken
+        checkpoint = (self.global_history, local_taken, global_taken)
+        # Speculatively update global history with the prediction.
+        self.global_history = (
+            (self.global_history << 1) | int(taken)
+        ) & self.global_history_mask
+        return taken, checkpoint
+
+    def update(self, pc, taken, checkpoint, mispredicted):
+        """Train on the architectural outcome at branch resolution."""
+        history_at_predict, local_taken, global_taken = checkpoint
+        # Chooser trains toward whichever component was right.
+        if local_taken != global_taken:
+            self._choice_counters[history_at_predict] = _saturate(
+                self._choice_counters[history_at_predict], global_taken == taken
+            )
+        self._global_counters[history_at_predict] = _saturate(
+            self._global_counters[history_at_predict], taken
+        )
+        lci = self._local_counter_index(pc)
+        self._local_counters[lci] = _saturate(self._local_counters[lci], taken)
+        lhi = self._local_history_index(pc)
+        self._local_history[lhi] = (
+            (self._local_history[lhi] << 1) | int(taken)
+        ) & self.local_history_mask
+        if mispredicted:
+            self.stat_mispredicts += 1
+            # Repair global history: redo the shift with the real outcome.
+            self.global_history = (
+                (history_at_predict << 1) | int(taken)
+            ) & self.global_history_mask
+
+    def squash_restore(self, checkpoint):
+        """Restore speculative history for squashed-but-unresolved branches."""
+        history_at_predict, _lt, _gt = checkpoint
+        self.global_history = history_at_predict
+
+    @property
+    def accuracy(self):
+        if not self.stat_lookups:
+            return 1.0
+        return 1.0 - self.stat_mispredicts / self.stat_lookups

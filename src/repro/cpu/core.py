@@ -1,0 +1,1147 @@
+"""The out-of-order core.
+
+Trace-driven 8-issue pipeline with a ROB, LQ/SQ, tournament branch
+prediction, wrong-path (transient) execution, a post-retirement write
+buffer, a data TLB, and pluggable security schemes (Table V) and
+consistency models (TSO/RC).
+
+Pipeline events per tick (one call per cycle, newest stage first):
+
+1. interrupt check
+2. retire up to ``issue_width`` from the ROB head
+3. drain the write buffer per the consistency model
+4. InvisiSpec visibility engine (validations/exposures, deferred TLB loads)
+5. dispatch up to ``issue_width`` ops from the fetch queue
+6. refill the fetch queue (correct path or wrong path)
+
+Execution itself is event-driven: an op starts executing when its operands
+complete (wake-up lists), and finishes via a kernel event.  Memory
+operations go through :class:`repro.coherence.CacheHierarchy`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..coherence.hierarchy import MemRequest, RequestKind
+from ..consistency import make_consistency_policy
+from ..errors import SimulationError
+from ..invisispec.llc_sb import LLCSpeculativeBuffer
+from ..invisispec.policy import make_scheme_policy
+from ..invisispec.sb import SpeculativeBuffer
+from ..invisispec.valexp import VisibilityEngine
+from ..mem.prefetcher import StridePrefetcher
+from ..mem.tlb import DataTLB
+from ..mem.writebuffer import WriteBuffer
+from .branch import BTB, ReturnAddressStack, TournamentPredictor
+from .icache import ICacheTrafficModel
+from .interrupts import InterruptUnit
+from .isa import MicroOp, OpKind
+from .lsq import (
+    LoadQueue,
+    STATE_COMPLETE,
+    STATE_DEFERRED,
+    STATE_EXPOSURE,
+    STATE_NORMAL,
+    STATE_VALIDATION,
+    StoreQueue,
+)
+from .rob import ROBEntry, ReorderBuffer
+from .tracking import LazyMinTracker
+from .trace import ReplayStream
+
+
+class Core:
+    """One hardware thread of the simulated machine."""
+
+    def __init__(
+        self,
+        core_id,
+        params,
+        config,
+        kernel,
+        hierarchy,
+        trace_source,
+        counters,
+        max_instructions=None,
+        icache_miss_rate=0.0,
+        warmup_instructions=0,
+        on_warmup_done=None,
+        tracelog=None,
+    ):
+        self.core_id = core_id
+        self.name = f"core{core_id}"
+        self.params = params
+        self.config = config
+        self.kernel = kernel
+        self.hierarchy = hierarchy
+        self.image = hierarchy.image
+        self.space = hierarchy.space
+        self.counters = counters
+        self.max_instructions = max_instructions
+
+        core_params = params.core
+        self.width = core_params.issue_width
+        self.rob = ReorderBuffer(core_params.rob_entries)
+        self.lq = LoadQueue(core_params.load_queue_entries)
+        self.sq = StoreQueue(core_params.store_queue_entries)
+
+        self.policy = make_scheme_policy(config.scheme)
+        self.consistency = make_consistency_policy(config.consistency)
+        self.write_buffer = WriteBuffer(
+            core_params.write_buffer_entries,
+            fifo=self.consistency.fifo_write_buffer,
+        )
+        self.predictor = TournamentPredictor()
+        self.btb = BTB(core_params.btb_entries)
+        self.ras = ReturnAddressStack(core_params.ras_entries)
+        self.tlb = DataTLB(params.tlb)
+        self.interrupts = InterruptUnit(core_params.interrupt_interval)
+        self.prefetcher = (
+            StridePrefetcher(
+                degree=core_params.prefetch_degree,
+                line_bytes=params.line_bytes,
+            )
+            if core_params.prefetch_degree
+            else None
+        )
+
+        if self.policy.uses_invisispec:
+            self.sb = SpeculativeBuffer(core_params.load_queue_entries)
+            self.llc_sb = LLCSpeculativeBuffer(
+                core_params.load_queue_entries,
+                access_latency=params.l2_bank.round_trip_latency,
+            )
+            self.visibility = VisibilityEngine(self)
+        else:
+            self.sb = None
+            self.llc_sb = None
+            self.visibility = None
+
+        node = core_id % params.network.num_nodes
+        if params.model_l1i:
+            from .ifetch import InstructionFetchUnit
+
+            self.ifetch = InstructionFetchUnit(params, hierarchy.noc, node, node)
+            self.icache = ICacheTrafficModel(hierarchy.noc, node, node, 0.0)
+        else:
+            self.ifetch = None
+            self.icache = ICacheTrafficModel(
+                hierarchy.noc, node, node, icache_miss_rate
+            )
+        self._ifetch_pending = None  # (pos, op, is_wrong_path) awaiting fill
+
+        self.replay = ReplayStream(trace_source)
+        self._fetch_queue = deque()
+        self._wrong_path_branch = None
+        self._wp_index = 0
+        self._pending_front_fence = False
+
+        self._next_seq = 0
+        self.epoch = 0
+        self._live_by_pos = {}
+        self._live_by_seq = {}
+        self._waiters = {}  # seq -> [ROBEntry] wake-up lists
+        self._fence_blocked = []
+        self._sb_waiters = {}  # lq virtual index -> [ROBEntry]
+        self._interrupt_protect_seq = None
+
+        self._branch_tracker = LazyMinTracker(lambda e: not e.resolved)
+        self._exceptable_tracker = LazyMinTracker(self._exceptable_active)
+        self._store_tracker = LazyMinTracker(lambda e: e.state != "retired")
+        self._unvalidated_tracker = LazyMinTracker(self._unvalidated_active)
+        self._fence_tracker = LazyMinTracker(lambda e: not e.fence_done)
+        self._sync_tracker = LazyMinTracker(lambda e: e.state != "retired")
+
+        self.tracelog = tracelog
+        self.env = {}
+        self.retired_instructions = 0
+        self.warmup_instructions = warmup_instructions
+        self._on_warmup_done = on_warmup_done
+        self._warmup_reported = warmup_instructions <= 0
+        self.done = False
+        self.start_cycle = kernel.cycle
+        self.finish_cycle = None
+
+        hierarchy.attach_core(core_id, self)
+
+    # ---------------------------------------------------------- tracker hooks
+
+    @staticmethod
+    def _exceptable_active(entry):
+        if entry.state == "retired":
+            return False
+        kind = entry.op.kind
+        if kind in (OpKind.LOAD, OpKind.PREFETCH):
+            lq_entry = entry.lq_entry
+            return lq_entry is None or not lq_entry.performed
+        if kind is OpKind.STORE:
+            sq_entry = entry.sq_entry
+            return sq_entry is None or not sq_entry.addr_resolved
+        return entry.op.raises_exception or kind is OpKind.EXCEPTION
+
+    @staticmethod
+    def _unvalidated_active(entry):
+        if entry.state == "retired":
+            return False
+        lq_entry = entry.lq_entry
+        if lq_entry is None:
+            return True  # dispatched, LQ not yet wired (never happens live)
+        state = lq_entry.vstate
+        if state == STATE_COMPLETE or lq_entry.visibility_done:
+            return False
+        if state == STATE_EXPOSURE and lq_entry.visibility_issued:
+            return False
+        if state == STATE_NORMAL and entry.state == "completed":
+            return False
+        return True
+
+    def min_unresolved_branch_seq(self):
+        return self._branch_tracker.min_seq()
+
+    def min_exceptable_seq(self):
+        return self._exceptable_tracker.min_seq()
+
+    def min_uncommitted_store_seq(self):
+        return self._store_tracker.min_seq()
+
+    def min_unvalidated_load_seq(self):
+        return self._unvalidated_tracker.min_seq()
+
+    def min_incomplete_fence_seq(self):
+        return self._fence_tracker.min_seq()
+
+    def min_incomplete_sync_seq(self):
+        return self._sync_tracker.min_seq()
+
+    def request_interrupt_protection(self, seq):
+        """IS-Future: open the interrupt-delay window for a USL (Section
+        VI-D).  Returns False if the window cannot be opened right now."""
+        if not self.interrupts.disable_until_head():
+            return False
+        if self._interrupt_protect_seq is None or seq > self._interrupt_protect_seq:
+            self._interrupt_protect_seq = seq
+        return True
+
+    # ----------------------------------------------------------------- tick
+
+    def tick(self):
+        if self.done:
+            return "done"
+        now = self.kernel.cycle
+        work = 0
+        if self._check_interrupt(now):
+            work += 1
+        work += self._retire(now)
+        self._tick_fences(now)
+        work += self._drain_write_buffer(now)
+        if self.visibility is not None:
+            self.visibility.tick()
+        self._tick_deferred_loads(now)
+        work += self._dispatch(now)
+        work += self._fill_fetch_queue()
+        self.counters.bump("core.cycles")
+        if self.done:
+            return "done"
+        return "active" if work else "waiting"
+
+    # ------------------------------------------------------------- interrupts
+
+    def _check_interrupt(self, now):
+        if not self.interrupts.should_fire(now):
+            return False
+        if self.rob.empty:
+            return False
+        self._squash_all("interrupt")
+        return True
+
+    # ----------------------------------------------------------------- fetch
+
+    def _fill_fetch_queue(self):
+        now = self.kernel.cycle
+        fetched = 0
+        limit = 2 * self.width
+        while len(self._fetch_queue) < limit:
+            if self._ifetch_pending is not None:
+                # Frontend stalled on an L1-I miss.
+                if not self.ifetch.ready(now):
+                    break
+                pos, op, is_wp = self._ifetch_pending
+                self._ifetch_pending = None
+                self._enqueue_fetched(pos, op, is_wp)
+                fetched += 1
+                continue
+            if self._wrong_path_branch is not None:
+                op = self.replay.wrong_path_op(
+                    self._wrong_path_branch.op, self._wp_index
+                )
+                if op is None:
+                    break
+                self._wp_index += 1
+                pos, is_wp = None, True
+            else:
+                item = self.replay.fetch()
+                if item is None:
+                    break
+                pos, op = item
+                is_wp = False
+            if self.ifetch is not None and not self.ifetch.access(now, op.pc):
+                self._ifetch_pending = (pos, op, is_wp)
+                # Anchor the fill in the event queue so the kernel's
+                # fast-forward can reach the ready time.
+                self.kernel.schedule(self.ifetch.miss_latency, lambda: None)
+                break
+            self._enqueue_fetched(pos, op, is_wp)
+            fetched += 1
+        if fetched:
+            self.icache.on_fetch(fetched)
+            self.counters.bump("core.fetched_ops", fetched)
+        return fetched
+
+    def _drop_pending_ifetch(self):
+        if self._ifetch_pending is not None:
+            self._ifetch_pending = None
+            self.ifetch.cancel()
+
+    def _enqueue_fetched(self, pos, op, is_wrong_path):
+        if self._pending_front_fence or (
+            self.policy.inserts_fence_before_load and op.kind is OpKind.LOAD
+        ):
+            self._pending_front_fence = False
+            self._fetch_queue.append((None, MicroOp(OpKind.FENCE, pc=op.pc), is_wrong_path))
+        self._fetch_queue.append((pos, op, is_wrong_path))
+        if self.policy.inserts_fence_after_branch and op.kind is OpKind.BRANCH:
+            self._fetch_queue.append((None, MicroOp(OpKind.FENCE, pc=op.pc), is_wrong_path))
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch(self, now):
+        dispatched = 0
+        while dispatched < self.width and self._fetch_queue:
+            pos, op, is_wp = self._fetch_queue[0]
+            if self.rob.full:
+                self.counters.bump("core.rob_full_stalls")
+                break
+            kind = op.kind
+            if kind in (OpKind.LOAD, OpKind.PREFETCH) and self.lq.full:
+                self.counters.bump("core.lq_full_stalls")
+                break
+            if kind is OpKind.STORE and self.sq.full:
+                self.counters.bump("core.sq_full_stalls")
+                break
+            self._fetch_queue.popleft()
+
+            entry = ROBEntry(op, self._next_seq, pos, is_wp, now)
+            self._next_seq += 1
+            self.rob.push(entry)
+            if self.tracelog is not None:
+                self.tracelog.record(
+                    now, self.core_id, "dispatch",
+                    f"seq={entry.seq} {op.kind.value}"
+                    f"{' WP' if is_wp else ''}",
+                )
+            self._live_by_seq[entry.seq] = entry
+            if pos is not None:
+                self._live_by_pos[pos] = entry
+            dispatched += 1
+            redirected = self._dispatch_one(entry, now)
+            if redirected:
+                break
+        if dispatched:
+            self.counters.bump("core.dispatched_ops", dispatched)
+        return dispatched
+
+    def _dispatch_one(self, entry, now):
+        """Kind-specific dispatch work; returns True on a fetch redirect."""
+        op = entry.op
+        kind = op.kind
+        redirect = False
+
+        if kind is OpKind.BRANCH:
+            predicted, checkpoint = self.predictor.predict(op.pc)
+            entry.predicted_taken = predicted
+            entry.predictor_checkpoint = checkpoint
+            entry.mispredicted = predicted != op.taken
+            self._branch_tracker.push(entry)
+            if entry.mispredicted and not entry.is_wrong_path:
+                redirect = self._enter_wrong_path(entry)
+        elif kind in (OpKind.LOAD, OpKind.PREFETCH):
+            lq_entry = self.lq.allocate(entry, self.epoch)
+            if self.sb is not None:
+                self.sb.allocate(lq_entry.index)
+            self._exceptable_tracker.push(entry)
+            self._unvalidated_tracker.push(entry)
+        elif kind is OpKind.STORE:
+            self.sq.allocate(entry)
+            self._exceptable_tracker.push(entry)
+            self._store_tracker.push(entry)
+        elif kind.is_fence_like:
+            self._fence_tracker.push(entry)
+            self._sync_tracker.push(entry)
+        elif kind is OpKind.EXCEPTION or op.raises_exception:
+            self._exceptable_tracker.push(entry)
+            if kind is OpKind.EXCEPTION and not entry.is_wrong_path:
+                # A faulting instruction redirects the frontend: the
+                # transient continuation (Meltdown-style access/transmit
+                # pairs) is supplied as the op's wrong-path arm and is
+                # squashed — never architecturally re-fetched — when the
+                # exception retires.
+                redirect = self._enter_wrong_path(entry)
+
+        self._wire_dependencies(entry, now)
+        return redirect
+
+    def _enter_wrong_path(self, branch_entry):
+        """Frontend follows the misprediction: purge the queued correct-path
+        ops, rewind the replay stream, and start the wrong-path stream."""
+        self._fetch_queue.clear()
+        self._drop_pending_ifetch()
+        if branch_entry.stream_pos is not None:
+            self.replay.rewind_to(branch_entry.stream_pos + 1)
+        self._wrong_path_branch = branch_entry
+        self._wp_index = 0
+        if (
+            self.policy.inserts_fence_after_branch
+            and branch_entry.op.kind is OpKind.BRANCH
+        ):
+            # The architectural fence after the branch exists on both arms;
+            # the wrong path must fetch it too, or Fence-Spectre would not
+            # actually block transient execution.  Exception shadows get no
+            # such fence — Fence-Spectre does not defend them.
+            self._pending_front_fence = True
+        self.counters.bump("core.wrong_path_entries")
+        return True
+
+    def _wire_dependencies(self, entry, now):
+        pending = 0
+        for distance in entry.op.deps:
+            producer = self._find_producer(entry, distance)
+            if producer is not None and producer.state != "completed":
+                pending += 1
+                self._waiters.setdefault(producer.seq, []).append(entry)
+        entry.pending_deps = pending
+        if pending == 0:
+            self._on_deps_ready(entry, now)
+
+    def _find_producer(self, entry, distance):
+        """Producer ``distance`` dynamic ops back; stream-positional for
+        correct-path ops (squash-stable), seq-relative for wrong-path ops."""
+        if entry.stream_pos is not None:
+            producer = self._live_by_pos.get(entry.stream_pos - distance)
+            if producer is not None and not producer.squashed:
+                return producer
+            return None
+        target_seq = entry.seq - distance
+        if target_seq < 0:
+            return None
+        producer = self._live_by_seq.get(target_seq)
+        if producer is not None and producer.squashed:
+            return None
+        return producer
+
+    # ------------------------------------------------------------- execution
+
+    def _on_deps_ready(self, entry, now):
+        if entry.squashed:
+            return
+        fence_seq = self.min_incomplete_fence_seq()
+        if fence_seq is not None and fence_seq < entry.seq:
+            self._fence_blocked.append(entry)
+            return
+        entry.state = "executing"
+        kind = entry.op.kind
+        if kind in (OpKind.ALU, OpKind.NOP):
+            self.kernel.schedule(
+                max(entry.op.latency, 1), lambda: self._complete_alu(entry)
+            )
+        elif kind is OpKind.FP:
+            self.kernel.schedule(
+                max(entry.op.latency, self.params.core.fp_alu_latency),
+                lambda: self._complete_alu(entry),
+            )
+        elif kind is OpKind.BRANCH:
+            delay = max(entry.op.latency, self.params.core.branch_resolve_latency)
+            self.kernel.schedule(delay, lambda: self._resolve_branch(entry))
+        elif kind in (OpKind.LOAD, OpKind.PREFETCH):
+            self._start_load(entry, now)
+        elif kind is OpKind.STORE:
+            self._resolve_store(entry, now)
+        elif kind.is_fence_like or kind is OpKind.EXCEPTION:
+            # Fences/acquires/releases "complete" at dispatch; their ordering
+            # effect is enforced at retire and via the execution gate.
+            self._complete_entry(entry)
+        else:
+            raise SimulationError(f"cannot execute {entry.op!r}")
+
+    def _release_fence_blocked(self, now):
+        if not self._fence_blocked:
+            return
+        blocked, self._fence_blocked = self._fence_blocked, []
+        for entry in blocked:
+            if not entry.squashed:
+                self._on_deps_ready(entry, now)
+
+    def _complete_alu(self, entry):
+        if entry.squashed:
+            return
+        op = entry.op
+        if op.compute_fn is not None and op.dst is not None:
+            self.env[op.dst] = op.compute_fn(self.env)
+            entry.value = self.env[op.dst]
+        self._complete_entry(entry)
+
+    def _complete_entry(self, entry):
+        if entry.squashed or entry.state == "completed":
+            return
+        entry.state = "completed"
+        entry.complete_cycle = self.kernel.cycle
+        now = self.kernel.cycle
+        for waiter in self._waiters.pop(entry.seq, ()):
+            if waiter.squashed:
+                continue
+            waiter.pending_deps -= 1
+            if waiter.pending_deps == 0:
+                self._on_deps_ready(waiter, now)
+
+    # -------------------------------------------------------------- branches
+
+    def _resolve_branch(self, entry):
+        if entry.squashed or entry.resolved:
+            return
+        entry.resolved = True
+        op = entry.op
+        if not entry.is_wrong_path:
+            self.predictor.update(
+                op.pc, op.taken, entry.predictor_checkpoint, entry.mispredicted
+            )
+            self.counters.bump("core.branches_resolved")
+            if entry.mispredicted:
+                self.counters.bump("core.branch_mispredicts")
+                self._squash_branch(entry)
+        self._complete_entry(entry)
+
+    def _squash_branch(self, branch_entry):
+        # predictor.update() already repaired the global history with the
+        # architectural outcome; the generic checkpoint restore would
+        # clobber it with the *mispredicted* bit.
+        self._squash_after(
+            branch_entry.seq,
+            branch_entry.stream_pos + 1 if branch_entry.stream_pos is not None else None,
+            "branch",
+            restore_history=False,
+        )
+
+    # ----------------------------------------------------------------- loads
+
+    def _start_load(self, entry, now):
+        op = entry.op
+        lq_entry = entry.lq_entry
+        addr = op.addr if op.addr is not None else op.addr_fn(self.env)
+        size = op.size
+        lq_entry.addr = addr
+        lq_entry.size = size
+        lq_entry.line_addr = self.space.line_of(addr)
+        lq_entry.epoch = self.epoch
+        entry.addr = addr
+
+        safe = self.policy.load_is_safe(self, entry)
+        unsafe_speculative = self.policy.uses_invisispec and not safe
+
+        vpn = self.space.page_of(addr)
+        tlb_hit = self.tlb.lookup(vpn, update_state=not unsafe_speculative)
+        if not tlb_hit:
+            if unsafe_speculative:
+                # Section VI-E3: the walk is deferred to the visibility point.
+                lq_entry.vstate = STATE_DEFERRED
+                lq_entry.issued = True
+                self.counters.bump("invisispec.tlb_deferred")
+                return
+            self.tlb.fill(vpn)
+            self.kernel.schedule(
+                self.params.tlb.walk_latency,
+                lambda: self._issue_load_to_memory(entry, unsafe_speculative=False),
+            )
+            return
+
+        self._issue_load_to_memory(entry, unsafe_speculative)
+
+    def _issue_load_to_memory(self, entry, unsafe_speculative):
+        if entry.squashed:
+            return
+        now = self.kernel.cycle
+        op = entry.op
+        lq_entry = entry.lq_entry
+        lq_entry.issued = True
+        lq_entry.issue_cycle = now
+        addr, size = lq_entry.addr, lq_entry.size
+        is_prefetch = op.kind is OpKind.PREFETCH
+
+        forwarded = self._try_store_forward(entry, lq_entry, addr, size)
+
+        if not unsafe_speculative:
+            lq_entry.vstate = STATE_NORMAL
+            self._train_prefetcher(op.pc, addr)
+            if forwarded:
+                self._finish_load_local(entry, lq_entry, now)
+                return
+            kind = RequestKind.PREFETCH if is_prefetch else RequestKind.LOAD
+            self._submit_load(entry, lq_entry, kind)
+            return
+
+        # Unsafe speculative load (USL).
+        lq_entry.vstate = (
+            STATE_EXPOSURE
+            if is_prefetch
+            else self.visibility.classify(lq_entry)
+        )
+        self.counters.bump("invisispec.usls")
+
+        if forwarded:
+            offset = self.space.offset_in_line(addr)
+            value_bytes = [
+                (entry.value >> (8 * i)) & 0xFF for i in range(size)
+            ]
+            self.sb.forward_from_store(
+                lq_entry.index, lq_entry.line_addr, offset, value_bytes
+            )
+            # The forwarded value completes the load; the Spec-GetS below
+            # still runs to populate the SB line (Section VI-A2).
+            self._finish_load_local(entry, lq_entry, now)
+
+        older = self.lq.older_pending_request(lq_entry, lq_entry.line_addr)
+        if older is not None and not forwarded:
+            src_sb = self.sb.entry(older.index)
+            if src_sb.valid and src_sb.lq_index == older.index and older.performed:
+                # Section V-E: copy the line the older USL already brought.
+                mask = self.space.byte_mask(addr, size)
+                dst = self.sb.copy(older.index, lq_entry.index, mask)
+                self.sb.stat_hits += 1
+                self.counters.bump("invisispec.sb_hits")
+                offset = self.space.offset_in_line(addr)
+                self._finish_usl_data(
+                    entry, lq_entry, dst.data[offset:offset + size], now + 1
+                )
+                return
+            # Wait for the older USL's line to arrive, then copy.
+            self.counters.bump("invisispec.sb_merge_waits")
+            self._sb_waiters.setdefault(older.index, []).append(entry)
+            return
+
+        self.counters.bump("invisispec.sb_misses")
+        kind = RequestKind.SPEC_PREFETCH if is_prefetch else RequestKind.SPEC_LOAD
+        self._submit_load(entry, lq_entry, kind)
+
+    def _try_store_forward(self, entry, lq_entry, addr, size):
+        """Forward from the SQ (in-flight stores) or the write buffer."""
+        store = self.sq.forwarding_store(entry.seq, addr, size)
+        value = None
+        if store is not None:
+            shift = (addr - store.addr) * 8
+            value = (store.value >> shift) & ((1 << (8 * size)) - 1)
+        else:
+            wb_entry = self.write_buffer.pending_store_to(addr, size, self.space)
+            if (
+                wb_entry is not None
+                and wb_entry.addr <= addr
+                and addr + size <= wb_entry.addr + wb_entry.size
+            ):
+                shift = (addr - wb_entry.addr) * 8
+                value = (wb_entry.value >> shift) & ((1 << (8 * size)) - 1)
+        if value is None:
+            return False
+        entry.value = value
+        if entry.op.dst is not None:
+            self.env[entry.op.dst] = value
+        lq_entry.forwarded = True
+        self.counters.bump("core.store_forwards")
+        return True
+
+    def _submit_load(self, entry, lq_entry, kind):
+        epoch_at_issue = self.epoch
+        request = MemRequest(
+            core_id=self.core_id,
+            addr=lq_entry.addr,
+            size=lq_entry.size,
+            kind=kind,
+            seq=entry.seq,
+            lq_index=lq_entry.index,
+            epoch=epoch_at_issue,
+            on_complete=lambda result: self._on_load_data(
+                entry, lq_entry, kind, result
+            ),
+        )
+        self.hierarchy.submit(request)
+
+    def _on_load_data(self, entry, lq_entry, kind, result):
+        if entry.squashed or not lq_entry.valid:
+            return
+        now = self.kernel.cycle
+        if kind in (RequestKind.SPEC_LOAD, RequestKind.SPEC_PREFETCH):
+            mask = self.space.byte_mask(lq_entry.addr, lq_entry.size)
+            line_bytes = self.image.read_bytes(
+                lq_entry.line_addr, self.space.line_bytes
+            )
+            slot = self.sb.fill(
+                lq_entry.index,
+                lq_entry.line_addr,
+                line_bytes,
+                result.version,
+                mask,
+            )
+            self._serve_sb_waiters(lq_entry, now)
+            if lq_entry.forwarded:
+                return  # value already delivered by the store forward
+            offset = self.space.offset_in_line(lq_entry.addr)
+            data = (
+                slot.data[offset:offset + lq_entry.size]
+                if slot is not None
+                else result.data
+            )
+            self._finish_usl_data(entry, lq_entry, data, now)
+            return
+        # Visible load (N state or baseline).
+        if lq_entry.forwarded:
+            return
+        self._finish_load_value(entry, lq_entry, result.data, now)
+
+    def _serve_sb_waiters(self, lq_entry, now):
+        waiters = self._sb_waiters.pop(lq_entry.index, None)
+        if not waiters:
+            return
+        for waiter in waiters:
+            if waiter.squashed or not waiter.lq_entry.valid:
+                continue
+            w_lq = waiter.lq_entry
+            mask = self.space.byte_mask(w_lq.addr, w_lq.size)
+            dst = self.sb.copy(lq_entry.index, w_lq.index, mask)
+            offset = self.space.offset_in_line(w_lq.addr)
+            self._finish_usl_data(
+                waiter, w_lq, dst.data[offset:offset + w_lq.size], now
+            )
+            # Serve chained waiters (a third USL may be waiting on this one).
+            self._serve_sb_waiters(w_lq, now)
+
+    def _finish_usl_data(self, entry, lq_entry, data, now):
+        """A USL's bytes arrived (from its SB line or a copy)."""
+        self._finish_load_value(entry, lq_entry, data, now)
+
+    def _finish_load_value(self, entry, lq_entry, data, now):
+        """Deliver load bytes to the register file and wake dependents."""
+        value = 0
+        for i, byte in enumerate(data):
+            value |= (byte & 0xFF) << (8 * i)
+        entry.value = value
+        if entry.op.dst is not None:
+            self.env[entry.op.dst] = value
+        lq_entry.performed = True
+        self.counters.bump("core.loads_performed")
+        self._complete_entry(entry)
+
+    def _finish_load_local(self, entry, lq_entry, now):
+        lq_entry.performed = True
+        self.counters.bump("core.loads_performed")
+        self._complete_entry(entry)
+
+    # -------------------------------------------------------- hw prefetcher
+
+    def _train_prefetcher(self, pc, addr):
+        """Train the stride prefetcher on a *visible* access and issue the
+        prefetches it proposes as ordinary cache fills.
+
+        Under InvisiSpec only visible accesses reach this point: USLs train
+        the prefetcher at their visibility point instead (Section VI-B), so
+        a squashed transient load can never leave prefetch footprints.
+        """
+        if self.prefetcher is None:
+            return
+        for prefetch_addr in self.prefetcher.train(pc, addr):
+            self.counters.bump("core.hw_prefetches_issued")
+            request = MemRequest(
+                core_id=self.core_id,
+                addr=prefetch_addr,
+                size=8,
+                kind=RequestKind.PREFETCH,
+                seq=self._next_seq + (1 << 30),  # outside program order
+                on_complete=None,
+            )
+            self.hierarchy.submit(request)
+
+    # -------------------------------------------------------- deferred loads
+
+    def _tick_deferred_loads(self, now):
+        """IS loads whose TLB miss deferred them to the visibility point."""
+        if self.visibility is None:
+            return
+        for lq_entry in self.lq.entries():
+            if lq_entry.vstate != STATE_DEFERRED or not lq_entry.valid:
+                continue
+            if not self.policy.visible_now(self, lq_entry):
+                break
+            entry = lq_entry.rob
+            lq_entry.vstate = STATE_NORMAL
+            vpn = self.space.page_of(lq_entry.addr)
+            self.tlb.fill(vpn)
+            self.counters.bump("invisispec.tlb_walks_at_visibility")
+            self.kernel.schedule(
+                self.params.tlb.walk_latency,
+                lambda e=entry, lq=lq_entry: self._issue_deferred(e, lq),
+            )
+            break
+
+    def _issue_deferred(self, entry, lq_entry):
+        if entry.squashed or not lq_entry.valid:
+            return
+        if lq_entry.forwarded or lq_entry.performed:
+            return
+        self._submit_load(entry, lq_entry, RequestKind.LOAD)
+
+    # ---------------------------------------------------------------- stores
+
+    def _resolve_store(self, entry, now):
+        op = entry.op
+        sq_entry = entry.sq_entry
+        addr = op.addr if op.addr is not None else op.addr_fn(self.env)
+        value = (
+            op.store_value_fn(self.env)
+            if op.store_value_fn is not None
+            else op.store_value
+        )
+        sq_entry.addr = addr
+        sq_entry.size = op.size
+        sq_entry.value = value
+        sq_entry.addr_resolved = True
+        entry.addr = addr
+
+        vpn = self.space.page_of(addr)
+        if not self.tlb.lookup(vpn, update_state=True, is_store=True):
+            self.tlb.fill(vpn, is_store=True)
+            self.kernel.schedule(
+                self.params.tlb.walk_latency, lambda: self._complete_entry(entry)
+            )
+        else:
+            self._complete_entry(entry)
+
+        self._check_store_load_alias(entry, sq_entry)
+
+    def _check_store_load_alias(self, store_entry, sq_entry):
+        """Memory-dependence misspeculation (the SSB surface, Section IV):
+        a younger load already performed against stale data."""
+        victim = None
+        for lq_entry in self.lq.entries():
+            if lq_entry.seq < store_entry.seq or not lq_entry.valid:
+                continue
+            # Any younger load already *issued* against memory read (or will
+            # read) stale data: it bypassed this store.  Loads that have not
+            # issued yet will pick the store up via forwarding.
+            if not lq_entry.issued or lq_entry.forwarded:
+                continue
+            if lq_entry.rob.is_wrong_path:
+                continue
+            if lq_entry.addr is None:
+                continue
+            if (
+                lq_entry.addr < sq_entry.addr + sq_entry.size
+                and sq_entry.addr < lq_entry.addr + lq_entry.size
+            ):
+                victim = lq_entry
+                break
+        if victim is not None:
+            self.counters.bump("core.store_load_alias_squashes")
+            self.squash_load(victim, reason="store_alias")
+
+    # ---------------------------------------------------------------- retire
+
+    def _retire(self, now):
+        retired = 0
+        while retired < self.width:
+            head = self.rob.head()
+            if head is None:
+                self._maybe_finish()
+                break
+            op = head.op
+            kind = op.kind
+
+            if kind.is_fence_like:
+                # A release must drain the write buffer before retiring;
+                # plain fences/acquires were completed by _tick_fences (or
+                # complete trivially here at the head).
+                if kind is OpKind.RELEASE and not self.write_buffer.empty:
+                    self.counters.bump("core.fence_drain_stall_cycles")
+                    break
+                head.fence_done = True
+
+            if head.state != "completed":
+                if kind in (OpKind.LOAD, OpKind.PREFETCH) and head.lq_entry is not None:
+                    lq_entry = head.lq_entry
+                    if lq_entry.performed and lq_entry.vstate == STATE_VALIDATION:
+                        self.counters.bump("invisispec.validation_stall_cycles")
+                break
+
+            if kind in (OpKind.LOAD, OpKind.PREFETCH):
+                lq_entry = head.lq_entry
+                if lq_entry.vstate == STATE_VALIDATION and not lq_entry.visibility_done:
+                    self.counters.bump("invisispec.validation_stall_cycles")
+                    break
+                if lq_entry.vstate == STATE_EXPOSURE and not lq_entry.visibility_issued:
+                    break  # exposure must at least be on the wire
+                retired_lq = self.lq.retire_head()
+                if retired_lq is not lq_entry:
+                    raise SimulationError("LQ head does not match retiring load")
+                lq_entry.valid = False
+                if self.sb is not None:
+                    self.sb.invalidate(lq_entry.index)
+            elif kind is OpKind.STORE:
+                if self.write_buffer.full:
+                    self.counters.bump("core.wb_full_stalls")
+                    break
+                sq_entry = head.sq_entry
+                retired_sq = self.sq.retire_head()
+                if retired_sq is not sq_entry:
+                    raise SimulationError("SQ head does not match retiring store")
+                self.write_buffer.push(
+                    sq_entry.addr,
+                    sq_entry.size,
+                    sq_entry.value,
+                    head.seq,
+                    is_release=False,
+                )
+            elif kind is OpKind.EXCEPTION or op.raises_exception:
+                self.counters.bump("core.exceptions")
+                refetch = (
+                    head.stream_pos + 1 if head.stream_pos is not None else None
+                )
+                self._squash_after(head.seq, refetch, "exception")
+
+            self.rob.pop_head()
+            head.state = "retired"
+            if self.tracelog is not None:
+                self.tracelog.record(
+                    now, self.core_id, "retire",
+                    f"seq={head.seq} {head.op.kind.value}",
+                )
+            self._live_by_seq.pop(head.seq, None)
+            self._waiters.pop(head.seq, None)
+            if head.stream_pos is not None:
+                self.replay.retire(head.stream_pos)
+                self._live_by_pos.pop(head.stream_pos, None)
+                self.retired_instructions += 1
+                self.counters.bump("core.retired_instructions")
+                if (
+                    not self._warmup_reported
+                    and self.retired_instructions >= self.warmup_instructions
+                ):
+                    self._warmup_reported = True
+                    if self._on_warmup_done is not None:
+                        self._on_warmup_done(self.core_id)
+            retired += 1
+            if (
+                self._interrupt_protect_seq is not None
+                and head.seq >= self._interrupt_protect_seq
+            ):
+                self._interrupt_protect_seq = None
+                self.interrupts.on_head_retired(now)
+            if head.op.kind.is_fence_like:
+                self._release_fence_blocked(now)
+            if (
+                self.max_instructions is not None
+                and self.retired_instructions >= self.max_instructions
+            ):
+                self._finish()
+                break
+        return retired
+
+    def _tick_fences(self, now):
+        """LFENCE semantics: a fence (or acquire) completes once every older
+        instruction has completed locally — it need not reach the ROB head.
+        Releases additionally wait for the write buffer and are handled at
+        retire."""
+        fence_seq = self.min_incomplete_fence_seq()
+        if fence_seq is None:
+            return
+        fence_entry = None
+        for entry in self.rob:
+            if entry.seq >= fence_seq:
+                fence_entry = entry if entry.seq == fence_seq else None
+                break
+            if entry.state != "completed":
+                return  # an older instruction is still executing
+        if fence_entry is None or fence_entry.op.kind is OpKind.RELEASE:
+            return
+        if not self.write_buffer.empty and fence_entry.op.kind is OpKind.FENCE:
+            # Treat an explicit workload FENCE op as a full fence only when
+            # it was not injected by a defense scheme (defensive fences are
+            # LFENCEs); injected fences have no stream position.
+            if fence_entry.stream_pos is not None:
+                return
+        fence_entry.fence_done = True
+        self._release_fence_blocked(now)
+
+    def _maybe_finish(self):
+        if (
+            self.replay.exhausted
+            and not self._fetch_queue
+            and self._wrong_path_branch is None
+            and self.rob.empty
+            and self.write_buffer.empty
+        ):
+            self._finish()
+
+    def _finish(self):
+        if not self.done:
+            self.done = True
+            self.finish_cycle = self.kernel.cycle
+            self.counters.set("core.finish_cycle", self.finish_cycle)
+
+    def reopen(self):
+        """Resume a finished core after its trace source was extended
+        (multi-phase attack experiments)."""
+        self.done = False
+        self.finish_cycle = None
+        self.replay.reopen()
+
+    # ----------------------------------------------------------- write buffer
+
+    def _drain_write_buffer(self, now):
+        candidates = self.write_buffer.drain_candidates()
+        for wb_entry in candidates:
+            self.write_buffer.mark_inflight(wb_entry)
+            request = MemRequest(
+                core_id=self.core_id,
+                addr=wb_entry.addr,
+                size=wb_entry.size,
+                kind=RequestKind.STORE,
+                seq=wb_entry.seq,
+                store_value=wb_entry.value,
+                on_complete=lambda result, e=wb_entry: self._on_store_performed(e),
+            )
+            self.hierarchy.submit(request)
+        return len(candidates)
+
+    def _on_store_performed(self, wb_entry):
+        self.write_buffer.retire_entry(wb_entry)
+        self.counters.bump("core.stores_performed")
+
+    # ------------------------------------------------------------- squashing
+
+    def squash_load(self, lq_entry, reason):
+        """Squash a load and everything younger; the load re-executes."""
+        entry = lq_entry.rob
+        if entry.squashed or not lq_entry.valid or entry.state == "retired":
+            return
+        if entry.is_wrong_path:
+            return  # will die with its branch anyway
+        self._squash_after(entry.seq - 1, entry.stream_pos, reason)
+
+    def _squash_all(self, reason):
+        self._squash_after(-1, self.replay.retire_pos, reason)
+
+    def _squash_after(self, boundary_seq, refetch_pos, reason,
+                      restore_history=True):
+        squashed = self.rob.squash_after(boundary_seq)
+        self.counters.bump(f"core.squashes.{reason}")
+        self.counters.bump("core.squashed_ops", len(squashed))
+        if self.tracelog is not None:
+            self.tracelog.record(
+                self.kernel.cycle, self.core_id, "squash",
+                f"{reason}: {len(squashed)} ops after seq={boundary_seq}",
+            )
+
+        min_lq = None
+        min_sq = None
+        oldest_branch_checkpoint = None
+        for entry in squashed:
+            if entry.lq_entry is not None:
+                idx = entry.lq_entry.index
+                min_lq = idx if min_lq is None else min(min_lq, idx)
+            if entry.sq_entry is not None:
+                idx = entry.sq_entry.index
+                min_sq = idx if min_sq is None else min(min_sq, idx)
+            if (
+                entry.op.kind is OpKind.BRANCH
+                and not entry.resolved
+                and not entry.is_wrong_path
+                and entry.predictor_checkpoint is not None
+            ):
+                oldest_branch_checkpoint = entry.predictor_checkpoint
+            if entry.stream_pos is not None:
+                live = self._live_by_pos.get(entry.stream_pos)
+                if live is entry:
+                    del self._live_by_pos[entry.stream_pos]
+            self._live_by_seq.pop(entry.seq, None)
+            self._waiters.pop(entry.seq, None)
+
+        if min_lq is not None:
+            for dropped in self.lq.squash_to(min_lq):
+                dropped.valid = False
+                if self.sb is not None:
+                    self.sb.invalidate(dropped.index)
+                self._sb_waiters.pop(dropped.index, None)
+        if min_sq is not None:
+            self.sq.squash_to(min_sq)
+
+        if restore_history and oldest_branch_checkpoint is not None:
+            self.predictor.squash_restore(oldest_branch_checkpoint)
+
+        self._fetch_queue.clear()
+        self._drop_pending_ifetch()
+        self._wrong_path_branch = None
+        self._wp_index = 0
+        if refetch_pos is not None:
+            self.replay.rewind_to(refetch_pos)
+        if self.policy.inserts_fence_after_branch and reason == "branch":
+            # The architectural fence after the branch is re-fetched with
+            # the corrected path.
+            self._pending_front_fence = True
+        self.epoch += 1
+        # A squash aborts any open interrupt-delay window.
+        self._interrupt_protect_seq = None
+        self.interrupts.on_head_retired(self.kernel.cycle)
+
+    # -------------------------------------------------- hierarchy callbacks
+
+    def on_invalidation(self, line_addr, reason):
+        """An invalidation for ``line_addr`` arrived at this L1."""
+        self.counters.bump("core.invalidations_received")
+        if self.visibility is not None:
+            self.visibility.on_invalidation(line_addr)
+        self._conventional_consistency_check(line_addr, eviction=False)
+
+    def on_l1_eviction(self, line_addr):
+        self.counters.bump("core.l1_evictions_seen")
+        if self.policy.uses_invisispec:
+            # InvisiSpec does not squash on evictions: E-marked loads are
+            # protected by their exposure, V-marked by their validation
+            # (Section IX-C).
+            return
+        if self.config.base_squash_on_l1_eviction:
+            self._conventional_consistency_check(line_addr, eviction=True)
+
+    def _conventional_consistency_check(self, line_addr, eviction):
+        """Squash a performed, unretired, visibly-loaded load on its line's
+        invalidation/eviction, per the consistency model (Section II-B)."""
+        for lq_entry in self.lq.entries():
+            if not lq_entry.valid or not lq_entry.performed:
+                continue
+            if lq_entry.line_addr != line_addr or lq_entry.forwarded:
+                continue
+            if lq_entry.rob.is_wrong_path or lq_entry.rob.state == "retired":
+                continue
+            if lq_entry.vstate not in (None, STATE_NORMAL):
+                continue  # USLs are handled by the visibility engine
+            if not self.consistency.squash_on_invalidation(self, lq_entry):
+                continue
+            self.counters.bump(
+                "core.eviction_squashes" if eviction else "core.invalidation_squashes"
+            )
+            self.squash_load(lq_entry, reason="consistency")
+            return
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def cycles(self):
+        return (self.finish_cycle or self.kernel.cycle) - self.start_cycle
+
+    @property
+    def ipc(self):
+        return self.retired_instructions / max(self.cycles, 1)

@@ -1,0 +1,76 @@
+"""Optional real L1 instruction cache with fetch stalls.
+
+By default the simulator models instruction fetch as traffic only
+(:mod:`repro.cpu.icache`), like the paper, which evaluates the data
+hierarchy.  Setting ``SystemParams(model_l1i=True)`` replaces that with a
+real L1-I: each fetched micro-op consumes its PC's cache line; a miss
+stalls the frontend for an L2 round trip while the line is filled.
+
+The I-side is *not* made invisible under InvisiSpec — the paper scopes
+invisibility to the data hierarchy and notes the I-cache could be
+protected with similar structures (Section III footnote); this unit exists
+so that extension can be built and measured.
+"""
+
+from __future__ import annotations
+
+from ..coherence.mesi import MESIState
+from ..mem.cache import CacheArray
+from ..network.noc import TrafficCategory
+
+
+class InstructionFetchUnit:
+    """L1-I array + miss/stall state for one core's frontend."""
+
+    def __init__(self, params, noc, core_node, bank_node):
+        self.icache = CacheArray(params.l1i, MESIState.INVALID)
+        self.line_bytes = params.l1i.line_bytes
+        self.miss_latency = params.l2_bank.round_trip_latency + 2
+        self.noc = noc
+        self.core_node = core_node
+        self.bank_node = bank_node
+        self._fill_ready = 0
+        self._fill_line = None
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_stall_cycles = 0
+
+    def _line_of(self, pc):
+        return pc & ~(self.line_bytes - 1)
+
+    @property
+    def stalled_line(self):
+        return self._fill_line
+
+    def access(self, now, pc):
+        """Try to fetch the instruction at ``pc``; returns True on hit.
+
+        On a miss the unit starts a line fill and reports the frontend
+        stalled; call :meth:`ready` each cycle until the fill lands.
+        """
+        line = self._line_of(pc)
+        if self.icache.contains(line):
+            self.icache.lookup(line)
+            self.stat_hits += 1
+            return True
+        self.stat_misses += 1
+        self.noc.send(self.core_node, self.bank_node, False, TrafficCategory.NORMAL)
+        self.noc.send(self.bank_node, self.core_node, True, TrafficCategory.NORMAL)
+        self._fill_line = line
+        self._fill_ready = now + self.miss_latency
+        return False
+
+    def cancel(self):
+        """Abandon an outstanding fill (frontend redirect/squash)."""
+        self._fill_line = None
+
+    def ready(self, now):
+        """True once the outstanding fill has landed (installs the line)."""
+        if self._fill_line is None:
+            return True
+        if now < self._fill_ready:
+            self.stat_stall_cycles += 1
+            return False
+        self.icache.insert(self._fill_line, MESIState.SHARED)
+        self._fill_line = None
+        return True

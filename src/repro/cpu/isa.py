@@ -1,0 +1,154 @@
+"""Micro-op vocabulary of the simulated core.
+
+The simulator is trace-driven: workload generators and attack programs
+produce streams of :class:`MicroOp`.  Synthetic workload ops carry
+precomputed addresses; attack programs instead provide ``addr_fn`` /
+``compute_fn`` callables evaluated against a register environment, which is
+what lets transient (wrong-path) instructions carry real data flow — e.g.
+Spectre's ``B[64 * A[a]]`` where the second load's address depends on the
+first load's (secret) value.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+
+class OpKind(enum.Enum):
+    ALU = "alu"
+    FP = "fp"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    FENCE = "fence"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    PREFETCH = "prefetch"  # software prefetch (Section VI-B)
+    EXCEPTION = "exception"  # op that raises when it reaches the ROB head
+    NOP = "nop"
+
+    @property
+    def is_memory(self):
+        return self in (OpKind.LOAD, OpKind.STORE, OpKind.PREFETCH)
+
+    @property
+    def is_fence_like(self):
+        return self in (OpKind.FENCE, OpKind.ACQUIRE, OpKind.RELEASE)
+
+
+_uid = itertools.count()
+
+
+class MicroOp:
+    """One dynamic instruction.
+
+    Attributes
+    ----------
+    kind : OpKind
+    pc : int — static instruction address (predictor/BTB index).
+    addr : int or None — memory address for memory ops (precomputed traces).
+    addr_fn : callable(env) -> int, or None — late address computation for
+        program traces; evaluated when the op's operands are ready.
+    size : int — access size in bytes.
+    dst : hashable or None — register written by a load/ALU (program traces).
+    compute_fn : callable(env) -> value, or None — ALU result computation.
+    store_value : int — value written by a store.
+    store_value_fn : callable(env) -> int, or None.
+    latency : int — execution latency for ALU/FP/branch ops.
+    deps : tuple of ints — distances (in dynamic ops) to earlier ops this
+        one reads from; used for wake-up scheduling.  A dep to a retired op
+        is trivially ready.
+    taken : bool — architectural branch outcome.
+    raises_exception : bool — op traps at the ROB head.
+    label : str or None — debugging/attack annotation.
+    """
+
+    __slots__ = (
+        "uid",
+        "kind",
+        "pc",
+        "addr",
+        "addr_fn",
+        "size",
+        "dst",
+        "compute_fn",
+        "store_value",
+        "store_value_fn",
+        "latency",
+        "deps",
+        "taken",
+        "raises_exception",
+        "label",
+    )
+
+    def __init__(
+        self,
+        kind,
+        pc=0,
+        addr=None,
+        addr_fn=None,
+        size=8,
+        dst=None,
+        compute_fn=None,
+        store_value=0,
+        store_value_fn=None,
+        latency=1,
+        deps=(),
+        taken=False,
+        raises_exception=False,
+        label=None,
+    ):
+        self.uid = next(_uid)
+        self.kind = kind
+        self.pc = pc
+        self.addr = addr
+        self.addr_fn = addr_fn
+        self.size = size
+        self.dst = dst
+        self.compute_fn = compute_fn
+        self.store_value = store_value
+        self.store_value_fn = store_value_fn
+        self.latency = latency
+        self.deps = deps
+        self.taken = taken
+        self.raises_exception = raises_exception
+        self.label = label
+
+    def __repr__(self):
+        extra = f" @0x{self.addr:x}" if self.addr is not None else ""
+        tag = f" [{self.label}]" if self.label else ""
+        return f"MicroOp({self.kind.value}, pc=0x{self.pc:x}{extra}{tag})"
+
+
+def alu(pc=0, latency=1, deps=(), dst=None, compute_fn=None, label=None):
+    return MicroOp(
+        OpKind.ALU, pc=pc, latency=latency, deps=deps, dst=dst,
+        compute_fn=compute_fn, label=label,
+    )
+
+
+def load(pc=0, addr=None, addr_fn=None, size=8, deps=(), dst=None, label=None):
+    return MicroOp(
+        OpKind.LOAD, pc=pc, addr=addr, addr_fn=addr_fn, size=size, deps=deps,
+        dst=dst, label=label,
+    )
+
+
+def store(pc=0, addr=None, addr_fn=None, size=8, value=0, value_fn=None,
+          deps=(), label=None):
+    return MicroOp(
+        OpKind.STORE, pc=pc, addr=addr, addr_fn=addr_fn, size=size,
+        store_value=value, store_value_fn=value_fn, deps=deps, label=label,
+    )
+
+
+def branch(pc=0, taken=False, deps=(), latency=2, label=None):
+    return MicroOp(
+        OpKind.BRANCH, pc=pc, taken=taken, deps=deps, latency=latency,
+        label=label,
+    )
+
+
+def fence(pc=0, label=None):
+    return MicroOp(OpKind.FENCE, pc=pc, label=label)

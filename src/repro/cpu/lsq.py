@@ -1,0 +1,235 @@
+"""Load queue and store queue.
+
+The LQ mirrors the paper's Figure 3: each entry carries the status bits
+Valid, Performed, State (E/V/C/N) and Prefetch, and maps one-to-one onto a
+Speculative Buffer entry (the SB itself lives in
+:mod:`repro.invisispec.sb`).  Entries are identified by a monotonically
+increasing *virtual index*; ``index % capacity`` is the physical slot, so
+allocating, retiring from the head, and squashing from the tail are pointer
+moves — exactly the property the paper exploits for the SB design.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+#: LQ-entry State bits (Section VI-A1).
+STATE_EXPOSURE = "E"  # requires an exposure at the visibility point
+STATE_VALIDATION = "V"  # requires a validation at the visibility point
+STATE_COMPLETE = "C"  # exposure or validation has completed
+STATE_NORMAL = "N"  # invisible speculation not necessary
+#: Extra state (this implementation): a USL whose D-TLB miss deferred it to
+#: its visibility point (Section VI-E3); it becomes N when it issues.
+STATE_DEFERRED = "D"
+
+
+class LoadQueueEntry:
+    """One in-flight load (or software prefetch)."""
+
+    __slots__ = (
+        "index",
+        "rob",
+        "addr",
+        "size",
+        "line_addr",
+        "valid",
+        "performed",
+        "vstate",
+        "prefetch",
+        "issued",
+        "visibility_issued",
+        "visibility_done",
+        "validation_inflight",
+        "forwarded",
+        "deferred_tlb",
+        "epoch",
+        "issue_cycle",
+        "visibility_issue_cycle",
+    )
+
+    def __init__(self, index, rob_entry, epoch):
+        self.index = index
+        self.rob = rob_entry
+        self.addr = None
+        self.size = 0
+        self.line_addr = None
+        self.valid = True
+        self.performed = False
+        self.vstate = None  # one of the STATE_* constants once issued
+        self.prefetch = rob_entry.op.kind.value == "prefetch"
+        self.issued = False
+        self.visibility_issued = False
+        self.visibility_done = False
+        self.validation_inflight = False
+        self.forwarded = False
+        self.deferred_tlb = False
+        self.epoch = epoch
+        self.issue_cycle = None
+        self.visibility_issue_cycle = None
+
+    @property
+    def seq(self):
+        return self.rob.seq
+
+    @property
+    def needs_visibility_action(self):
+        """USL that has not yet issued its validation/exposure."""
+        return (
+            self.valid
+            and self.vstate in (STATE_EXPOSURE, STATE_VALIDATION)
+            and not self.visibility_issued
+        )
+
+    def __repr__(self):
+        return (
+            f"LQEntry(idx={self.index}, seq={self.seq}, addr={self.addr}, "
+            f"state={self.vstate}, performed={self.performed})"
+        )
+
+
+class StoreQueueEntry:
+    """One in-flight store (pre-commit)."""
+
+    __slots__ = ("index", "rob", "addr", "size", "value", "addr_resolved")
+
+    def __init__(self, index, rob_entry):
+        self.index = index
+        self.rob = rob_entry
+        self.addr = None
+        self.size = 0
+        self.value = 0
+        self.addr_resolved = False
+
+    @property
+    def seq(self):
+        return self.rob.seq
+
+
+class _CircularQueue:
+    """Virtual-index circular queue shared by the LQ and SQ."""
+
+    def __init__(self, capacity, name):
+        self.capacity = capacity
+        self.name = name
+        self.head = 0  # oldest live virtual index
+        self.tail = 0  # next virtual index to allocate
+        self._slots = [None] * capacity
+
+    def __len__(self):
+        return self.tail - self.head
+
+    @property
+    def full(self):
+        return len(self) >= self.capacity
+
+    def slot(self, index):
+        if not self.head <= index < self.tail:
+            return None
+        entry = self._slots[index % self.capacity]
+        return entry
+
+    def entries(self):
+        """Live entries oldest-first."""
+        for index in range(self.head, self.tail):
+            entry = self._slots[index % self.capacity]
+            if entry is not None:
+                yield entry
+
+    def _allocate_slot(self, entry):
+        if self.full:
+            raise SimulationError(f"{self.name} overflow; caller must check full")
+        self._slots[self.tail % self.capacity] = entry
+        self.tail += 1
+
+    def retire_head(self):
+        if not len(self):
+            raise SimulationError(f"retiring from empty {self.name}")
+        entry = self._slots[self.head % self.capacity]
+        self._slots[self.head % self.capacity] = None
+        self.head += 1
+        return entry
+
+    def squash_to(self, new_tail):
+        """Drop entries with virtual index >= ``new_tail``; returns them."""
+        dropped = []
+        while self.tail > max(new_tail, self.head):
+            self.tail -= 1
+            slot = self.tail % self.capacity
+            entry = self._slots[slot]
+            if entry is not None:
+                dropped.append(entry)
+            self._slots[slot] = None
+        return dropped
+
+
+class LoadQueue(_CircularQueue):
+    """The LQ; its virtual indices double as SB entry indices."""
+
+    def __init__(self, capacity):
+        super().__init__(capacity, "LQ")
+
+    def allocate(self, rob_entry, epoch):
+        entry = LoadQueueEntry(self.tail, rob_entry, epoch)
+        self._allocate_slot(entry)
+        rob_entry.lq_entry = entry
+        return entry
+
+    def loads_to_line(self, line_addr):
+        """Live entries whose resolved address maps to ``line_addr``."""
+        return [e for e in self.entries() if e.line_addr == line_addr]
+
+    def older_pending_request(self, entry, line_addr):
+        """Youngest *earlier* (program order) USL to the same line whose
+        Spec-GetS will (or did) fill an SB entry — the SB-copy reuse case of
+        Section V-E.  Never returns a younger load (Section VII), and never
+        a deferred/normal load, which does not fill the SB."""
+        best = None
+        for other in self.entries():
+            if other.index >= entry.index:
+                break
+            if (
+                other.valid
+                and other.issued
+                and other.line_addr == line_addr
+                and other.vstate in (STATE_EXPOSURE, STATE_VALIDATION)
+                and not other.forwarded
+            ):
+                best = other
+        return best
+
+
+class StoreQueue(_CircularQueue):
+    def __init__(self, capacity):
+        super().__init__(capacity, "SQ")
+
+    def allocate(self, rob_entry):
+        entry = StoreQueueEntry(self.tail, rob_entry)
+        self._allocate_slot(entry)
+        rob_entry.sq_entry = entry
+        return entry
+
+    def forwarding_store(self, load_seq, addr, size):
+        """Youngest older store that fully covers [addr, addr+size)."""
+        best = None
+        for entry in self.entries():
+            if entry.seq >= load_seq:
+                break
+            if not entry.addr_resolved:
+                continue
+            if entry.addr <= addr and addr + size <= entry.addr + entry.size:
+                best = entry
+        return best
+
+    def unresolved_older_than(self, load_seq):
+        """True if an older store still has an unresolved address.
+
+        A conventional core lets the load issue anyway (memory-dependence
+        speculation) and squashes on a later alias — the Speculative Store
+        Bypass surface of Section IV.
+        """
+        for entry in self.entries():
+            if entry.seq >= load_seq:
+                break
+            if not entry.addr_resolved:
+                return True
+        return False

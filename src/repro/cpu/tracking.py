@@ -1,0 +1,44 @@
+"""Lazy min-seq trackers.
+
+The visibility rules (Sections V-A1 and VIII) repeatedly ask questions of
+the form "is there an instruction older than seq S that is still
+<unresolved / exceptable / uncommitted / unvalidated>?".  Scanning the ROB
+per query is O(ROB); instead each condition keeps a min-heap of candidate
+entries with lazy deletion.  This is sound because every tracked condition
+is *monotone*: once an entry stops satisfying it (or is squashed), it never
+satisfies it again.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class LazyMinTracker:
+    """Min-heap over ROB entries keyed by ``entry.seq``.
+
+    ``is_active(entry)`` must be monotone-decreasing over an entry's
+    lifetime.  Squashed entries are always inactive.
+    """
+
+    __slots__ = ("_heap", "_is_active")
+
+    def __init__(self, is_active):
+        self._heap = []
+        self._is_active = is_active
+
+    def push(self, entry):
+        heapq.heappush(self._heap, (entry.seq, entry))
+
+    def min_seq(self):
+        """Smallest seq still active, or ``None``."""
+        heap = self._heap
+        while heap:
+            _seq, entry = heap[0]
+            if not entry.squashed and self._is_active(entry):
+                return entry.seq
+            heapq.heappop(heap)
+        return None
+
+    def __len__(self):
+        return len(self._heap)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch a single type at the API boundary while tests can assert on the precise
+subclass.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An architecture or processor configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class ProtocolError(SimulationError):
+    """A cache coherence transaction violated the MESI protocol."""
+
+
+class ConsistencyError(SimulationError):
+    """A memory consistency invariant was violated by the model itself."""
+
+
+class WorkloadError(ReproError):
+    """A workload profile or trace request is malformed."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation cannot make forward progress."""
+
+    def __init__(self, cycle, detail):
+        super().__init__(f"deadlock detected at cycle {cycle}: {detail}")
+        self.cycle = cycle
+        self.detail = detail

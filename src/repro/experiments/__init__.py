@@ -1,0 +1,43 @@
+"""Experiment harness: regenerates every figure and table of the paper's
+evaluation (Section IX).
+
+==========  ==========================================================
+Experiment  Contents
+==========  ==========================================================
+figure4     Normalized execution time, SPEC x 5 configs, TSO + RC avg
+figure5     Spectre PoC access latencies, Base vs IS-Sp
+figure6     Normalized network traffic, SPEC, with breakdown
+figure7     Normalized execution time, PARSEC (8 cores)
+figure8     Normalized network traffic, PARSEC
+table6      Characterization of InvisiSpec's operation under TSO
+table7      Per-core hardware overhead (CACTI-style model)
+tables45    The input configurations (Tables IV and V), for completeness
+ablations   Design-choice ablations (LLC-SB, V->E optimization, ...)
+==========  ==========================================================
+
+Run from the command line::
+
+    python -m repro.experiments figure4 --instructions 6000
+    python -m repro.experiments all
+"""
+
+from .common import ExperimentResult
+from . import ablations, figure4, figure5, figure6, figure7, figure8
+from . import report, sweep, table6, table7, tables45, variance
+
+ALL_EXPERIMENTS = {
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "tables45": tables45.run,
+    "ablations": ablations.run,
+    "sweep": sweep.run,
+    "report": report.run,
+    "variance": variance.run,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

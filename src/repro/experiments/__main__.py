@@ -1,0 +1,90 @@
+"""Command-line entry point for the experiment harness.
+
+Examples::
+
+    python -m repro.experiments figure4 --quick
+    python -m repro.experiments figure4 --instructions 10000
+    python -m repro.experiments table6 --apps sjeng,libquantum
+    python -m repro.experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the InvisiSpec paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help="measured instructions per run (default: harness default)",
+    )
+    parser.add_argument(
+        "--apps",
+        type=str,
+        default=None,
+        help="comma-separated app subset",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload generator seed"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small representative app subset instead of the full suite",
+    )
+    parser.add_argument(
+        "--no-rc",
+        action="store_true",
+        help="skip the RC-average rows (halves runtime)",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="for `report`: write the markdown to this path",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    kwargs = {"seed": args.seed, "quick": args.quick}
+    if args.instructions is not None:
+        kwargs["instructions"] = args.instructions
+    if args.apps:
+        kwargs["apps"] = args.apps.split(",")
+    if args.no_rc:
+        kwargs["include_rc"] = False
+
+    if args.out is not None:
+        kwargs["out"] = args.out
+
+    for name in names:
+        runner = ALL_EXPERIMENTS[name]
+        supported = runner.__code__.co_varnames[: runner.__code__.co_argcount]
+        call_kwargs = dict(kwargs)
+        for optional in ("apps", "include_rc", "instructions", "out"):
+            if optional in call_kwargs and optional not in supported:
+                del call_kwargs[optional]
+        result = runner(**call_kwargs)
+        print(result if isinstance(result, str) else result.text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

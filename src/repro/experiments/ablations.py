@@ -1,0 +1,140 @@
+"""Design-choice ablations (DESIGN.md section 4).
+
+Each ablation disables one of InvisiSpec's mechanisms in the setting where
+that mechanism actually binds:
+
+1. ``no-llc-sb`` (libquantum, streaming) — every memory-sourced
+   validation/exposure pays a second DRAM access.
+2. ``no-val-to-exp`` (gamess, cache-friendly) — the Section V-C1
+   transformation is what turns some TSO validations into exposures.
+3. ``no-early-squash`` (two racing cores) — without Section V-C2, stale
+   USLs survive to their validations and fail there instead.
+4. ``base-squash-policy`` (canneal, high sharing) — the baseline's
+   conservative consistency squashes vs InvisiSpec riding invalidations
+   out with validations (the Section IX-C PARSEC discussion).
+"""
+
+from __future__ import annotations
+
+from ..configs import ConsistencyModel, ProcessorConfig, Scheme
+from ..cpu.isa import MicroOp, OpKind
+from ..cpu.trace import ProgramTrace
+from ..params import SystemParams
+from ..runner import run_parsec, run_spec
+from ..system import System
+from .common import ExperimentResult
+
+
+def _row(label, result, baseline=None):
+    norm = result.cycles / baseline.cycles if baseline else 1.0
+    return [
+        label,
+        result.cycles,
+        round(norm, 3),
+        result.traffic_bytes,
+        result.count("dram.accesses"),
+        result.count("invisispec.validations"),
+        result.count("invisispec.exposures"),
+        result.count("invisispec.early_squash_invalidation"),
+        result.count("core.squashes.validation_fail"),
+        result.count("core.squashes.consistency"),
+    ]
+
+
+def _racing_run(early_squash, rounds=40):
+    """Core 1 stores into the line core 0 keeps reading speculatively."""
+    shared = 0x7800_0000
+    reader = []
+    for i in range(rounds):
+        reader.append(MicroOp(OpKind.LOAD, pc=0x100,
+                              addr=0x1900_0000 + 64 * i, size=8,
+                              deps=(3,) if i else ()))
+        reader.append(MicroOp(OpKind.LOAD, pc=0x104, addr=shared, size=8))
+        reader.append(MicroOp(OpKind.ALU, pc=0x108, deps=(1,), latency=4))
+    writer = []
+    for i in range(rounds):
+        writer.append(MicroOp(OpKind.ALU, pc=0x200, latency=130,
+                              deps=(2,) if i else ()))
+        writer.append(MicroOp(OpKind.STORE, pc=0x204, addr=shared, size=8,
+                              store_value=i))
+    system = System(
+        params=SystemParams(num_cores=2),
+        config=ProcessorConfig(
+            scheme=Scheme.IS_FUTURE,
+            consistency=ConsistencyModel.TSO,
+            early_squash=early_squash,
+        ),
+        traces=[ProgramTrace(reader), ProgramTrace(writer)],
+    )
+    return system.run(max_cycles=2_000_000)
+
+
+def run(app="libquantum", v2e_app="gamess", parsec_app="canneal",
+        instructions=None, seed=0, **_ignored):
+    """Run the four ablations; returns an :class:`ExperimentResult`."""
+    kwargs = {} if instructions is None else {"instructions": instructions}
+    headers = [
+        "configuration", "cycles", "norm", "traffic B", "DRAM",
+        "vals", "exps", "early-squash", "val fails", "consist squashes",
+    ]
+    rows = []
+
+    # 1. LLC-SB: a streaming workload whose USLs come from memory.
+    reference = run_spec(
+        app,
+        ProcessorConfig(scheme=Scheme.IS_FUTURE),
+        seed=seed,
+        **kwargs,
+    )
+    rows.append(_row(f"{app} IS-Fu (full design)", reference, reference))
+    no_llc = run_spec(
+        app,
+        ProcessorConfig(scheme=Scheme.IS_FUTURE, llc_sb_enabled=False),
+        seed=seed,
+        **kwargs,
+    )
+    rows.append(_row(f"{app} IS-Fu no-llc-sb", no_llc, reference))
+
+    # 2. V->E transformation: a cache-friendly workload where older loads
+    # complete quickly (the transformation's precondition).
+    v2e_ref = run_spec(
+        v2e_app, ProcessorConfig(scheme=Scheme.IS_FUTURE), seed=seed, **kwargs
+    )
+    rows.append(_row(f"{v2e_app} IS-Fu (full design)", v2e_ref, v2e_ref))
+    no_v2e = run_spec(
+        v2e_app,
+        ProcessorConfig(scheme=Scheme.IS_FUTURE,
+                        val_to_exp_optimization=False),
+        seed=seed,
+        **kwargs,
+    )
+    rows.append(_row(f"{v2e_app} IS-Fu no-val-to-exp", no_v2e, v2e_ref))
+
+    # 3. Early squash: a two-core race on one line.
+    racing_on = _racing_run(early_squash=True)
+    racing_off = _racing_run(early_squash=False)
+    rows.append(_row("2-core race IS-Fu (early squash)", racing_on, racing_on))
+    rows.append(_row("2-core race IS-Fu no-early-squash", racing_off,
+                     racing_on))
+
+    # 4. The baseline's conservative squashes vs InvisiSpec riding them out.
+    base = run_parsec(
+        parsec_app, ProcessorConfig(scheme=Scheme.BASE), seed=seed, **kwargs
+    )
+    invisi = run_parsec(
+        parsec_app, ProcessorConfig(scheme=Scheme.IS_FUTURE), seed=seed,
+        **kwargs,
+    )
+    rows.append(_row(f"{parsec_app} Base (conservative squashes)", base, base))
+    rows.append(_row(f"{parsec_app} IS-Fu (validations instead)", invisi, base))
+
+    notes = (
+        "Expected: (1) no-llc-sb multiplies DRAM accesses and cycles for "
+        "streaming USLs; (2) no-val-to-exp moves exposures back into "
+        "validations; (3) no-early-squash converts early squashes into "
+        "late validation failures; (4) the baseline pays conservative "
+        "consistency squashes that InvisiSpec's validations avoid."
+    )
+    return ExperimentResult(
+        "ablations", "Design-choice ablations", headers, rows, notes=notes
+    )

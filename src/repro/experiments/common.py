@@ -1,0 +1,192 @@
+"""Shared experiment plumbing: sweeps, normalization, result records."""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from ..configs import ALL_SCHEMES, ConsistencyModel, ProcessorConfig, Scheme
+from ..runner import run_parsec, run_spec
+from ..stats.report import format_grouped_bars, format_table
+from ..workloads import parsec_names, spec_names
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus a rendered text report for one experiment."""
+
+    experiment_id: str
+    title: str
+    headers: list
+    rows: list
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def text(self):
+        body = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            body += "\n\n" + self.notes
+        return body
+
+    def row_for(self, label):
+        for row in self.rows:
+            if row and row[0] == label:
+                return row
+        return None
+
+    def bars(self, columns=None, width=40):
+        """ASCII bar rendering of the numeric columns (the paper's figures
+        are grouped bar charts; this is the terminal equivalent).
+
+        ``columns`` selects header names to plot; defaults to every column
+        whose cells are all numeric.
+        """
+        if not self.rows:
+            return ""
+        if columns is None:
+            columns = [
+                header
+                for i, header in enumerate(self.headers[1:], start=1)
+                if all(
+                    isinstance(row[i], (int, float))
+                    for row in self.rows
+                    if len(row) > i and row[i] != ""
+                )
+            ]
+        indices = {h: self.headers.index(h) for h in columns}
+        labels = [row[0] for row in self.rows]
+        series = {
+            name: [
+                row[idx] if len(row) > idx and row[idx] != "" else None
+                for row in self.rows
+            ]
+            for name, idx in indices.items()
+        }
+        return format_grouped_bars(labels, series, title=self.title,
+                                   width=width)
+
+    def to_dict(self):
+        """JSON-serializable record (extras are dropped — they hold live
+        RunResult objects)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
+    def save_json(self, path):
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    @classmethod
+    def load_json(cls, path):
+        with open(path) as handle:
+            data = json.load(handle)
+        return cls(
+            data["experiment_id"],
+            data["title"],
+            data["headers"],
+            data["rows"],
+            notes=data.get("notes", ""),
+        )
+
+
+def sweep(
+    suite,
+    apps,
+    consistency=ConsistencyModel.TSO,
+    instructions=None,
+    seed=0,
+    schemes=ALL_SCHEMES,
+):
+    """Run each app under each scheme; returns {app: {scheme: RunResult}}."""
+    runner = run_spec if suite == "spec" else run_parsec
+    results = {}
+    for app in apps:
+        per_scheme = {}
+        for scheme in schemes:
+            config = ProcessorConfig(scheme=scheme, consistency=consistency)
+            kwargs = {} if instructions is None else {"instructions": instructions}
+            per_scheme[scheme] = runner(app, config, seed=seed, **kwargs)
+        results[app] = per_scheme
+    return results
+
+
+def default_apps(suite, apps=None, quick=False):
+    """Resolve an app list; ``quick`` picks a small representative subset."""
+    if apps:
+        return list(apps)
+    if suite == "spec":
+        if quick:
+            return ["mcf", "sjeng", "libquantum", "omnetpp", "hmmer", "GemsFDTD"]
+        return spec_names()
+    if quick:
+        return ["blackscholes", "fluidanimate", "swaptions"]
+    return parsec_names()
+
+
+def normalized(results_by_scheme, metric):
+    """Each scheme's metric normalized to Base."""
+    base = metric(results_by_scheme[Scheme.BASE])
+    return {
+        scheme: metric(result) / max(base, 1e-12)
+        for scheme, result in results_by_scheme.items()
+    }
+
+
+def geometric_mean(values):
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def mean_std(values):
+    """(mean, sample standard deviation)."""
+    if not values:
+        return 0.0, 0.0
+    mean = arithmetic_mean(values)
+    if len(values) < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return mean, math.sqrt(variance)
+
+
+def multi_seed_overhead(
+    app,
+    scheme,
+    suite="spec",
+    consistency=ConsistencyModel.TSO,
+    instructions=None,
+    seeds=(0, 1, 2),
+):
+    """Normalized execution time of ``scheme`` over Base across seeds.
+
+    Our instruction windows are short, so the synthetic-workload seed is a
+    real source of variance; this gives a mean +/- std for one bar of
+    Figure 4/7.
+    """
+    runner = run_spec if suite == "spec" else run_parsec
+    overheads = []
+    for seed in seeds:
+        kwargs = {} if instructions is None else {"instructions": instructions}
+        base = runner(
+            app, ProcessorConfig(scheme=Scheme.BASE, consistency=consistency),
+            seed=seed, **kwargs,
+        )
+        other = runner(
+            app, ProcessorConfig(scheme=scheme, consistency=consistency),
+            seed=seed, **kwargs,
+        )
+        overheads.append(other.cycles / max(base.cycles, 1))
+    return mean_std(overheads)

@@ -1,0 +1,87 @@
+"""Figure 4: normalized execution time of the SPEC applications.
+
+For each application and each of the five Table V configurations, the
+execution time (cycles for the measured instruction window) normalized to
+the insecure baseline, plus the fraction of time lost to validation stalls
+for the InvisiSpec configurations (the "ValidationStall" overlay in the
+paper's bars).  The final rows are the TSO average and the RC average, as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from ..configs import ALL_SCHEMES, ConsistencyModel, Scheme
+from .common import (
+    ExperimentResult,
+    arithmetic_mean,
+    default_apps,
+    normalized,
+    sweep,
+)
+
+
+def _stall_fraction(result):
+    return result.count("invisispec.validation_stall_cycles") / max(
+        result.cycles, 1
+    )
+
+
+def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True):
+    """Regenerate Figure 4.  Returns an :class:`ExperimentResult` whose rows
+    are ``[app, Base, Fe-Sp, IS-Sp, Fe-Fu, IS-Fu, IS-Sp stall, IS-Fu stall]``.
+    """
+    apps = default_apps("spec", apps, quick)
+    tso = sweep("spec", apps, ConsistencyModel.TSO, instructions, seed)
+
+    headers = ["app"] + [s.value for s in ALL_SCHEMES] + [
+        "IS-Sp valstall",
+        "IS-Fu valstall",
+    ]
+    rows = []
+    norm_by_scheme = {scheme: [] for scheme in ALL_SCHEMES}
+    for app in apps:
+        norm = normalized(tso[app], lambda r: r.cycles)
+        for scheme in ALL_SCHEMES:
+            norm_by_scheme[scheme].append(norm[scheme])
+        rows.append(
+            [app]
+            + [round(norm[s], 3) for s in ALL_SCHEMES]
+            + [
+                round(_stall_fraction(tso[app][Scheme.IS_SPECTRE]), 4),
+                round(_stall_fraction(tso[app][Scheme.IS_FUTURE]), 4),
+            ]
+        )
+    rows.append(
+        ["average"]
+        + [round(arithmetic_mean(norm_by_scheme[s]), 3) for s in ALL_SCHEMES]
+        + ["", ""]
+    )
+
+    extras = {"tso": tso}
+    if include_rc:
+        rc = sweep("spec", apps, ConsistencyModel.RC, instructions, seed)
+        rc_norms = {scheme: [] for scheme in ALL_SCHEMES}
+        for app in apps:
+            norm = normalized(rc[app], lambda r: r.cycles)
+            for scheme in ALL_SCHEMES:
+                rc_norms[scheme].append(norm[scheme])
+        rows.append(
+            ["RC-average"]
+            + [round(arithmetic_mean(rc_norms[s]), 3) for s in ALL_SCHEMES]
+            + ["", ""]
+        )
+        extras["rc"] = rc
+
+    notes = (
+        "Paper (TSO averages): Base=1.00, Fe-Sp=1.88, IS-Sp=1.076, "
+        "Fe-Fu=3.46, IS-Fu=1.182; RC averages: IS-Sp=1.082, IS-Fu=1.168.\n"
+        "Expected shape: Fe >> IS >= Base for both attack models."
+    )
+    return ExperimentResult(
+        "figure4",
+        "Figure 4: normalized execution time (SPEC)",
+        headers,
+        rows,
+        notes=notes,
+        extras=extras,
+    )

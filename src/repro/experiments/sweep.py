@@ -1,0 +1,108 @@
+"""Parameter-sensitivity sweeps (beyond the paper: the "improving
+InvisiSpec" directions its conclusion sketches).
+
+InvisiSpec's costs are structural — a second access per USL, serialized
+validations, LQ entries held until visibility — so they shift with the
+machine's parameters.  These sweeps quantify how the IS-Future overhead
+responds to:
+
+* ``rob``   — reorder-buffer depth (more outstanding speculation);
+* ``lq``    — load-queue/SB size (how many USLs can be in flight);
+* ``dram``  — memory latency (cost of the doubled memory-sourced access);
+* ``l1``    — L1 capacity (validation L1-hit fraction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..configs import ProcessorConfig, Scheme
+from ..params import CacheParams, SystemParams
+from ..runner import run_spec
+from .common import ExperimentResult
+
+
+def _with_core(params, **core_overrides):
+    return params.replace(core=dataclasses.replace(params.core, **core_overrides))
+
+
+SWEEPS = {
+    "rob": [
+        ("ROB=64", lambda p: _with_core(p, rob_entries=64)),
+        ("ROB=128", lambda p: _with_core(p, rob_entries=128)),
+        ("ROB=192", lambda p: p),
+        ("ROB=384", lambda p: _with_core(p, rob_entries=384)),
+    ],
+    "lq": [
+        ("LQ=16", lambda p: _with_core(p, load_queue_entries=16)),
+        ("LQ=32", lambda p: p),
+        ("LQ=64", lambda p: _with_core(p, load_queue_entries=64)),
+    ],
+    "dram": [
+        ("DRAM=50", lambda p: p.replace(dram_latency=50)),
+        ("DRAM=100", lambda p: p),
+        ("DRAM=200", lambda p: p.replace(dram_latency=200)),
+        ("DRAM=400", lambda p: p.replace(dram_latency=400)),
+    ],
+    "l1": [
+        (
+            "L1=32KB",
+            lambda p: p.replace(
+                l1d=CacheParams(size_bytes=32 * 1024, ways=8, ports=3)
+            ),
+        ),
+        ("L1=64KB", lambda p: p),
+        (
+            "L1=128KB",
+            lambda p: p.replace(
+                l1d=CacheParams(size_bytes=128 * 1024, ways=8, ports=3)
+            ),
+        ),
+    ],
+}
+
+
+def run(app="mcf", dimensions=("rob", "lq", "dram", "l1"), instructions=3000,
+        seed=0, **_ignored):
+    """Sweep each dimension; rows are IS-Fu overhead over Base per point."""
+    headers = ["configuration", "Base cycles", "IS-Fu cycles",
+               "IS-Fu overhead", "validations", "val-stall frac"]
+    rows = []
+    for dimension in dimensions:
+        for label, transform in SWEEPS[dimension]:
+            params = transform(SystemParams.for_spec())
+            base = run_spec(
+                app, ProcessorConfig(scheme=Scheme.BASE),
+                instructions=instructions, seed=seed, params=params,
+            )
+            invisi = run_spec(
+                app, ProcessorConfig(scheme=Scheme.IS_FUTURE),
+                instructions=instructions, seed=seed, params=params,
+            )
+            overhead = invisi.cycles / max(base.cycles, 1) - 1.0
+            stall = invisi.count("invisispec.validation_stall_cycles") / max(
+                invisi.cycles, 1
+            )
+            rows.append(
+                [
+                    f"{dimension}:{label}",
+                    base.cycles,
+                    invisi.cycles,
+                    f"{overhead:+.1%}",
+                    invisi.count("invisispec.validations"),
+                    round(stall, 3),
+                ]
+            )
+    notes = (
+        f"Workload: {app}.  Measured trends: the relative overhead is "
+        "largest when memory is *fast* — validations and the LLC-SB keep "
+        "InvisiSpec's extra work on-chip, so as DRAM latency grows the "
+        "baseline becomes memory-bound while the validation cost stays "
+        "flat and the relative overhead shrinks.  A larger LQ admits more "
+        "USLs in flight (more speculative work to make visible), and a "
+        "larger L1 modestly helps by raising the validation L1-hit rate."
+    )
+    return ExperimentResult(
+        "sweep", "Parameter sensitivity of the IS-Future overhead",
+        headers, rows, notes=notes,
+    )

@@ -1,0 +1,5 @@
+"""Analytical hardware cost model (the paper's Table VII used CACTI 5)."""
+
+from .cacti import SRAMModel, estimate_invisispec_overhead
+
+__all__ = ["SRAMModel", "estimate_invisispec_overhead"]

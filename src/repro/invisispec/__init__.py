@@ -1,0 +1,26 @@
+"""InvisiSpec: invisible speculative loads in the data cache hierarchy.
+
+* :mod:`sb` — the per-core L1-level Speculative Buffer (Section VI-A).
+* :mod:`llc_sb` — the per-core LLC Speculative Buffer with epoch IDs
+  (Sections V-F and VI-C).
+* :mod:`policy` — the scheme policies of Table V: which loads are Unsafe
+  Speculative Loads, and when they reach their visibility point (IS-Spectre
+  vs IS-Future), plus the fence-insertion baselines.
+* :mod:`valexp` — the visibility engine: issues validations/exposures in
+  program order with the overlap rules of Section V-D, performs the
+  value-based comparison, and implements the early-squash optimizations of
+  Section V-C2.
+"""
+
+from .llc_sb import LLCSpeculativeBuffer
+from .policy import make_scheme_policy
+from .sb import SBEntry, SpeculativeBuffer
+from .valexp import VisibilityEngine
+
+__all__ = [
+    "LLCSpeculativeBuffer",
+    "make_scheme_policy",
+    "SBEntry",
+    "SpeculativeBuffer",
+    "VisibilityEngine",
+]

@@ -1,0 +1,81 @@
+"""Per-core LLC Speculative Buffer (Sections V-F and VI-C).
+
+A circular buffer next to the LLC with one entry per LQ slot.  When a USL's
+Spec-GetS misses in the LLC and reads main memory, a copy of the line is
+deposited here so the later validation/exposure of the same load avoids a
+second DRAM access.
+
+Epoch IDs make the buffer robust to squash/reissue races: the core bumps
+its epoch on every squash, every message carries the issuing epoch, and an
+entry is never overwritten by a request from an *older* epoch nor matched
+by a request with a different epoch.  A USL is also never allowed to *read*
+from the LLC-SB — only validations/exposures are — so squashed loads leave
+no reusable footprint (Section VII).
+"""
+
+from __future__ import annotations
+
+
+class LLCSBEntry:
+    __slots__ = ("valid", "line_addr", "epoch")
+
+    def __init__(self):
+        self.valid = False
+        self.line_addr = None
+        self.epoch = -1
+
+
+class LLCSpeculativeBuffer:
+    """One core's LLC-SB: LQ-indexed circular buffer of (line, epoch)."""
+
+    def __init__(self, capacity, access_latency=8):
+        self.capacity = capacity
+        self.access_latency = access_latency
+        self._slots = [LLCSBEntry() for _ in range(capacity)]
+        self.stat_inserts = 0
+        self.stat_stale_drops = 0
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_line_invalidations = 0
+
+    def _slot(self, lq_index):
+        return self._slots[lq_index % self.capacity]
+
+    def insert(self, lq_index, line_addr, epoch, at_cycle=0):
+        """Deposit a line fetched from memory by a Spec-GetS.
+
+        Dropped if the slot already holds data from a *newer* epoch: the
+        inserting request is stale (it was issued before a squash that has
+        since recycled this LQ slot).
+        """
+        slot = self._slot(lq_index)
+        if slot.valid and slot.epoch > epoch:
+            self.stat_stale_drops += 1
+            return False
+        slot.valid = True
+        slot.line_addr = line_addr
+        slot.epoch = epoch
+        self.stat_inserts += 1
+        return True
+
+    def match(self, lq_index, line_addr, epoch):
+        """Validation/exposure probe: address and epoch must both match."""
+        slot = self._slot(lq_index)
+        if slot.valid and slot.line_addr == line_addr and slot.epoch == epoch:
+            self.stat_hits += 1
+            # The entry is consumed: the line is moving into the LLC and the
+            # hierarchy purges it from every LLC-SB right after this.
+            return True
+        self.stat_misses += 1
+        return False
+
+    def invalidate_line(self, line_addr):
+        """Purge any entry holding ``line_addr`` (another core touched it,
+        or the line was installed in / evicted from the LLC)."""
+        for slot in self._slots:
+            if slot.valid and slot.line_addr == line_addr:
+                slot.valid = False
+                self.stat_line_invalidations += 1
+
+    def valid_lines(self):
+        return [s.line_addr for s in self._slots if s.valid]

@@ -1,0 +1,126 @@
+"""Scheme policies: Table V's five processor configurations.
+
+A scheme policy answers, for its core:
+
+* which fence ops the frontend must inject (the Fence-Spectre /
+  Fence-Future baselines);
+* whether a load about to issue is *safe* or an Unsafe Speculative Load
+  (Section V-A1);
+* whether a USL has reached its *visibility point* (Section V-B);
+* how validations and exposures may overlap (Section V-D).
+"""
+
+from __future__ import annotations
+
+from ..configs import Scheme
+from ..errors import ConfigError
+
+
+class SchemePolicy:
+    """Base: the conventional, insecure processor."""
+
+    name = "Base"
+    inserts_fence_after_branch = False
+    inserts_fence_before_load = False
+    uses_invisispec = False
+    #: IS-Future requires validations to block later val/exp issues.
+    validation_blocks_overlap = False
+
+    def load_is_safe(self, core, rob_entry):
+        """Safe loads issue normal coherence transactions (State N)."""
+        return True
+
+    def visible_now(self, core, lq_entry):
+        """Has this USL reached its visibility point?"""
+        return True
+
+
+class FenceSpectrePolicy(SchemePolicy):
+    """A fence after every indirect/conditional branch."""
+
+    name = "Fe-Sp"
+    inserts_fence_after_branch = True
+
+
+class FenceFuturePolicy(SchemePolicy):
+    """A fence before every load."""
+
+    name = "Fe-Fu"
+    inserts_fence_before_load = True
+
+
+class ISSpectrePolicy(SchemePolicy):
+    """InvisiSpec-Spectre: USLs are loads in the shadow of an unresolved
+    control-flow instruction; they become visible when all preceding
+    branches resolve.  Validations and exposures may all overlap."""
+
+    name = "IS-Sp"
+    uses_invisispec = True
+    validation_blocks_overlap = False
+
+    def load_is_safe(self, core, rob_entry):
+        branch_seq = core.min_unresolved_branch_seq()
+        return branch_seq is None or branch_seq > rob_entry.seq
+
+    def visible_now(self, core, lq_entry):
+        branch_seq = core.min_unresolved_branch_seq()
+        return branch_seq is None or branch_seq > lq_entry.seq
+
+
+class ISFuturePolicy(SchemePolicy):
+    """InvisiSpec-Future: any speculative load that can still be squashed
+    by an earlier instruction is a USL.  It becomes visible when it is
+    non-speculative (ROB head) or speculative non-squashable: every older
+    instruction can no longer squash it (Section V-A1 and the Section VIII
+    conditions (i)-(v)), with interrupts delayed for the duration."""
+
+    name = "IS-Fu"
+    uses_invisispec = True
+    validation_blocks_overlap = True
+
+    def load_is_safe(self, core, rob_entry):
+        head = core.rob.head()
+        if head is not None and head.seq == rob_entry.seq:
+            return True
+        return self._non_squashable(core, rob_entry.seq)
+
+    def visible_now(self, core, lq_entry):
+        head = core.rob.head()
+        if head is not None and head.seq == lq_entry.seq:
+            return True
+        if self._non_squashable(core, lq_entry.seq):
+            # Initiating a pre-head validation/exposure requires the
+            # interrupt-delay window (Section VI-D); refused if an interrupt
+            # is already pending (anti-starvation).
+            return core.request_interrupt_protection(lq_entry.seq)
+        return False
+
+    @staticmethod
+    def _non_squashable(core, seq):
+        for probe in (
+            core.min_unresolved_branch_seq,
+            core.min_exceptable_seq,
+            core.min_uncommitted_store_seq,
+            core.min_unvalidated_load_seq,
+            core.min_incomplete_fence_seq,
+        ):
+            blocking = probe()
+            if blocking is not None and blocking < seq:
+                return False
+        return True
+
+
+_POLICIES = {
+    Scheme.BASE: SchemePolicy,
+    Scheme.FENCE_SPECTRE: FenceSpectrePolicy,
+    Scheme.FENCE_FUTURE: FenceFuturePolicy,
+    Scheme.IS_SPECTRE: ISSpectrePolicy,
+    Scheme.IS_FUTURE: ISFuturePolicy,
+}
+
+
+def make_scheme_policy(scheme):
+    try:
+        return _POLICIES[scheme]()
+    except KeyError:
+        raise ConfigError(f"unknown scheme {scheme!r}")

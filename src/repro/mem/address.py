@@ -1,0 +1,69 @@
+"""Address arithmetic helpers.
+
+All addresses are plain integers (physical addresses).  An
+:class:`AddressSpace` captures the line and page geometry so that every
+component slices addresses the same way.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class AddressSpace:
+    """Line/page geometry shared by the whole machine."""
+
+    __slots__ = ("line_bytes", "_line_shift", "page_bytes", "_page_shift")
+
+    def __init__(self, line_bytes=64, page_bytes=4096):
+        if line_bytes & (line_bytes - 1) or line_bytes <= 0:
+            raise ConfigError(f"line_bytes must be a power of two: {line_bytes}")
+        if page_bytes & (page_bytes - 1) or page_bytes <= 0:
+            raise ConfigError(f"page_bytes must be a power of two: {page_bytes}")
+        if page_bytes < line_bytes:
+            raise ConfigError("page_bytes must be >= line_bytes")
+        self.line_bytes = line_bytes
+        self._line_shift = line_bytes.bit_length() - 1
+        self.page_bytes = page_bytes
+        self._page_shift = page_bytes.bit_length() - 1
+
+    def line_of(self, addr):
+        """Line-aligned base address containing ``addr``."""
+        return (addr >> self._line_shift) << self._line_shift
+
+    def line_index(self, addr):
+        """Line number (address divided by line size)."""
+        return addr >> self._line_shift
+
+    def offset_in_line(self, addr):
+        return addr & (self.line_bytes - 1)
+
+    def page_of(self, addr):
+        """Virtual page number containing ``addr``."""
+        return addr >> self._page_shift
+
+    def same_line(self, a, b):
+        return (a >> self._line_shift) == (b >> self._line_shift)
+
+    def lines_touched(self, addr, size):
+        """Line base addresses covered by an access of ``size`` bytes."""
+        first = self.line_index(addr)
+        last = self.line_index(addr + max(size, 1) - 1)
+        return [line << self._line_shift for line in range(first, last + 1)]
+
+    def byte_mask(self, addr, size):
+        """Bitmask of the bytes within the line touched by the access.
+
+        Accesses that straddle a line boundary are clipped to the first
+        line; the simulator issues one transaction per line via
+        :meth:`lines_touched`.
+        """
+        start = self.offset_in_line(addr)
+        end = min(start + max(size, 1), self.line_bytes)
+        mask = 0
+        for i in range(start, end):
+            mask |= 1 << i
+        return mask
+
+    def __repr__(self):
+        return f"AddressSpace(line_bytes={self.line_bytes}, page_bytes={self.page_bytes})"

@@ -1,0 +1,72 @@
+"""Global memory image: the architectural contents of memory.
+
+The simulator separates *where* a line physically lives (cache arrays,
+speculative buffers) from *what* the coherent value of memory is.  A store
+updates the image at the instant it performs (merges into the cache and
+becomes observable, Section II-B); a load reads the image at the instant its
+data response is generated.  Each line also carries a version counter so
+InvisiSpec validations can cheaply detect "the bytes I read have since
+changed" while still implementing true value-based comparison (an ABA
+sequence of writes that restores the original bytes passes validation,
+Section VI-E4).
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class MemoryImage:
+    """Sparse byte-addressable memory with per-line version counters."""
+
+    def __init__(self, address_space):
+        self.space = address_space
+        self._bytes = {}  # addr -> int in [0, 255]
+        self._versions = {}  # line_addr -> int
+        self.stat_reads = 0
+        self.stat_writes = 0
+
+    def read_byte(self, addr):
+        return self._bytes.get(addr, 0)
+
+    def read(self, addr, size):
+        """Read ``size`` bytes little-endian as an unsigned integer."""
+        self.stat_reads += 1
+        value = 0
+        for i in range(size):
+            value |= self._bytes.get(addr + i, 0) << (8 * i)
+        return value
+
+    def read_bytes(self, addr, size):
+        """Read ``size`` bytes as a tuple (used by validation comparison)."""
+        return tuple(self._bytes.get(addr + i, 0) for i in range(size))
+
+    def write(self, addr, size, value):
+        """Write ``size`` bytes little-endian; bumps the line version(s)."""
+        if value < 0:
+            raise SimulationError(f"negative store value {value}")
+        self.stat_writes += 1
+        for i in range(size):
+            self._bytes[addr + i] = (value >> (8 * i)) & 0xFF
+        for line in self.space.lines_touched(addr, size):
+            self._versions[line] = self._versions.get(line, 0) + 1
+
+    def write_bytes(self, addr, data):
+        """Write an iterable of byte values starting at ``addr``."""
+        for i, byte in enumerate(data):
+            self._bytes[addr + i] = byte & 0xFF
+        for line in self.space.lines_touched(addr, max(len(data), 1)):
+            self._versions[line] = self._versions.get(line, 0) + 1
+        self.stat_writes += 1
+
+    def line_version(self, line_addr):
+        return self._versions.get(line_addr, 0)
+
+    def snapshot(self, addr, size):
+        """Capture ``(bytes, line_version)`` for a speculative read."""
+        line = self.space.line_of(addr)
+        return self.read_bytes(addr, size), self.line_version(line)
+
+    def matches(self, addr, size, snapshot_bytes):
+        """Value-based comparison used by InvisiSpec validation."""
+        return self.read_bytes(addr, size) == tuple(snapshot_bytes)

@@ -1,0 +1,89 @@
+"""Data TLB.
+
+A fully-associative, LRU data TLB.  The TLB is part of InvisiSpec's threat
+surface (Section III-B: "what entries live in the TLB"), so lookups take an
+``update_state`` flag: a USL probing the TLB must not change replacement
+state or access/dirty bits until its visibility point (Section VI-E3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class TLBEntry:
+    __slots__ = ("vpn", "accessed", "dirty")
+
+    def __init__(self, vpn):
+        self.vpn = vpn
+        self.accessed = False
+        self.dirty = False
+
+
+class DataTLB:
+    """Fully-associative LRU TLB over virtual page numbers."""
+
+    def __init__(self, params):
+        self.params = params
+        self.entries = params.entries
+        self._map = OrderedDict()  # vpn -> TLBEntry, MRU at the end
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_deferred_updates = 0
+
+    def lookup(self, vpn, update_state=True, is_store=False):
+        """Probe the TLB; returns ``True`` on hit.
+
+        ``update_state=False`` models an unsafe speculative access: the hit
+        is reported but no observable TLB state (LRU order, accessed/dirty
+        bits) changes.
+        """
+        entry = self._map.get(vpn)
+        if entry is None:
+            self.stat_misses += 1
+            return False
+        self.stat_hits += 1
+        if update_state:
+            self._map.move_to_end(vpn)
+            entry.accessed = True
+            if is_store:
+                entry.dirty = True
+        else:
+            self.stat_deferred_updates += 1
+        return True
+
+    def fill(self, vpn, is_store=False):
+        """Install a translation after a page walk; returns evicted vpn."""
+        evicted = None
+        if vpn in self._map:
+            self._map.move_to_end(vpn)
+        else:
+            if len(self._map) >= self.entries:
+                evicted, _ = self._map.popitem(last=False)
+            self._map[vpn] = TLBEntry(vpn)
+        entry = self._map[vpn]
+        entry.accessed = True
+        if is_store:
+            entry.dirty = True
+        return evicted
+
+    def touch(self, vpn, is_store=False):
+        """Apply the deferred state update at a USL's visibility point."""
+        entry = self._map.get(vpn)
+        if entry is None:
+            return False
+        self._map.move_to_end(vpn)
+        entry.accessed = True
+        if is_store:
+            entry.dirty = True
+        return True
+
+    def contains(self, vpn):
+        return vpn in self._map
+
+    def resident_vpns(self):
+        """Current TLB contents in LRU→MRU order (attack receivers)."""
+        return list(self._map.keys())
+
+    def flush(self):
+        self._map.clear()

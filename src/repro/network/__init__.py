@@ -1,0 +1,6 @@
+"""On-chip network: mesh topology, latency, and traffic accounting."""
+
+from .noc import NoC, TrafficCategory
+from .topology import MeshTopology
+
+__all__ = ["NoC", "TrafficCategory", "MeshTopology"]

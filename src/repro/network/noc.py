@@ -1,0 +1,67 @@
+"""Network-on-chip latency and traffic model.
+
+Latency: ``hop_latency`` cycles per mesh hop (X-Y routing).  Traffic: the
+paper's Figures 6 and 8 report "total number of bytes transmitted between
+caches, or between cache and main memory", broken into the bytes induced by
+speculative loads (SpecLoad), by exposures/validations (Expose/Validate),
+and by everything else.  The NoC tags every message with one of those
+:class:`TrafficCategory` values and accumulates bytes per category; a
+bytes*hops counter is kept as well for link-utilization ablations.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .topology import MeshTopology
+
+
+class TrafficCategory(enum.Enum):
+    """Breakdown used by Figures 6 and 8."""
+
+    NORMAL = "normal"
+    SPECLOAD = "specload"
+    EXPOSE_VALIDATE = "expose_validate"
+
+
+class NoC:
+    """Mesh interconnect: computes delays, accounts traffic."""
+
+    def __init__(self, params):
+        self.params = params
+        self.topology = MeshTopology(params.mesh_cols, params.mesh_rows)
+        self.hop_latency = params.hop_latency
+        self.control_bytes = params.control_message_bytes
+        self.data_bytes = params.data_message_bytes
+        self.bytes_by_category = {cat: 0 for cat in TrafficCategory}
+        self.byte_hops = 0
+        self.messages = 0
+
+    def delay(self, src_node, dst_node):
+        """One-way latency in cycles between two mesh nodes."""
+        return self.topology.hops(src_node, dst_node) * self.hop_latency
+
+    def round_trip(self, src_node, dst_node):
+        return 2 * self.delay(src_node, dst_node)
+
+    def send(self, src_node, dst_node, is_data, category):
+        """Account one message; returns its one-way latency in cycles."""
+        size = self.data_bytes if is_data else self.control_bytes
+        hops = self.topology.hops(src_node, dst_node)
+        self.bytes_by_category[category] += size
+        self.byte_hops += size * hops
+        self.messages += 1
+        return hops * self.hop_latency
+
+    @property
+    def total_bytes(self):
+        return sum(self.bytes_by_category.values())
+
+    def traffic_breakdown(self):
+        """Bytes per category, keyed by category value string."""
+        return {cat.value: count for cat, count in self.bytes_by_category.items()}
+
+    def reset_stats(self):
+        self.bytes_by_category = {cat: 0 for cat in TrafficCategory}
+        self.byte_hops = 0
+        self.messages = 0

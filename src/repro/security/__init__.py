@@ -1,0 +1,26 @@
+"""Attacks and attack primitives from the paper's threat model (Sections
+III-IV): cache-timing receivers (FLUSH+RELOAD, PRIME+PROBE), the Spectre
+variant-1 proof of concept of Figures 1 and 5, Speculative Store Bypass,
+and a Meltdown-style exception attack for the Futuristic model."""
+
+from .channel import AttackContext
+from .cross_core import run_cross_core_attack
+from .exception_attacks import VARIANTS, run_exception_attack
+from .flush_reload import FlushReloadReceiver
+from .meltdown_style import run_meltdown_style_attack
+from .prime_probe import PrimeProbeReceiver
+from .spectre_v1 import SpectreV1Attack, run_spectre_v1
+from .ssb import run_ssb_attack
+
+__all__ = [
+    "AttackContext",
+    "FlushReloadReceiver",
+    "PrimeProbeReceiver",
+    "SpectreV1Attack",
+    "run_spectre_v1",
+    "run_ssb_attack",
+    "run_meltdown_style_attack",
+    "run_cross_core_attack",
+    "run_exception_attack",
+    "VARIANTS",
+]

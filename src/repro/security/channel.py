@@ -1,0 +1,105 @@
+"""Attack orchestration: persistent cores, phased execution, and the
+attacker's primitives (clflush, timed probe loads).
+
+An :class:`AttackContext` owns a :class:`~repro.system.System` whose cores
+run :class:`~repro.cpu.trace.InteractiveTrace` sources, so an experiment
+can alternate between running victim/attacker code on the pipeline
+(predictor state persists across phases — mistraining works) and issuing
+the attacker's measurement primitives directly against the live cache
+hierarchy.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..coherence.hierarchy import MemRequest, RequestKind
+from ..configs import ProcessorConfig
+from ..cpu.trace import InteractiveTrace
+from ..errors import SimulationError
+from ..params import SystemParams
+from ..system import System
+
+_probe_seq = itertools.count(1 << 40)
+
+
+class AttackContext:
+    """A live simulated machine for phased attack experiments."""
+
+    def __init__(self, config, params=None, num_cores=1, seed=0):
+        if params is None:
+            params = (
+                SystemParams.for_spec()
+                if num_cores == 1
+                else SystemParams(num_cores=num_cores)
+            )
+        if not isinstance(config, ProcessorConfig):
+            raise SimulationError("config must be a ProcessorConfig")
+        self.params = params
+        self.config = config
+        self.traces = [InteractiveTrace() for _ in range(params.num_cores)]
+        self.system = System(
+            params=params, config=config, traces=self.traces, seed=seed
+        )
+        self.kernel = self.system.kernel
+        self.hierarchy = self.system.hierarchy
+        self.image = self.system.image
+        self.space = self.system.space
+
+    # ------------------------------------------------------------ memory setup
+
+    def write_memory(self, addr, data):
+        """Initialize victim memory (arrays, secrets)."""
+        if isinstance(data, int):
+            data = [data]
+        self.image.write_bytes(addr, data)
+
+    def read_memory(self, addr, size=1):
+        return self.image.read(addr, size)
+
+    # ------------------------------------------------------------- run a phase
+
+    def run_ops(self, core_id, ops, wrong_paths=None, max_cycles=2_000_000):
+        """Execute ``ops`` to completion on ``core_id``'s pipeline."""
+        self.traces[core_id].feed(ops, wrong_paths)
+        self.system.cores[core_id].reopen()
+        self.kernel.run(max_cycles=max_cycles)
+
+    # -------------------------------------------------- attacker's primitives
+
+    def flush(self, addr, size=1):
+        """clflush every line covering ``[addr, addr+size)``."""
+        for line in self.space.lines_touched(addr, size):
+            self.hierarchy.flush_line(line)
+
+    def probe_latency(self, core_id, addr):
+        """Timed reload: cycles for a demand load of ``addr`` to complete.
+
+        This is the receiver's measurement primitive; like a real attacker's
+        timed load it is a perfectly ordinary cached access.
+        """
+        outcome = {}
+
+        def on_complete(result):
+            outcome["cycle"] = self.kernel.cycle
+            outcome["level"] = result.level
+
+        request = MemRequest(
+            core_id=core_id,
+            addr=addr,
+            size=8,
+            kind=RequestKind.LOAD,
+            seq=next(_probe_seq),
+            on_complete=on_complete,
+        )
+        start = self.kernel.cycle
+        self.hierarchy.submit(request)
+        self.kernel.run(max_cycles=start + 100_000)
+        if "cycle" not in outcome:
+            raise SimulationError("probe load never completed")
+        return outcome["cycle"] - start
+
+    def line_is_cached(self, core_id, addr):
+        """Ground-truth inspection (for tests): is the line in this L1?"""
+        line = self.space.line_of(addr)
+        return self.hierarchy.l1s[core_id].contains(line)

@@ -1,0 +1,50 @@
+"""PRIME+PROBE receiver (Section III-A).
+
+The receiver fills (primes) the cache sets it wants to monitor with its own
+lines, lets the victim run, then probes its lines: a slow probe means the
+victim displaced one — i.e. the victim touched that set.  Unlike
+FLUSH+RELOAD it needs no shared memory with the victim.
+"""
+
+from __future__ import annotations
+
+
+class PrimeProbeReceiver:
+    """Monitors L1 sets by conflict."""
+
+    HIT_THRESHOLD_CYCLES = 4
+
+    def __init__(self, context, core_id, monitored_sets):
+        self.context = context
+        self.core_id = core_id
+        self.monitored_sets = list(monitored_sets)
+        l1 = context.hierarchy.l1s[core_id]
+        self.ways = l1.ways
+        self.num_sets = l1.num_sets
+        self.line_bytes = l1.line_bytes
+        #: Attacker-owned eviction sets, one address per way per set.
+        self._eviction_addrs = {
+            s: [
+                0x6000_0000 + (way * self.num_sets + s) * self.line_bytes
+                for way in range(self.ways)
+            ]
+            for s in self.monitored_sets
+        }
+
+    def prime(self):
+        """Fill every monitored set with attacker lines."""
+        for addrs in self._eviction_addrs.values():
+            for addr in addrs:
+                self.context.probe_latency(self.core_id, addr)
+
+    def probe(self):
+        """Re-access the priming lines; returns ``{set: evictions_seen}``."""
+        evictions = {}
+        for set_idx, addrs in self._eviction_addrs.items():
+            misses = 0
+            for addr in addrs:
+                latency = self.context.probe_latency(self.core_id, addr)
+                if latency > self.HIT_THRESHOLD_CYCLES:
+                    misses += 1
+            evictions[set_idx] = misses
+        return evictions

@@ -1,0 +1,74 @@
+"""Speculative Store Bypass (Section IV).
+
+A store to address P has a slow-to-resolve address (it depends on a
+flushed value); a younger load from P issues before the store resolves
+(memory-dependence speculation), reads the *stale* secret, and a dependent
+transmit load leaks it into the cache before the alias is detected and the
+load squashed.
+
+There is no branch involved, so IS-Spectre does **not** block this attack;
+IS-Future does — exactly the paper's point about Futuristic attacks.
+"""
+
+from __future__ import annotations
+
+from ..cpu.isa import MicroOp, OpKind
+from .channel import AttackContext
+from .flush_reload import FlushReloadReceiver
+
+ADDR_P = 0x0003_0000  # buffer slot holding the stale secret
+ADDR_PTR = 0x0003_1000  # pointer the store's address depends on (flushed)
+ADDR_B = 0x0020_0000  # transmission array
+NUM_VALUES = 256
+LINE = 64
+
+
+def _attack_ops():
+    """store *ptr = 0 (slow address); load P; transmit B[64 * value]."""
+    ptr_load = MicroOp(OpKind.LOAD, pc=0x8000, addr=ADDR_PTR, size=8, dst="p")
+    overwrite = MicroOp(
+        OpKind.STORE,
+        pc=0x8004,
+        addr_fn=lambda env: env.get("p", ADDR_P),
+        size=1,
+        store_value=0,
+        deps=(1,),
+        label="sanitize",
+    )
+    stale_read = MicroOp(
+        OpKind.LOAD, pc=0x8008, addr=ADDR_P, size=1, dst="s", label="access"
+    )
+    transmit = MicroOp(
+        OpKind.LOAD,
+        pc=0x800C,
+        addr_fn=lambda env: ADDR_B + LINE * (env.get("s", 0) & 0xFF),
+        size=1,
+        deps=(1,),
+        label="transmit",
+    )
+    return [ptr_load, overwrite, stale_read, transmit]
+
+
+def run_ssb_attack(config, secret=113, seed=0):
+    """Run the SSB attack; returns ``(latencies, recovered_value)``."""
+    context = AttackContext(config, num_cores=1, seed=seed)
+    context.write_memory(ADDR_P, secret & 0xFF)  # stale secret in the buffer
+    context.write_memory(ADDR_PTR, ADDR_P.to_bytes(8, "little"))
+    # The buffer was just in use (that is why it holds a stale secret), so
+    # its line is cached: the stale read performs immediately, well before
+    # the slow-to-resolve store detects the alias.
+    context.run_ops(0, [MicroOp(OpKind.LOAD, pc=0x8100, addr=ADDR_P, size=1)])
+    receiver = FlushReloadReceiver(
+        context, 0, [ADDR_B + LINE * v for v in range(NUM_VALUES)]
+    )
+    receiver.flush()
+    context.flush(ADDR_PTR)  # make the store's address resolve slowly
+    context.run_ops(0, _attack_ops())
+    latencies = receiver.reload()
+    hits = receiver.hits(latencies)
+    # Architecturally the load re-executes after the alias squash and reads
+    # the sanitized value 0, so B[0] is legitimately cached; the *leak* is
+    # any other hot line.
+    leaked = [v for v in hits if v != 0]
+    recovered = leaked[0] if len(leaked) == 1 else None
+    return latencies, recovered

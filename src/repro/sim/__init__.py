@@ -1,0 +1,7 @@
+"""Simulation kernel: the cycle clock and the deterministic event queue."""
+
+from .events import Event, EventQueue
+from .kernel import SimKernel
+from .tracelog import TraceLog
+
+__all__ = ["Event", "EventQueue", "SimKernel", "TraceLog"]

@@ -1,0 +1,91 @@
+"""Deterministic discrete-event queue.
+
+Events are ordered by (cycle, sequence number): two events scheduled for the
+same cycle fire in the order they were scheduled, which keeps simulations
+bit-for-bit reproducible regardless of heap tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A callback to run at an absolute cycle."""
+
+    __slots__ = ("cycle", "seq", "callback", "cancelled")
+
+    def __init__(self, cycle, seq, callback):
+        self.cycle = cycle
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the event from firing; cheap (lazy deletion)."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.cycle, self.seq) < (other.cycle, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(cycle={self.cycle}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` keyed by (cycle, insertion order)."""
+
+    def __init__(self):
+        self._heap = []
+        self._next_seq = 0
+
+    def __len__(self):
+        return len(self._heap)
+
+    def schedule(self, cycle, callback) -> Event:
+        """Schedule ``callback()`` to run at ``cycle``; returns the Event."""
+        event = Event(cycle, self._next_seq, callback)
+        self._next_seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def next_cycle(self):
+        """Cycle of the earliest pending event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].cycle
+
+    def _drop_cancelled(self):
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+
+    def run_until(self, cycle):
+        """Fire every pending event with ``event.cycle <= cycle``, in order."""
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head.cancelled:
+                heapq.heappop(heap)
+                continue
+            if head.cycle > cycle:
+                break
+            heapq.heappop(heap)
+            head.callback()
+
+    def run_at(self, cycle):
+        """Fire every pending event scheduled exactly at ``cycle``.
+
+        Raises :class:`SimulationError` if an earlier event is still pending,
+        which would mean the kernel skipped time.
+        """
+        self._drop_cancelled()
+        if self._heap and self._heap[0].cycle < cycle:
+            raise SimulationError(
+                f"event at cycle {self._heap[0].cycle} missed (now {cycle})"
+            )
+        self.run_until(cycle)

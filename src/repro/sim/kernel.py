@@ -1,0 +1,94 @@
+"""Simulation kernel: drives cores and the event queue cycle by cycle.
+
+The kernel owns the global clock.  Each cycle it first fires the events due
+at that cycle (memory responses, invalidation deliveries, ...), then ticks
+every registered component (cores).  When every component reports itself
+idle-but-waiting, the kernel fast-forwards the clock to the next pending
+event instead of spinning, which is what makes a pure-Python cycle-level
+model usable.
+"""
+
+from __future__ import annotations
+
+from ..errors import DeadlockError
+from .events import EventQueue
+
+
+class SimKernel:
+    """Global clock + event queue + tickable components."""
+
+    #: Cycles a component may report "waiting" with an empty event queue
+    #: before the kernel declares deadlock.
+    DEADLOCK_GRACE = 4
+
+    def __init__(self):
+        self.cycle = 0
+        self.events = EventQueue()
+        self._components = []
+
+    def register(self, component):
+        """Register an object with ``tick() -> str`` called every cycle.
+
+        ``tick`` must return one of:
+
+        * ``"active"``  — did work this cycle; keep ticking.
+        * ``"waiting"`` — blocked on a pending event; may be fast-forwarded.
+        * ``"done"``    — finished; no longer needs ticking.
+        """
+        self._components.append(component)
+
+    def schedule(self, delay, callback):
+        """Run ``callback()`` ``delay`` cycles from now (delay >= 0)."""
+        return self.events.schedule(self.cycle + max(0, delay), callback)
+
+    def schedule_at(self, cycle, callback):
+        """Run ``callback()`` at an absolute cycle >= now."""
+        return self.events.schedule(max(cycle, self.cycle), callback)
+
+    def run(self, max_cycles=None):
+        """Run until every component reports ``done``.
+
+        Returns the final cycle count.  Raises :class:`DeadlockError` if no
+        component can make progress and no event is pending, or if
+        ``max_cycles`` elapses first.
+        """
+        stall_cycles = 0
+        while True:
+            self.events.run_at(self.cycle)
+
+            any_active = False
+            all_done = True
+            for component in self._components:
+                state = component.tick()
+                if state == "active":
+                    any_active = True
+                    all_done = False
+                elif state == "waiting":
+                    all_done = False
+
+            if all_done:
+                # Drain straggler events (delayed invalidation deliveries,
+                # exposure completions, attack probe transactions) before
+                # declaring the run over.
+                next_event = self.events.next_cycle()
+                if next_event is None:
+                    return self.cycle
+                self.cycle = max(next_event, self.cycle + 1)
+                continue
+
+            if max_cycles is not None and self.cycle >= max_cycles:
+                raise DeadlockError(self.cycle, "max_cycles exceeded")
+
+            next_event = self.events.next_cycle()
+            if any_active:
+                stall_cycles = 0
+                self.cycle += 1
+            elif next_event is not None:
+                stall_cycles = 0
+                self.cycle = max(next_event, self.cycle + 1)
+            else:
+                stall_cycles += 1
+                if stall_cycles > self.DEADLOCK_GRACE:
+                    names = [getattr(c, "name", repr(c)) for c in self._components]
+                    raise DeadlockError(self.cycle, f"components stuck: {names}")
+                self.cycle += 1

@@ -1,0 +1,68 @@
+"""Pipeline event logging for debugging and inspection.
+
+A :class:`TraceLog` is a bounded ring buffer of (cycle, core, event, detail)
+tuples.  It is disabled by default (zero overhead beyond one attribute
+check); attach one to a core with ``core.tracelog = TraceLog()`` or build
+the system with ``System(..., tracelog=TraceLog())`` to capture every
+core's dispatch/issue/complete/retire/squash and InvisiSpec
+validation/exposure events.
+
+Typical use::
+
+    log = TraceLog(capacity=10_000)
+    system = System(..., tracelog=log)
+    system.run()
+    for line in log.format(kinds={"squash", "validate"}):
+        print(line)
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+
+class TraceLog:
+    """Bounded, filterable event log."""
+
+    def __init__(self, capacity=100_000, kinds=None):
+        self.capacity = capacity
+        #: Restrict recording to these event kinds (None = everything).
+        self.kinds = set(kinds) if kinds else None
+        self._events = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def record(self, cycle, core_id, kind, detail=""):
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append((cycle, core_id, kind, detail))
+
+    def __len__(self):
+        return len(self._events)
+
+    def events(self, kinds=None, core_id=None):
+        """Iterate recorded events, optionally filtered."""
+        for event in self._events:
+            if kinds is not None and event[2] not in kinds:
+                continue
+            if core_id is not None and event[1] != core_id:
+                continue
+            yield event
+
+    def counts(self):
+        """Event-kind histogram."""
+        return Counter(event[2] for event in self._events)
+
+    def format(self, kinds=None, core_id=None, limit=None):
+        """Human-readable lines, oldest first."""
+        lines = []
+        for cycle, core, kind, detail in self.events(kinds, core_id):
+            lines.append(f"[{cycle:>8}] core{core} {kind:<10} {detail}")
+            if limit is not None and len(lines) >= limit:
+                break
+        return lines
+
+    def clear(self):
+        self._events.clear()
+        self.dropped = 0

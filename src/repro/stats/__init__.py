@@ -1,0 +1,7 @@
+"""Statistics collection and report formatting."""
+
+from .counters import Counters
+from .histogram import LatencyHistogram
+from .report import format_table
+
+__all__ = ["Counters", "LatencyHistogram", "format_table"]

@@ -1,0 +1,67 @@
+"""Fixed-bucket latency histograms.
+
+Used to characterize validation/exposure service latencies (the reason
+"validation stalls are negligible" in the paper is that the distribution
+is dominated by L1-hit-latency validations — a claim a histogram shows
+directly).
+"""
+
+from __future__ import annotations
+
+
+class LatencyHistogram:
+    """Histogram over half-open latency buckets ``[edge[i], edge[i+1])``."""
+
+    DEFAULT_EDGES = (0, 2, 4, 8, 16, 32, 64, 128, 256)
+
+    def __init__(self, edges=DEFAULT_EDGES):
+        self.edges = tuple(edges)
+        self.counts = [0] * (len(self.edges))  # last bucket = overflow
+        self.total = 0
+        self.sum = 0
+        self.max = 0
+
+    def record(self, latency):
+        self.total += 1
+        self.sum += latency
+        if latency > self.max:
+            self.max = latency
+        for i in range(len(self.edges) - 1):
+            if self.edges[i] <= latency < self.edges[i + 1]:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self):
+        return self.sum / self.total if self.total else 0.0
+
+    def fraction_below(self, threshold):
+        """Fraction of samples strictly below ``threshold`` (bucket-exact
+        when the threshold is a bucket edge)."""
+        if not self.total:
+            return 0.0
+        below = 0
+        for i in range(len(self.edges) - 1):
+            if self.edges[i + 1] <= threshold:
+                below += self.counts[i]
+        return below / self.total
+
+    def buckets(self):
+        """[(label, count), ...] including the overflow bucket."""
+        out = []
+        for i in range(len(self.edges) - 1):
+            out.append((f"[{self.edges[i]},{self.edges[i + 1]})",
+                        self.counts[i]))
+        out.append((f">={self.edges[-1]}", self.counts[-1]))
+        return out
+
+    def format(self, width=30):
+        peak = max(self.counts) or 1
+        lines = []
+        for label, count in self.buckets():
+            bar = "#" * int(width * count / peak)
+            lines.append(f"{label:>12} {count:>8} {bar}")
+        lines.append(f"{'mean':>12} {self.mean:8.1f}  (n={self.total}, "
+                     f"max={self.max})")
+        return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Plain-text table formatting for experiment output.
+
+The benchmark harness prints the same rows the paper's tables and figures
+report; this module renders them as aligned ASCII tables.
+"""
+
+from __future__ import annotations
+
+
+def _render_cell(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers, rows, title=None):
+    """Render a list-of-rows table with aligned columns."""
+    str_rows = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(headers))
+    lines.append(render_row(["-" * w for w in widths]))
+    for row in str_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_grouped_bars(labels, series, title=None, width=40):
+    """ASCII bar chart: one group per label, one bar per series entry.
+
+    ``series`` maps series name -> list of values aligned with ``labels``.
+    Used to echo the paper's bar figures (Figs. 4, 6, 7, 8) in text form.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    peak = max(
+        (v for values in series.values() for v in values if v is not None),
+        default=1.0,
+    )
+    scale = width / peak if peak else 1.0
+    name_width = max(len(name) for name in series)
+    for i, label in enumerate(labels):
+        lines.append(label)
+        for name, values in series.items():
+            value = values[i]
+            if value is None:
+                continue
+            bar = "#" * max(1, int(value * scale))
+            lines.append(f"  {name.ljust(name_width)} {value:6.3f} {bar}")
+    return "\n".join(lines)

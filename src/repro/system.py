@@ -1,0 +1,192 @@
+"""System assembly: cores + cache hierarchy + NoC + DRAM from parameters.
+
+:class:`System` wires a :class:`~repro.sim.SimKernel`, the shared
+:class:`~repro.mem.MemoryImage`, the :class:`~repro.coherence.CacheHierarchy`
+and one :class:`~repro.cpu.Core` per trace source, then runs to completion.
+This is the main entry point of the library's public API::
+
+    from repro import System, SystemParams, ProcessorConfig, Scheme
+
+    system = System(
+        params=SystemParams.for_spec(),
+        config=ProcessorConfig(scheme=Scheme.IS_FUTURE),
+        traces=[my_trace_source],
+    )
+    result = system.run()
+    print(result.cycles, result.ipc)
+"""
+
+from __future__ import annotations
+
+from .configs import ProcessorConfig
+from .coherence.hierarchy import CacheHierarchy
+from .cpu.core import Core
+from .errors import ConfigError
+from .mem.address import AddressSpace
+from .mem.memimage import MemoryImage
+from .params import SystemParams
+from .sim.kernel import SimKernel
+from .stats.counters import Counters
+
+
+class RunResult:
+    """Outcome of one simulation run.
+
+    When a warmup phase was configured, ``cycles``, ``counters`` (exposed
+    via :meth:`count`), and the traffic numbers all refer to the measured
+    region only — the paper likewise skips a warmup prefix before its
+    1-billion-instruction measurement window.
+    """
+
+    def __init__(self, cycles, counters, cores, hierarchy, warmup_snapshot=None):
+        self.total_cycles = cycles
+        self.counters = counters
+        self.cores = cores
+        self.hierarchy = hierarchy
+        self._snapshot = warmup_snapshot or {}
+
+    @property
+    def cycles(self):
+        return self.total_cycles - self._snapshot.get("cycle", 0)
+
+    def count(self, name):
+        """A counter value for the measured (post-warmup) region."""
+        return self.counters.get(name) - self._snapshot.get("counters", {}).get(
+            name, 0
+        )
+
+    @property
+    def instructions(self):
+        return sum(core.retired_instructions - core.warmup_instructions
+                   for core in self.cores)
+
+    @property
+    def ipc(self):
+        return self.instructions / max(self.cycles, 1)
+
+    @property
+    def traffic_bytes(self):
+        snap = self._snapshot.get("traffic", {})
+        return self.hierarchy.noc.total_bytes - sum(snap.values())
+
+    @property
+    def traffic_breakdown(self):
+        snap = self._snapshot.get("traffic", {})
+        return {
+            category: count - snap.get(category, 0)
+            for category, count in self.hierarchy.noc.traffic_breakdown().items()
+        }
+
+    def __repr__(self):
+        return (
+            f"RunResult(cycles={self.cycles}, instructions={self.instructions}, "
+            f"ipc={self.ipc:.3f}, traffic={self.traffic_bytes}B)"
+        )
+
+
+class System:
+    """A simulated multiprocessor running one trace source per core."""
+
+    def __init__(
+        self,
+        params,
+        config,
+        traces,
+        max_instructions=None,
+        warmup_instructions=0,
+        icache_miss_rate=0.0,
+        memory_init=None,
+        seed=0,
+        tracelog=None,
+    ):
+        if not isinstance(params, SystemParams):
+            raise ConfigError(f"params must be SystemParams, got {params!r}")
+        if not isinstance(config, ProcessorConfig):
+            raise ConfigError(f"config must be ProcessorConfig, got {config!r}")
+        if len(traces) != params.num_cores:
+            raise ConfigError(
+                f"{len(traces)} trace sources for {params.num_cores} cores"
+            )
+        self.params = params
+        self.config = config
+        self.kernel = SimKernel()
+        self.counters = Counters()
+        self.space = AddressSpace(
+            line_bytes=params.line_bytes, page_bytes=params.tlb.page_bytes
+        )
+        self.image = MemoryImage(self.space)
+        if memory_init:
+            for addr, value in memory_init.items():
+                self.image.write_bytes(addr, [value] if isinstance(value, int) else value)
+        self.hierarchy = CacheHierarchy(
+            params, self.kernel, self.image, self.counters, seed=seed
+        )
+        self.warmup_instructions = warmup_instructions
+        self._warmup_pending = params.num_cores if warmup_instructions else 0
+        self._warmup_snapshot = None
+        total_budget = (
+            max_instructions + warmup_instructions
+            if max_instructions is not None
+            else None
+        )
+        self.cores = []
+        for core_id, trace in enumerate(traces):
+            core = Core(
+                core_id,
+                params,
+                config,
+                self.kernel,
+                self.hierarchy,
+                trace,
+                self.counters,
+                max_instructions=total_budget,
+                icache_miss_rate=icache_miss_rate,
+                warmup_instructions=warmup_instructions,
+                on_warmup_done=self._core_warmed_up,
+                tracelog=tracelog,
+            )
+            self.cores.append(core)
+            self.kernel.register(core)
+        if config.is_invisispec and config.llc_sb_enabled:
+            self.hierarchy.set_llc_sbs([core.llc_sb for core in self.cores])
+
+    def _core_warmed_up(self, _core_id):
+        """Snapshot counters once every core finished its warmup prefix."""
+        self._warmup_pending -= 1
+        if self._warmup_pending == 0:
+            self._warmup_snapshot = {
+                "cycle": self.kernel.cycle,
+                "counters": dict(self.counters.as_dict()),
+                "traffic": dict(self.hierarchy.noc.traffic_breakdown()),
+            }
+
+    def run(self, max_cycles=None):
+        """Run every core to completion; returns a :class:`RunResult`."""
+        cycles = self.kernel.run(max_cycles=max_cycles)
+        self._harvest_stats()
+        return RunResult(
+            cycles, self.counters, self.cores, self.hierarchy,
+            warmup_snapshot=self._warmup_snapshot,
+        )
+
+    def _harvest_stats(self):
+        counters = self.counters
+        noc = self.hierarchy.noc
+        counters.set("noc.total_bytes", noc.total_bytes)
+        counters.set("noc.byte_hops", noc.byte_hops)
+        counters.set("noc.messages", noc.messages)
+        for category, count in noc.traffic_breakdown().items():
+            counters.set(f"noc.bytes.{category}", count)
+        counters.set("dram.accesses", self.hierarchy.dram.stat_accesses)
+        for core in self.cores:
+            counters.bump("core.total_retired", core.retired_instructions)
+            counters.bump(
+                "core.branch_predictor_mispredicts", core.predictor.stat_mispredicts
+            )
+            counters.bump("core.branch_predictor_lookups", core.predictor.stat_lookups)
+            counters.bump("tlb.hits", core.tlb.stat_hits)
+            counters.bump("tlb.misses", core.tlb.stat_misses)
+            if core.llc_sb is not None:
+                counters.bump("invisispec.llc_sb_inserts", core.llc_sb.stat_inserts)
+            if core.sb is not None:
+                counters.bump("invisispec.sb_fills", core.sb.stat_fills)

@@ -1,0 +1,17 @@
+"""Synthetic workloads calibrated to the paper's SPEC/PARSEC characteristics."""
+
+from .generator import SyntheticTrace
+from .parsec import PARSEC_PROFILES, parsec_names, parsec_traces
+from .profiles import WorkloadProfile
+from .spec2006 import SPEC_PROFILES, spec_names, spec_trace
+
+__all__ = [
+    "SyntheticTrace",
+    "WorkloadProfile",
+    "SPEC_PROFILES",
+    "spec_names",
+    "spec_trace",
+    "PARSEC_PROFILES",
+    "parsec_names",
+    "parsec_traces",
+]

@@ -1,0 +1,88 @@
+"""PARSEC workload profiles (the 9 applications of Figure 7).
+
+Multithreaded; run on 8 cores (Table IV).  Every thread runs the same
+profile with a per-core seed; the shared region and critical sections drive
+cross-core invalidations, consistency squashes, and coherence traffic.
+blackscholes and swaptions are tuned to show the baseline's eviction-squash
+behaviour the paper highlights in Section IX-C (they run *faster* under
+InvisiSpec than under Base).
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .generator import SyntheticTrace
+from .profiles import WorkloadProfile
+
+
+def _p(name, **kw):
+    return WorkloadProfile(name=name, suite="parsec", **kw)
+
+
+PARSEC_PROFILES = {
+    profile.name: profile
+    for profile in [
+        _p("blackscholes", load_frac=0.30, store_frac=0.08, branch_frac=0.05,
+           branch_mispredict_target=0.01, footprint_lines=32768,
+           hot_fraction=0.6, hot_lines=192, stride_fraction=0.5, tlb_locality=0.98,
+           fp_fraction=0.6, alu_dep_fraction=0.6, branch_dep_fraction=0.05,
+           shared_fraction=0.01, shared_lines=512),
+        _p("bodytrack", load_frac=0.28, store_frac=0.10, branch_frac=0.12,
+           branch_mispredict_target=0.08, footprint_lines=16384,
+           hot_fraction=0.85, hot_lines=512, tlb_locality=0.97, fp_fraction=0.4,
+           shared_fraction=0.06, shared_lines=2048, sync_interval=400),
+        _p("canneal", load_frac=0.32, store_frac=0.10, branch_frac=0.12,
+           branch_mispredict_target=0.10, footprint_lines=98304,
+           hot_fraction=0.6, hot_lines=256, tlb_locality=0.9,
+           alu_dep_fraction=0.65, branch_dep_fraction=0.3,
+           shared_fraction=0.15, shared_lines=4096, sync_interval=250,
+           load_dep_fraction=0.5),
+        _p("facesim", load_frac=0.30, store_frac=0.12, branch_frac=0.07,
+           branch_mispredict_target=0.03, footprint_lines=49152,
+           hot_fraction=0.75, hot_lines=512, stride_fraction=0.3, tlb_locality=0.96,
+           fp_fraction=0.55, shared_fraction=0.05, shared_lines=2048,
+           sync_interval=500),
+        _p("ferret", load_frac=0.29, store_frac=0.11, branch_frac=0.13,
+           branch_mispredict_target=0.06, footprint_lines=24576,
+           hot_fraction=0.8, hot_lines=512, tlb_locality=0.96,
+           shared_fraction=0.10, shared_lines=2048, sync_interval=300),
+        _p("fluidanimate", load_frac=0.29, store_frac=0.12, branch_frac=0.10,
+           branch_mispredict_target=0.04, footprint_lines=32768,
+           hot_fraction=0.8, hot_lines=512, tlb_locality=0.96, fp_fraction=0.45,
+           shared_fraction=0.10, shared_lines=4096, sync_interval=150),
+        _p("freqmine", load_frac=0.30, store_frac=0.10, branch_frac=0.14,
+           branch_mispredict_target=0.08, footprint_lines=57344,
+           hot_fraction=0.75, hot_lines=512, tlb_locality=0.94,
+           alu_dep_fraction=0.6, branch_dep_fraction=0.25,
+           shared_fraction=0.05, shared_lines=2048, sync_interval=600,
+           load_dep_fraction=0.25),
+        _p("swaptions", load_frac=0.30, store_frac=0.09, branch_frac=0.06,
+           branch_mispredict_target=0.015, footprint_lines=24576,
+           hot_fraction=0.6, hot_lines=192, stride_fraction=0.45, tlb_locality=0.98,
+           fp_fraction=0.6, alu_dep_fraction=0.6, branch_dep_fraction=0.05,
+           shared_fraction=0.01, shared_lines=512),
+        _p("x264", load_frac=0.29, store_frac=0.12, branch_frac=0.11,
+           branch_mispredict_target=0.06, footprint_lines=16384,
+           hot_fraction=0.88, hot_lines=768, tlb_locality=0.97,
+           shared_fraction=0.06, shared_lines=2048, sync_interval=400),
+    ]
+}
+
+
+def parsec_names():
+    """The 9 PARSEC applications in the paper's Figure 7 order."""
+    return list(PARSEC_PROFILES.keys())
+
+
+def parsec_traces(name, num_cores=8, seed=0):
+    """One trace source per core for a PARSEC application."""
+    try:
+        profile = PARSEC_PROFILES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown PARSEC workload {name!r}; choose from {parsec_names()}"
+        )
+    return [
+        SyntheticTrace(profile, seed=seed, core_id=core)
+        for core in range(num_cores)
+    ]

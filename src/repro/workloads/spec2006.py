@@ -1,0 +1,140 @@
+"""SPEC CPU2006 workload profiles (the 23 applications of Figure 4).
+
+Single-threaded; run on one core with one enabled L2 bank, as in the paper.
+Parameters encode each application's well-known behaviour and the specific
+data points the paper reports: sjeng's extreme squash rate (73,752 squashes
+per million instructions, Table VI), libquantum's and GemsFDTD's ~30 L1
+misses per kilo-instruction streaming (Section IX-B), omnetpp's TLB-miss
+sensitivity, mcf's pointer-chasing, and so on.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .generator import SyntheticTrace
+from .profiles import WorkloadProfile
+
+
+def _p(name, suite, **kw):
+    return WorkloadProfile(name=name, suite=suite, **kw)
+
+
+SPEC_PROFILES = {
+    profile.name: profile
+    for profile in [
+        # ----------------------------------------------------------- SPECint
+        _p("bzip2", "spec_int", load_frac=0.26, store_frac=0.09, branch_frac=0.15,
+           branch_mispredict_target=0.08, footprint_lines=8192, hot_fraction=0.85,
+           hot_lines=512, tlb_locality=0.98, alu_dep_fraction=0.5),
+        _p("mcf", "spec_int", load_frac=0.35, store_frac=0.09, branch_frac=0.17,
+           branch_mispredict_target=0.08, footprint_lines=98304, hot_fraction=0.65,
+           hot_lines=256, tlb_locality=0.9, alu_dep_fraction=0.7,
+           branch_dep_fraction=0.35,
+           load_dep_fraction=0.5),
+        _p("gobmk", "spec_int", load_frac=0.24, store_frac=0.12, branch_frac=0.19,
+           branch_mispredict_target=0.16, branch_pcs=1024, footprint_lines=12288,
+           hot_fraction=0.85, hot_lines=512, tlb_locality=0.97),
+        _p("hmmer", "spec_int", load_frac=0.30, store_frac=0.12, branch_frac=0.08,
+           branch_mispredict_target=0.02, footprint_lines=4096, hot_fraction=0.95,
+           hot_lines=384, tlb_locality=0.99),
+        _p("sjeng", "spec_int", load_frac=0.22, store_frac=0.08, branch_frac=0.18,
+           branch_mispredict_target=0.30, branch_pcs=2048, footprint_lines=8192,
+           hot_fraction=0.88, hot_lines=512, tlb_locality=0.97,
+           branch_dep_fraction=0.25, icache_miss_rate=0.004),
+        _p("libquantum", "spec_int", load_frac=0.25, store_frac=0.08,
+           branch_frac=0.18, branch_mispredict_target=0.003,
+           footprint_lines=32768, hot_fraction=0.6, hot_lines=64,
+           stride_fraction=0.85, tlb_locality=0.98, alu_dep_fraction=0.3,
+           branch_dep_fraction=0.02),
+        _p("h264ref", "spec_int", load_frac=0.30, store_frac=0.12,
+           branch_frac=0.10, branch_mispredict_target=0.05,
+           footprint_lines=8192, hot_fraction=0.92, hot_lines=768, tlb_locality=0.98),
+        _p("omnetpp", "spec_int", load_frac=0.30, store_frac=0.14,
+           branch_frac=0.16, branch_mispredict_target=0.10,
+           footprint_lines=65536, hot_fraction=0.8, hot_lines=512, tlb_locality=0.6,
+           alu_dep_fraction=0.6, branch_dep_fraction=0.45,
+           icache_miss_rate=0.004,
+           load_dep_fraction=0.5),
+        _p("astar", "spec_int", load_frac=0.28, store_frac=0.08,
+           branch_frac=0.16, branch_mispredict_target=0.12,
+           footprint_lines=24576, hot_fraction=0.8, hot_lines=512, tlb_locality=0.92,
+           alu_dep_fraction=0.6, branch_dep_fraction=0.3,
+           load_dep_fraction=0.3),
+        # ------------------------------------------------------------ SPECfp
+        _p("bwaves", "spec_fp", load_frac=0.30, store_frac=0.09,
+           branch_frac=0.06, branch_mispredict_target=0.01,
+           footprint_lines=49152, hot_fraction=0.7, hot_lines=256,
+           stride_fraction=0.55, tlb_locality=0.98, fp_fraction=0.6,
+           branch_dep_fraction=0.05),
+        _p("gamess", "spec_fp", load_frac=0.28, store_frac=0.10,
+           branch_frac=0.08, branch_mispredict_target=0.02,
+           footprint_lines=4096, hot_fraction=0.95, hot_lines=512, tlb_locality=0.99,
+           fp_fraction=0.6),
+        _p("milc", "spec_fp", load_frac=0.30, store_frac=0.12, branch_frac=0.05,
+           branch_mispredict_target=0.01, footprint_lines=49152,
+           hot_fraction=0.7, hot_lines=256, stride_fraction=0.5, tlb_locality=0.95,
+           fp_fraction=0.55, branch_dep_fraction=0.05),
+        _p("zeusmp", "spec_fp", load_frac=0.28, store_frac=0.11,
+           branch_frac=0.05, branch_mispredict_target=0.01,
+           footprint_lines=32768, hot_fraction=0.75, hot_lines=512,
+           stride_fraction=0.35, tlb_locality=0.97, fp_fraction=0.55),
+        _p("gromacs", "spec_fp", load_frac=0.28, store_frac=0.11,
+           branch_frac=0.07, branch_mispredict_target=0.03,
+           footprint_lines=6144, hot_fraction=0.92, hot_lines=512, tlb_locality=0.99,
+           fp_fraction=0.6),
+        _p("cactusADM", "spec_fp", load_frac=0.30, store_frac=0.10,
+           branch_frac=0.03, branch_mispredict_target=0.005,
+           footprint_lines=40960, hot_fraction=0.7, hot_lines=256,
+           stride_fraction=0.45, tlb_locality=0.97, fp_fraction=0.65,
+           branch_dep_fraction=0.02),
+        _p("leslie3d", "spec_fp", load_frac=0.30, store_frac=0.11,
+           branch_frac=0.04, branch_mispredict_target=0.01,
+           footprint_lines=49152, hot_fraction=0.7, hot_lines=256,
+           stride_fraction=0.5, tlb_locality=0.97, fp_fraction=0.55),
+        _p("namd", "spec_fp", load_frac=0.28, store_frac=0.09, branch_frac=0.08,
+           branch_mispredict_target=0.02, footprint_lines=4096,
+           hot_fraction=0.95, hot_lines=512, tlb_locality=0.99, fp_fraction=0.6),
+        _p("soplex", "spec_fp", load_frac=0.30, store_frac=0.08,
+           branch_frac=0.12, branch_mispredict_target=0.06,
+           footprint_lines=57344, hot_fraction=0.75, hot_lines=384, tlb_locality=0.93,
+           alu_dep_fraction=0.6, branch_dep_fraction=0.25, fp_fraction=0.4,
+           load_dep_fraction=0.3),
+        _p("calculix", "spec_fp", load_frac=0.28, store_frac=0.10,
+           branch_frac=0.08, branch_mispredict_target=0.03,
+           footprint_lines=8192, hot_fraction=0.9, hot_lines=512, tlb_locality=0.98,
+           fp_fraction=0.55),
+        _p("GemsFDTD", "spec_fp", load_frac=0.30, store_frac=0.11,
+           branch_frac=0.04, branch_mispredict_target=0.005,
+           footprint_lines=81920, hot_fraction=0.6, hot_lines=128,
+           stride_fraction=0.8, tlb_locality=0.97, fp_fraction=0.55,
+           branch_dep_fraction=0.02),
+        _p("tonto", "spec_fp", load_frac=0.28, store_frac=0.11,
+           branch_frac=0.09, branch_mispredict_target=0.03,
+           footprint_lines=8192, hot_fraction=0.9, hot_lines=512, tlb_locality=0.98,
+           fp_fraction=0.55),
+        _p("lbm", "spec_fp", load_frac=0.28, store_frac=0.15, branch_frac=0.02,
+           branch_mispredict_target=0.002, footprint_lines=65536,
+           hot_fraction=0.5, hot_lines=64, stride_fraction=0.9, tlb_locality=0.98,
+           fp_fraction=0.6, branch_dep_fraction=0.01),
+        _p("sphinx3", "spec_fp", load_frac=0.30, store_frac=0.07,
+           branch_frac=0.12, branch_mispredict_target=0.05,
+           footprint_lines=24576, hot_fraction=0.8, hot_lines=512, tlb_locality=0.95,
+           fp_fraction=0.45, branch_dep_fraction=0.2),
+    ]
+}
+
+
+def spec_names():
+    """The 23 SPEC applications in the paper's Figure 4 order."""
+    return list(SPEC_PROFILES.keys())
+
+
+def spec_trace(name, seed=0):
+    """A single-core trace source for one SPEC application."""
+    try:
+        profile = SPEC_PROFILES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown SPEC workload {name!r}; choose from {spec_names()}"
+        )
+    return SyntheticTrace(profile, seed=seed, core_id=0)

@@ -1,0 +1,83 @@
+"""Coherence-invariant checker tests."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from conftest import run_ops
+
+from repro import (
+    ConsistencyModel,
+    ProcessorConfig,
+    ProtocolError,
+    Scheme,
+    SystemParams,
+)
+from repro.coherence.checker import check_all, check_directory_agreement, check_swmr
+from repro.coherence.mesi import MESIState
+from repro.cpu.isa import MicroOp, OpKind
+from repro.cpu.trace import ProgramTrace
+from repro.system import System
+
+
+def racing_system(scheme=Scheme.BASE, rounds=25):
+    shared = 0x7600_0000
+    reader = []
+    for i in range(rounds):
+        reader.append(MicroOp(OpKind.LOAD, pc=0x100,
+                              addr=0x1700_0000 + 64 * i, size=8,
+                              deps=(2,) if i else ()))
+        reader.append(MicroOp(OpKind.LOAD, pc=0x104, addr=shared, size=8))
+    writer = []
+    for i in range(rounds):
+        writer.append(MicroOp(OpKind.ALU, pc=0x200, latency=90,
+                              deps=(2,) if i else ()))
+        writer.append(MicroOp(OpKind.STORE, pc=0x204, addr=shared, size=8,
+                              store_value=i))
+    system = System(
+        params=SystemParams(num_cores=2),
+        config=ProcessorConfig(scheme=scheme,
+                               consistency=ConsistencyModel.TSO),
+        traces=[ProgramTrace(reader), ProgramTrace(writer)],
+    )
+    system.run(max_cycles=2_000_000)
+    return system
+
+
+class TestInvariantsHold:
+    @pytest.mark.parametrize("scheme", [Scheme.BASE, Scheme.IS_FUTURE])
+    def test_after_contended_run(self, scheme):
+        system = racing_system(scheme)
+        assert check_all(system.hierarchy)
+
+    def test_after_single_core_run(self):
+        from conftest import simple_load_alu_ops
+
+        _result, system = run_ops(simple_load_alu_ops(30))
+        assert check_all(system.hierarchy)
+
+
+class TestViolationsDetected:
+    def test_swmr_detects_double_writer(self):
+        system = racing_system()
+        hierarchy = system.hierarchy
+        # Corrupt: force the same line writable in both L1s.
+        line = 0x7600_0000
+        for l1 in hierarchy.l1s:
+            if not l1.contains(line):
+                l1.insert(line, MESIState.MODIFIED)
+            else:
+                l1.lookup(line, touch=False).state = MESIState.MODIFIED
+        with pytest.raises(ProtocolError):
+            check_swmr(hierarchy)
+
+    def test_directory_agreement_detects_untracked_line(self):
+        system = racing_system()
+        hierarchy = system.hierarchy
+        rogue_line = 0x7777_0000
+        hierarchy.l1s[0].insert(rogue_line, MESIState.SHARED)
+        with pytest.raises(ProtocolError):
+            check_directory_agreement(hierarchy)

@@ -1,0 +1,78 @@
+"""Directory metadata tests."""
+
+import pytest
+
+from repro.coherence.directory import Directory
+from repro.errors import ProtocolError
+
+
+class TestDirectory:
+    def test_entry_created_on_demand(self):
+        directory = Directory(0)
+        assert directory.entry(0x1000) is None
+        entry = directory.entry(0x1000, create=True)
+        assert entry is not None
+        assert not entry.cached_anywhere
+
+    def test_add_sharer(self):
+        directory = Directory(0)
+        entry = directory.add_sharer(0x1000, 2)
+        assert entry.sharers == {2}
+        assert entry.owner is None
+
+    def test_owner_is_not_also_sharer(self):
+        directory = Directory(0)
+        directory.add_sharer(0x1000, 1)
+        entry = directory.set_owner(0x1000, 1)
+        assert entry.owner == 1
+        assert 1 not in entry.sharers
+
+    def test_add_sharer_noop_for_owner(self):
+        directory = Directory(0)
+        directory.set_owner(0x1000, 3)
+        entry = directory.add_sharer(0x1000, 3)
+        assert entry.owner == 3
+        assert 3 not in entry.sharers
+
+    def test_demote_owner(self):
+        directory = Directory(0)
+        directory.set_owner(0x1000, 1)
+        entry = directory.demote_owner(0x1000)
+        assert entry.owner is None
+        assert entry.sharers == {1}
+
+    def test_demote_without_owner_raises(self):
+        directory = Directory(0)
+        directory.add_sharer(0x1000, 1)
+        with pytest.raises(ProtocolError):
+            directory.demote_owner(0x1000)
+
+    def test_remove_core(self):
+        directory = Directory(0)
+        directory.add_sharer(0x1000, 1)
+        directory.set_owner(0x1000, 2)
+        directory.remove_core(0x1000, 2)
+        entry = directory.entry(0x1000)
+        assert entry.owner is None
+        assert entry.sharers == {1}
+
+    def test_sharers_other_than_includes_owner(self):
+        directory = Directory(0)
+        directory.add_sharer(0x1000, 1)
+        directory.set_owner(0x1000, 2)
+        assert directory.sharers_other_than(0x1000, 1) == {2}
+        assert directory.sharers_other_than(0x1000, 2) == {1}
+        assert directory.sharers_other_than(0x1000, 3) == {1, 2}
+
+    def test_writeback_window(self):
+        directory = Directory(0)
+        entry = directory.entry(0x1000, create=True)
+        entry.wb_pending_until = 100
+        assert entry.writeback_in_flight(50)
+        assert not entry.writeback_in_flight(100)
+
+    def test_drop(self):
+        directory = Directory(0)
+        directory.add_sharer(0x1000, 1)
+        directory.drop(0x1000)
+        assert directory.entry(0x1000) is None

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro import ConsistencyModel, ProcessorConfig, Scheme, SystemParams
+from repro.cpu import isa
+from repro.cpu.trace import ProgramTrace
+from repro.system import System
+
+
+@pytest.fixture
+def spec_params():
+    """Single-core machine (SPEC style, one L2 bank)."""
+    return SystemParams.for_spec()
+
+
+@pytest.fixture
+def duo_params():
+    """Two-core machine for coherence tests."""
+    return SystemParams(num_cores=2)
+
+
+def make_system(ops, scheme=Scheme.BASE, consistency=ConsistencyModel.TSO,
+                params=None, wrong_paths=None, **system_kwargs):
+    """One core running an explicit list of micro-ops."""
+    if params is None:
+        params = SystemParams.for_spec()
+    return System(
+        params=params,
+        config=ProcessorConfig(scheme=scheme, consistency=consistency),
+        traces=[ProgramTrace(ops, wrong_paths)],
+        **system_kwargs,
+    )
+
+
+def run_ops(ops, scheme=Scheme.BASE, consistency=ConsistencyModel.TSO,
+            params=None, wrong_paths=None, max_cycles=500_000, **kwargs):
+    """Build, run, and return (RunResult, System)."""
+    system = make_system(
+        ops, scheme=scheme, consistency=consistency, params=params,
+        wrong_paths=wrong_paths, **kwargs,
+    )
+    result = system.run(max_cycles=max_cycles)
+    return result, system
+
+
+def simple_load_alu_ops(n=20, base=0x1000, stride=64):
+    """n rounds of load -> dependent ALU."""
+    ops = []
+    for i in range(n):
+        ops.append(isa.load(pc=0x100 + 4 * i, addr=base + stride * i, size=8))
+        ops.append(isa.alu(pc=0x200 + 4 * i, deps=(1,)))
+    return ops

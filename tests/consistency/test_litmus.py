@@ -1,0 +1,253 @@
+"""Multiprocessor litmus tests.
+
+Executable versions of the orderings the paper's appendix reasons about:
+under TSO, no interleaving may expose an observable load-load reordering —
+on the baseline (enforced by invalidation squashes) *and* under InvisiSpec
+(enforced by validations/exposures and early squashes), which is exactly
+the theorem the appendix proves.
+
+Each litmus scans a range of writer delays so the racing window slides
+across the reader's speculative window.
+"""
+
+import pytest
+
+from repro import (
+    ConsistencyModel,
+    ProcessorConfig,
+    Scheme,
+    SystemParams,
+)
+from repro.cpu.isa import MicroOp, OpKind
+from repro.cpu.trace import ProgramTrace
+from repro.system import System
+
+DATA = 0x7200_0000
+FLAG = 0x7300_0000
+SLOW = 0x1600_0000  # reader-private DRAM miss used to delay one load
+
+ALL_SCHEMES = (
+    Scheme.BASE,
+    Scheme.IS_SPECTRE,
+    Scheme.IS_FUTURE,
+)
+
+
+def run_two_cores(reader_ops, writer_ops, scheme, consistency,
+                  warm_reader=()):
+    """Run a 2-core litmus; returns the reader core (for env inspection)."""
+    warm = [
+        MicroOp(OpKind.LOAD, pc=0x50 + 4 * i, addr=addr, size=8)
+        for i, addr in enumerate(warm_reader)
+    ]
+    system = System(
+        params=SystemParams(num_cores=2),
+        config=ProcessorConfig(scheme=scheme, consistency=consistency),
+        traces=[ProgramTrace(warm + reader_ops), ProgramTrace(writer_ops)],
+    )
+    system.run(max_cycles=2_000_000)
+    # Every litmus run must also leave the machine coherent.
+    from repro.coherence.checker import check_all
+
+    check_all(system.hierarchy)
+    return system
+
+
+def message_passing_reader():
+    """r1 = flag (delayed); r2 = data (issues early, may bypass r1)."""
+    return [
+        MicroOp(OpKind.LOAD, pc=0x100, addr=SLOW, size=8, dst="slow"),
+        MicroOp(OpKind.LOAD, pc=0x104, addr=FLAG, size=8, dst="r1",
+                deps=(1,)),
+        MicroOp(OpKind.LOAD, pc=0x108, addr=DATA, size=8, dst="r2"),
+    ]
+
+
+def message_passing_writer(delay):
+    """data = 1; flag = 1 (in order, after `delay` cycles of work)."""
+    return [
+        MicroOp(OpKind.ALU, pc=0x200, latency=max(delay, 1)),
+        MicroOp(OpKind.STORE, pc=0x204, addr=DATA, size=8, store_value=1,
+                deps=(1,)),
+        MicroOp(OpKind.STORE, pc=0x208, addr=FLAG, size=8, store_value=1),
+    ]
+
+
+#: Writer delays scanning the race window across the reader's execution.
+DELAYS = (1, 20, 60, 100, 140, 200, 300)
+
+
+class TestMessagePassingTSO:
+    """TSO forbids r1=1 (new flag) with r2=0 (old data)."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_no_observable_reordering(self, scheme):
+        for delay in DELAYS:
+            system = run_two_cores(
+                message_passing_reader(),
+                message_passing_writer(delay),
+                scheme,
+                ConsistencyModel.TSO,
+                warm_reader=(DATA,),  # data hits; flag misses: max reorder
+            )
+            env = system.cores[0].env
+            forbidden = env.get("r1") == 1 and env.get("r2") == 0
+            assert not forbidden, (
+                f"TSO violation under {scheme.value} at delay={delay}: "
+                f"r1={env.get('r1')} r2={env.get('r2')}"
+            )
+
+    def test_enforcement_machinery_engages(self):
+        """Somewhere in the delay scan, the enforcement fires: baseline
+        invalidation squashes, or InvisiSpec validations/early squashes."""
+        base_squashes = 0
+        invisi_actions = 0
+        for delay in DELAYS:
+            base = run_two_cores(
+                message_passing_reader(), message_passing_writer(delay),
+                Scheme.BASE, ConsistencyModel.TSO, warm_reader=(DATA,),
+            )
+            base_squashes += base.counters["core.squashes.consistency"]
+            invisi = run_two_cores(
+                message_passing_reader(), message_passing_writer(delay),
+                Scheme.IS_FUTURE, ConsistencyModel.TSO, warm_reader=(DATA,),
+            )
+            invisi_actions += invisi.counters["invisispec.validations"]
+            invisi_actions += invisi.counters[
+                "invisispec.early_squash_invalidation"
+            ]
+        assert invisi_actions > 0
+        # The baseline path may or may not squash depending on timing, but
+        # InvisiSpec must have validated its speculative loads.
+
+
+class TestMessagePassingRCWithSync:
+    """RC forbids the reordering when an acquire separates the loads."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_acquire_orders_loads(self, scheme):
+        for delay in DELAYS:
+            reader = [
+                MicroOp(OpKind.LOAD, pc=0x100, addr=SLOW, size=8, dst="slow"),
+                MicroOp(OpKind.LOAD, pc=0x104, addr=FLAG, size=8, dst="r1",
+                        deps=(1,)),
+                MicroOp(OpKind.ACQUIRE, pc=0x106),
+                MicroOp(OpKind.LOAD, pc=0x108, addr=DATA, size=8, dst="r2"),
+            ]
+            system = run_two_cores(
+                reader,
+                message_passing_writer(delay),
+                scheme,
+                ConsistencyModel.RC,
+                warm_reader=(DATA,),
+            )
+            env = system.cores[0].env
+            forbidden = env.get("r1") == 1 and env.get("r2") == 0
+            assert not forbidden, (
+                f"RC+acquire violation under {scheme.value} at delay={delay}"
+            )
+
+
+class TestCoherentReadRead:
+    """Same-address load-load: a younger read must never return an older
+    value than an older read (TSO)."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_corr(self, scheme):
+        for delay in DELAYS:
+            reader = [
+                MicroOp(OpKind.LOAD, pc=0x100, addr=SLOW, size=8, dst="slow"),
+                MicroOp(OpKind.LOAD, pc=0x104, addr=DATA, size=8, dst="r1",
+                        deps=(1,)),
+                MicroOp(OpKind.LOAD, pc=0x108, addr=DATA, size=8, dst="r2"),
+            ]
+            writer = [
+                MicroOp(OpKind.ALU, pc=0x200, latency=max(delay, 1)),
+                MicroOp(OpKind.STORE, pc=0x204, addr=DATA, size=8,
+                        store_value=1, deps=(1,)),
+            ]
+            system = run_two_cores(
+                reader, writer, scheme, ConsistencyModel.TSO,
+                warm_reader=(DATA,),
+            )
+            env = system.cores[0].env
+            forbidden = env.get("r1") == 1 and env.get("r2") == 0
+            assert not forbidden, (
+                f"CoRR violation under {scheme.value} at delay={delay}"
+            )
+
+
+class TestIRIW:
+    """Independent reads of independent writes (4 cores): TSO's store
+    atomicity forbids the two readers observing the writes in opposite
+    orders."""
+
+    @pytest.mark.parametrize("scheme", (Scheme.BASE, Scheme.IS_FUTURE))
+    def test_readers_agree_on_write_order(self, scheme):
+        X, Y = DATA, FLAG
+        for delay in (1, 40, 120):
+            def reader(first, second, tag):
+                return [
+                    MicroOp(OpKind.LOAD, pc=0x100, addr=SLOW + 64 * tag,
+                            size=8, dst="slow"),
+                    MicroOp(OpKind.LOAD, pc=0x104, addr=first, size=8,
+                            dst="a", deps=(1,)),
+                    MicroOp(OpKind.LOAD, pc=0x108, addr=second, size=8,
+                            dst="b"),
+                ]
+
+            writer_x = [
+                MicroOp(OpKind.ALU, pc=0x200, latency=delay),
+                MicroOp(OpKind.STORE, pc=0x204, addr=X, size=8,
+                        store_value=1, deps=(1,)),
+            ]
+            writer_y = [
+                MicroOp(OpKind.ALU, pc=0x300, latency=delay + 15),
+                MicroOp(OpKind.STORE, pc=0x304, addr=Y, size=8,
+                        store_value=1, deps=(1,)),
+            ]
+            system = System(
+                params=SystemParams(num_cores=4),
+                config=ProcessorConfig(scheme=scheme,
+                                       consistency=ConsistencyModel.TSO),
+                traces=[
+                    ProgramTrace(reader(X, Y, 0)),
+                    ProgramTrace(reader(Y, X, 1)),
+                    ProgramTrace(writer_x),
+                    ProgramTrace(writer_y),
+                ],
+            )
+            system.run(max_cycles=2_000_000)
+            env0 = system.cores[0].env  # read x then y
+            env1 = system.cores[1].env  # read y then x
+            r0_sees_x_not_y = env0.get("a") == 1 and env0.get("b") == 0
+            r1_sees_y_not_x = env1.get("a") == 1 and env1.get("b") == 0
+            assert not (r0_sees_x_not_y and r1_sees_y_not_x), (
+                f"IRIW violation under {scheme.value} at delay={delay}"
+            )
+
+
+class TestStoreBuffering:
+    """SB: r1=0 and r2=0 is *allowed* under TSO (store->load reordering);
+    the stores must still both land in memory."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_stores_become_visible(self, scheme):
+        X, Y = DATA, FLAG
+        core0 = [
+            MicroOp(OpKind.STORE, pc=0x100, addr=X, size=8, store_value=1),
+            MicroOp(OpKind.LOAD, pc=0x104, addr=Y, size=8, dst="r1"),
+        ]
+        core1 = [
+            MicroOp(OpKind.STORE, pc=0x200, addr=Y, size=8, store_value=1),
+            MicroOp(OpKind.LOAD, pc=0x204, addr=X, size=8, dst="r2"),
+        ]
+        system = System(
+            params=SystemParams(num_cores=2),
+            config=ProcessorConfig(scheme=scheme,
+                                   consistency=ConsistencyModel.TSO),
+            traces=[ProgramTrace(core0), ProgramTrace(core1)],
+        )
+        system.run(max_cycles=2_000_000)
+        assert system.image.read(X, 8) == 1
+        assert system.image.read(Y, 8) == 1

@@ -1,0 +1,60 @@
+"""TSO and RC policy tests."""
+
+import pytest
+
+from repro.configs import ConsistencyModel
+from repro.consistency import RCPolicy, TSOPolicy, make_consistency_policy
+from repro.errors import ConfigError
+
+
+class TestFactory:
+    def test_builds_tso(self):
+        assert isinstance(
+            make_consistency_policy(ConsistencyModel.TSO), TSOPolicy
+        )
+
+    def test_builds_rc(self):
+        assert isinstance(make_consistency_policy(ConsistencyModel.RC), RCPolicy)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            make_consistency_policy("SC")
+
+
+class TestWriteBufferDiscipline:
+    def test_tso_is_fifo(self):
+        assert TSOPolicy.fifo_write_buffer
+
+    def test_rc_is_relaxed(self):
+        assert not RCPolicy.fifo_write_buffer
+
+
+class FakeCore:
+    def __init__(self, sync_seq=None):
+        self._sync_seq = sync_seq
+
+    def min_incomplete_sync_seq(self):
+        return self._sync_seq
+
+
+class FakeLoad:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+class TestBaselineSquashRules:
+    def test_tso_always_squashes_on_invalidation(self):
+        assert TSOPolicy().squash_on_invalidation(None, FakeLoad(5))
+
+    def test_rc_squashes_only_under_older_acquire(self):
+        policy = RCPolicy()
+        assert not policy.squash_on_invalidation(FakeCore(None), FakeLoad(5))
+        assert policy.squash_on_invalidation(FakeCore(2), FakeLoad(5))
+        assert not policy.squash_on_invalidation(FakeCore(9), FakeLoad(5))
+
+
+class TestRCValidationRule:
+    def test_validation_only_under_older_sync(self):
+        policy = RCPolicy()
+        assert not policy.usl_needs_validation(FakeCore(None), FakeLoad(5), True)
+        assert policy.usl_needs_validation(FakeCore(1), FakeLoad(5), True)

@@ -1,0 +1,126 @@
+"""Branch prediction structures: tournament, BTB, RAS."""
+
+from repro.cpu.branch import BTB, ReturnAddressStack, TournamentPredictor
+
+
+def train(predictor, pc, outcomes):
+    mispredicts = 0
+    for taken in outcomes:
+        predicted, checkpoint = predictor.predict(pc)
+        wrong = predicted != taken
+        mispredicts += wrong
+        predictor.update(pc, taken, checkpoint, wrong)
+    return mispredicts
+
+
+class TestTournamentPredictor:
+    def test_learns_always_taken(self):
+        predictor = TournamentPredictor()
+        train(predictor, 0x400, [True] * 50)
+        predicted, _ = predictor.predict(0x400)
+        assert predicted
+
+    def test_learns_always_not_taken(self):
+        predictor = TournamentPredictor()
+        train(predictor, 0x400, [False] * 50)
+        predicted, _ = predictor.predict(0x400)
+        assert not predicted
+
+    def test_biased_branch_asymptotic_accuracy(self):
+        import random
+
+        rng = random.Random(1)
+        predictor = TournamentPredictor()
+        outcomes = [rng.random() < 0.9 for _ in range(3000)]
+        mispredicts = train(predictor, 0x400, outcomes)
+        # A 90%-taken random branch: predictor should approach ~10% error.
+        assert mispredicts / len(outcomes) < 0.2
+
+    def test_learns_alternating_pattern_via_history(self):
+        predictor = TournamentPredictor()
+        outcomes = [bool(i % 2) for i in range(2000)]
+        mispredicts = train(predictor, 0x404, outcomes)
+        # Pattern is fully predictable from history: late error near zero.
+        late = train(predictor, 0x404, [bool(i % 2) for i in range(200)])
+        assert late < 20
+
+    def test_mistraining_flips_prediction(self):
+        """The Spectre primitive: the attacker's calls retrain the branch."""
+        predictor = TournamentPredictor()
+        train(predictor, 0x7000, [False] * 40)
+        predicted, _ = predictor.predict(0x7000)
+        assert not predicted
+        train(predictor, 0x7000, [True] * 40)
+        predicted, _ = predictor.predict(0x7000)
+        assert predicted
+
+    def test_squash_restore_rewinds_history(self):
+        predictor = TournamentPredictor()
+        train(predictor, 0x400, [True] * 20)
+        history = predictor.global_history
+        _predicted, checkpoint = predictor.predict(0x400)
+        assert predictor.global_history != history or True  # shifted
+        predictor.squash_restore(checkpoint)
+        assert predictor.global_history == history
+
+    def test_accuracy_property(self):
+        predictor = TournamentPredictor()
+        train(predictor, 0x400, [True] * 100)
+        assert 0.0 <= predictor.accuracy <= 1.0
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BTB(entries=16)
+        assert btb.lookup(0x400) is None
+        btb.update(0x400, 0x1234)
+        assert btb.lookup(0x400) == 0x1234
+
+    def test_aliasing_eviction(self):
+        btb = BTB(entries=16)
+        btb.update(0x400, 0x1111)
+        btb.update(0x400 + 16 * 4, 0x2222)  # same index, different tag
+        assert btb.lookup(0x400) is None
+        assert btb.lookup(0x400 + 16 * 4) == 0x2222
+
+    def test_flush(self):
+        btb = BTB(entries=16)
+        btb.update(0x400, 0x1111)
+        btb.flush()
+        assert btb.lookup(0x400) is None
+
+    def test_stats(self):
+        btb = BTB(entries=16)
+        btb.lookup(0x400)
+        btb.update(0x400, 1)
+        btb.lookup(0x400)
+        assert btb.stat_misses == 1
+        assert btb.stat_hits == 1
+
+
+class TestRAS:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(entries=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_circular_overwrite(self):
+        ras = ReturnAddressStack(entries=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)  # overwrites 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() == 3  # wrapped
+
+    def test_checkpoint_restore(self):
+        ras = ReturnAddressStack(entries=4)
+        ras.push(0x100)
+        checkpoint = ras.checkpoint()
+        ras.push(0x200)
+        ras.pop()
+        ras.pop()
+        ras.restore(checkpoint)
+        assert ras.pop() == 0x100

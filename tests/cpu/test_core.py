@@ -1,0 +1,223 @@
+"""End-to-end single-core pipeline tests with explicit programs."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from conftest import run_ops, simple_load_alu_ops
+
+from repro import ConsistencyModel, Scheme, SystemParams
+from repro.cpu import isa
+from repro.cpu.isa import MicroOp, OpKind
+
+
+class TestBasicPipeline:
+    def test_alu_program_retires_everything(self):
+        ops = [isa.alu(pc=i) for i in range(50)]
+        result, _ = run_ops(ops)
+        assert result.instructions == 50
+
+    def test_loads_and_alus(self):
+        result, _ = run_ops(simple_load_alu_ops(10))
+        assert result.instructions == 20
+
+    def test_dependent_chain_serializes(self):
+        chained = [isa.alu(pc=i, latency=5, deps=(1,) if i else ()) for i in range(20)]
+        parallel = [isa.alu(pc=i, latency=5) for i in range(20)]
+        chained_result, _ = run_ops(chained)
+        parallel_result, _ = run_ops(parallel)
+        assert chained_result.cycles > parallel_result.cycles * 3
+
+    def test_compute_fn_dataflow(self):
+        ops = [
+            isa.alu(pc=0, dst="a", compute_fn=lambda env: 5),
+            isa.alu(pc=1, dst="b", deps=(1,), compute_fn=lambda env: env["a"] * 3),
+        ]
+        result, system = run_ops(ops)
+        assert system.cores[0].env["b"] == 15
+
+    def test_load_reads_initialized_memory(self):
+        ops = [isa.load(pc=0, addr=0x9000, size=8, dst="x")]
+        result, system = run_ops(ops, memory_init={0x9000: [0xAB, 0xCD]})
+        assert system.cores[0].env["x"] == 0xCDAB
+
+    def test_max_instructions_truncates(self):
+        ops = [isa.alu(pc=i) for i in range(100)]
+        result, _ = run_ops(ops, max_instructions=30)
+        assert result.instructions == 30
+
+
+class TestStores:
+    def test_store_reaches_memory(self):
+        ops = [isa.store(pc=0, addr=0x5000, size=8, value=0x77)]
+        result, system = run_ops(ops)
+        assert system.image.read(0x5000, 8) == 0x77
+
+    def test_store_to_load_forwarding(self):
+        ops = [
+            isa.store(pc=0, addr=0x5000, size=8, value=42),
+            isa.load(pc=1, addr=0x5000, size=8, dst="x"),
+        ]
+        result, system = run_ops(ops)
+        assert system.cores[0].env["x"] == 42
+        assert result.count("core.store_forwards") == 1
+
+    def test_stores_drain_in_order_under_tso(self):
+        ops = [
+            isa.store(pc=i, addr=0x5000 + 8 * i, size=8, value=i)
+            for i in range(10)
+        ]
+        result, system = run_ops(ops, consistency=ConsistencyModel.TSO)
+        for i in range(10):
+            assert system.image.read(0x5000 + 8 * i, 8) == i
+
+    def test_store_load_alias_squash(self):
+        """A load bypasses an unresolved older store to the same address
+        and is squashed when the store resolves (the SSB mechanism)."""
+        slow = isa.load(pc=0, addr=0xA000, size=8, dst="p")
+        store = MicroOp(
+            OpKind.STORE, pc=1, size=8, store_value=1,
+            addr_fn=lambda env: 0xB000, deps=(1,),
+        )
+        load = isa.load(pc=2, addr=0xB000, size=8, dst="x")
+        result, system = run_ops([slow, store, load])
+        assert result.count("core.store_load_alias_squashes") >= 1
+        # Architecturally the load must see the store's value.
+        assert system.cores[0].env["x"] == 1
+
+
+class TestBranches:
+    def _branch_program(self, taken_pattern):
+        ops = []
+        for i, taken in enumerate(taken_pattern):
+            ops.append(isa.alu(pc=0x100 + i))
+            ops.append(isa.branch(pc=0x500, taken=taken))
+        return ops
+
+    def test_predictable_branches_rarely_squash(self):
+        # Warmup mispredicts only: the global history must fill with ones
+        # (~12 branches) before every component predicts taken.
+        result, _ = run_ops(self._branch_program([True] * 60))
+        assert result.count("core.squashes.branch") <= 14
+        # And the tail is clean: a longer run adds almost no squashes.
+        longer, _ = run_ops(self._branch_program([True] * 200))
+        assert (
+            longer.count("core.squashes.branch")
+            <= result.count("core.squashes.branch") + 2
+        )
+
+    def test_alternating_branches_learned(self):
+        result, _ = run_ops(self._branch_program([bool(i % 2) for i in range(80)]))
+        # The tournament predictor learns the alternation quickly.
+        assert result.count("core.squashes.branch") <= 20
+
+    def test_mispredicted_branch_squashes_and_replays(self):
+        # A branch the predictor cannot know: single surprise not-taken
+        # after training taken.
+        pattern = [True] * 30 + [False] + [True] * 5
+        result, _ = run_ops(self._branch_program(pattern))
+        assert result.count("core.squashes.branch") >= 1
+        assert result.instructions == 2 * len(pattern)
+
+    def test_wrong_path_ops_never_retire(self):
+        branch = isa.branch(pc=0x500, taken=False)
+        wrong = [isa.load(pc=0x600, addr=0xC000, size=8)]
+        # Train the predictor to take this branch so it mispredicts.
+        train = []
+        for _ in range(30):
+            train.append(isa.branch(pc=0x500, taken=True))
+        ops = train + [branch, isa.alu(pc=0x700)]
+        result, system = run_ops(ops, wrong_paths={branch.uid: wrong})
+        assert result.instructions == len(ops)
+
+    def test_transient_loads_pollute_cache_in_base(self):
+        branch = isa.branch(pc=0x500, taken=False)
+        wrong = [isa.load(pc=0x600, addr=0xC000, size=8)]
+        train = [isa.branch(pc=0x500, taken=True) for _ in range(30)]
+        # Delay resolution so the wrong path executes.
+        slow = isa.load(pc=0x10, addr=0xD000, size=8, dst="d")
+        branch.deps = (1,)
+        ops = train + [slow, branch]
+        result, system = run_ops(
+            ops, scheme=Scheme.BASE, wrong_paths={branch.uid: wrong}
+        )
+        line = system.space.line_of(0xC000)
+        assert system.hierarchy.l1s[0].contains(line)  # the leak
+
+    def test_transient_loads_invisible_under_invisispec(self):
+        branch = isa.branch(pc=0x500, taken=False)
+        wrong = [isa.load(pc=0x600, addr=0xC000, size=8)]
+        train = [isa.branch(pc=0x500, taken=True) for _ in range(30)]
+        slow = isa.load(pc=0x10, addr=0xD000, size=8, dst="d")
+        branch.deps = (1,)
+        ops = train + [slow, branch]
+        result, system = run_ops(
+            ops, scheme=Scheme.IS_SPECTRE, wrong_paths={branch.uid: wrong}
+        )
+        line = system.space.line_of(0xC000)
+        assert not system.hierarchy.l1s[0].contains(line)
+        bank = system.hierarchy.bank_of(line)
+        assert not system.hierarchy.l2[bank].contains(line)
+
+
+class TestFences:
+    def test_fence_spectre_inserts_fences(self):
+        ops = []
+        for i in range(20):
+            ops.append(isa.branch(pc=0x500, taken=True))
+            ops.append(isa.load(pc=0x100, addr=0x1000 + 64 * i, size=8))
+        base, _ = run_ops(list(ops), scheme=Scheme.BASE)
+        fenced, _ = run_ops(list(ops), scheme=Scheme.FENCE_SPECTRE)
+        assert fenced.cycles > base.cycles
+
+    def test_fence_future_slower_than_fence_spectre(self):
+        ops = simple_load_alu_ops(25)
+        fe_sp, _ = run_ops(list(ops), scheme=Scheme.FENCE_SPECTRE)
+        fe_fu, _ = run_ops(list(ops), scheme=Scheme.FENCE_FUTURE)
+        assert fe_fu.cycles >= fe_sp.cycles
+
+    def test_explicit_fence_orders_execution(self):
+        ops = [
+            isa.load(pc=0, addr=0xE000, size=8),
+            isa.fence(pc=1),
+            isa.load(pc=2, addr=0xE040, size=8),
+        ]
+        result, _ = run_ops(ops)
+        assert result.instructions == 3
+
+
+class TestExceptions:
+    def test_exception_squashes_younger_and_retires(self):
+        ops = [
+            isa.alu(pc=0),
+            MicroOp(OpKind.EXCEPTION, pc=1),
+            isa.alu(pc=2),
+            isa.alu(pc=3),
+        ]
+        result, _ = run_ops(ops)
+        assert result.count("core.exceptions") == 1
+        assert result.instructions == 4  # younger ops re-fetched and retired
+
+    def test_exception_wrong_path_arm_is_transient(self):
+        fault = MicroOp(OpKind.EXCEPTION, pc=1, deps=(1,))
+        transient = [isa.load(pc=0x600, addr=0xC4C0, size=8)]
+        slow = isa.load(pc=0, addr=0xF000, size=8, dst="d")
+        ops = [slow, fault, isa.alu(pc=2)]
+        result, system = run_ops(ops, wrong_paths={fault.uid: transient})
+        assert result.instructions == 3
+        # Transient op executed (cache polluted under Base) but not retired.
+        assert system.hierarchy.l1s[0].contains(system.space.line_of(0xC4C0))
+
+
+class TestInterrupts:
+    def test_timer_interrupt_squashes_and_recovers(self):
+        params = SystemParams.for_spec().replace(
+            core=SystemParams().core.__class__(interrupt_interval=200),
+        )
+        ops = simple_load_alu_ops(40, base=0x2000)
+        result, _ = run_ops(ops, params=params)
+        assert result.instructions == 80
+        assert result.count("core.squashes.interrupt") >= 1

@@ -1,0 +1,118 @@
+"""Squash/replay edge cases in the pipeline."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from conftest import run_ops
+
+from repro import Scheme
+from repro.cpu import isa
+from repro.cpu.isa import MicroOp, OpKind
+
+
+def trained_mispredict(wrong_arm, extra_tail=()):
+    """30 taken branches, then a surprise not-taken with ``wrong_arm``."""
+    train = [isa.branch(pc=0x500, taken=True) for _ in range(30)]
+    slow = isa.load(pc=0x10, addr=0xF000, size=8, dst="d")
+    branch = isa.branch(pc=0x500, taken=False, deps=(1,))
+    ops = train + [slow, branch] + list(extra_tail)
+    return ops, {branch.uid: list(wrong_arm)}
+
+
+class TestNestedWrongPath:
+    def test_wrong_path_branches_do_not_redirect(self):
+        """A mispredicted branch inside a wrong path must not retrain the
+        frontend or squash anything."""
+        wrong = [
+            isa.branch(pc=0x900, taken=True),
+            isa.load(pc=0x904, addr=0xC000, size=8),
+            isa.branch(pc=0x908, taken=False),
+            isa.alu(pc=0x90C),
+        ]
+        ops, arms = trained_mispredict(wrong, extra_tail=[isa.alu(pc=0x700)])
+        result, _ = run_ops(ops, wrong_paths=arms)
+        assert result.instructions == len(ops)
+
+    def test_wrong_path_exhaustion_idles_frontend(self):
+        """A short wrong-path arm simply runs out; the core waits for the
+        branch to resolve and then recovers."""
+        ops, arms = trained_mispredict([isa.alu(pc=0x900)],
+                                       extra_tail=[isa.alu(pc=0x700)] * 5)
+        result, _ = run_ops(ops, wrong_paths=arms)
+        assert result.instructions == len(ops)
+
+
+class TestSquashDuringMemory:
+    def test_inflight_load_response_after_squash_is_ignored(self):
+        """A DRAM response landing after its load was squashed must not
+        corrupt the replayed load."""
+        wrong = [isa.load(pc=0x900, addr=0xC000, size=8, dst="w")]
+        tail = [isa.load(pc=0x700, addr=0xE000, size=8, dst="x")]
+        ops, arms = trained_mispredict(wrong, extra_tail=tail)
+        result, system = run_ops(
+            ops, wrong_paths=arms, memory_init={0xE000: [5]}
+        )
+        assert system.cores[0].env["x"] == 5
+        assert result.instructions == len(ops)
+
+    def test_squashed_store_never_reaches_memory(self):
+        wrong = [
+            MicroOp(OpKind.STORE, pc=0x900, addr=0xC800, size=8,
+                    store_value=0xBAD),
+        ]
+        ops, arms = trained_mispredict(wrong)
+        result, system = run_ops(ops, wrong_paths=arms)
+        assert system.image.read(0xC800, 8) == 0  # never performed
+
+    def test_replay_preserves_memory_semantics(self):
+        """A consistency-style squash replays the load; the architected
+        value is the final memory value."""
+        ops = [
+            isa.store(pc=0x100, addr=0x5000, size=8, value=7),
+            isa.load(pc=0x104, addr=0x5000, size=8, dst="x"),
+            isa.alu(pc=0x108, deps=(1,)),
+        ]
+        result, system = run_ops(ops)
+        assert system.cores[0].env["x"] == 7
+
+
+class TestEpochDiscipline:
+    def test_epoch_increments_per_squash(self):
+        wrong = [isa.load(pc=0x900, addr=0xC000, size=8)]
+        ops, arms = trained_mispredict(wrong)
+        result, system = run_ops(ops, wrong_paths=arms, scheme=Scheme.IS_FUTURE)
+        core = system.cores[0]
+        squashes = sum(
+            result.count(f"core.squashes.{r}")
+            for r in ("branch", "consistency", "validation_fail",
+                      "store_alias", "interrupt", "exception")
+        )
+        assert core.epoch == squashes
+        assert squashes >= 1
+
+    def test_lq_sq_empty_after_completion(self):
+        wrong = [isa.load(pc=0x900, addr=0xC000, size=8)]
+        ops, arms = trained_mispredict(
+            wrong,
+            extra_tail=[isa.store(pc=0x700, addr=0x6000, size=8, value=1)],
+        )
+        _result, system = run_ops(ops, wrong_paths=arms)
+        core = system.cores[0]
+        assert len(core.lq) == 0
+        assert len(core.sq) == 0
+        assert core.rob.empty
+
+
+class TestRetireOrdering:
+    def test_instructions_retire_in_stream_order(self):
+        """Replay bookkeeping guarantees in-order retirement positions."""
+        ops = []
+        for i in range(15):
+            ops.append(isa.branch(pc=0x500, taken=bool(i % 3)))
+            ops.append(isa.load(pc=0x20, addr=0x1000 + 64 * i, size=8))
+            ops.append(isa.alu(pc=0x30, deps=(1,)))
+        result, system = run_ops(ops)
+        assert result.instructions == len(ops)
+        assert system.cores[0].replay.retire_pos == len(ops)

@@ -1,0 +1,44 @@
+"""I-fetch traffic model tests."""
+
+from repro.cpu.icache import ICacheTrafficModel
+from repro.network.noc import NoC, TrafficCategory
+from repro.params import NetworkParams
+
+
+def make_model(miss_rate):
+    noc = NoC(NetworkParams())
+    return ICacheTrafficModel(noc, core_node=0, bank_node=0,
+                              miss_rate=miss_rate), noc
+
+
+class TestICacheTrafficModel:
+    def test_zero_rate_is_silent(self):
+        model, noc = make_model(0.0)
+        model.on_fetch(10_000)
+        assert noc.total_bytes == 0
+
+    def test_misses_accumulate_deterministically(self):
+        model, _ = make_model(0.01)
+        model.on_fetch(1000)
+        assert model.stat_misses == 10
+
+    def test_fractional_accumulation_carries(self):
+        model, _ = make_model(0.001)
+        for _ in range(10):
+            model.on_fetch(250)
+        assert model.stat_misses == 2  # 2500 * 0.001
+
+    def test_each_miss_is_a_line_transfer(self):
+        model, noc = make_model(0.01)
+        model.on_fetch(100)
+        # One request (8 B) + one data response (72 B) per miss.
+        assert noc.total_bytes == 80
+        assert noc.bytes_by_category[TrafficCategory.NORMAL] == 80
+
+    def test_same_inputs_same_traffic(self):
+        a, noc_a = make_model(0.0037)
+        b, noc_b = make_model(0.0037)
+        for chunk in (17, 130, 1000, 3):
+            a.on_fetch(chunk)
+            b.on_fetch(chunk)
+        assert noc_a.total_bytes == noc_b.total_bytes

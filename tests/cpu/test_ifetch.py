@@ -1,0 +1,71 @@
+"""Real L1-I cache tests."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from conftest import run_ops, simple_load_alu_ops
+
+from repro import SystemParams
+from repro.cpu import isa
+from repro.cpu.ifetch import InstructionFetchUnit
+from repro.network.noc import NoC
+from repro.params import NetworkParams
+
+
+def ifetch_params():
+    return SystemParams.for_spec().replace(model_l1i=True)
+
+
+class TestInstructionFetchUnit:
+    def make_unit(self):
+        params = SystemParams.for_spec()
+        return InstructionFetchUnit(params, NoC(NetworkParams()), 0, 0)
+
+    def test_miss_then_hit(self):
+        unit = self.make_unit()
+        assert not unit.access(0, 0x1000)
+        assert not unit.ready(1)
+        assert unit.ready(100)
+        assert unit.access(100, 0x1000)
+        assert unit.access(100, 0x1020)  # same line
+
+    def test_traffic_accounted(self):
+        unit = self.make_unit()
+        unit.access(0, 0x1000)
+        assert unit.noc.total_bytes == 80
+
+    def test_cancel_abandons_fill(self):
+        unit = self.make_unit()
+        unit.access(0, 0x1000)
+        unit.cancel()
+        assert unit.ready(0)
+        # The line never landed; re-access misses again.
+        assert not unit.access(200, 0x1000)
+
+
+class TestIFetchIntegration:
+    def test_program_completes_with_real_l1i(self):
+        result, system = run_ops(
+            simple_load_alu_ops(20), params=ifetch_params()
+        )
+        assert result.instructions == 40
+        assert system.cores[0].ifetch.stat_misses > 0
+        assert system.cores[0].ifetch.stat_hits > 0
+
+    def test_fetch_misses_slow_the_frontend(self):
+        # Spread PCs across many lines so fetch misses dominate.
+        ops = [isa.alu(pc=0x1_0000 + 64 * i) for i in range(60)]
+        cold, _ = run_ops(list(ops), params=ifetch_params())
+        dense = [isa.alu(pc=0x1_0000 + 4 * i) for i in range(60)]
+        warm, _ = run_ops(dense, params=ifetch_params())
+        assert cold.cycles > warm.cycles
+
+    def test_squash_with_pending_ifetch_recovers(self):
+        ops = []
+        for i in range(20):
+            ops.append(isa.branch(pc=0x2_0000 + 64 * i, taken=(i % 2 == 0)))
+            ops.append(isa.alu(pc=0x3_0000 + 64 * i))
+        result, _ = run_ops(ops, params=ifetch_params())
+        assert result.instructions == len(ops)

@@ -1,0 +1,45 @@
+"""Interrupt unit tests (Section VI-D)."""
+
+from repro.cpu.interrupts import InterruptUnit
+
+
+class TestInterruptUnit:
+    def test_disabled_timer_never_fires(self):
+        unit = InterruptUnit(interval=0)
+        assert not unit.should_fire(10_000)
+
+    def test_fires_on_schedule(self):
+        unit = InterruptUnit(interval=100)
+        assert not unit.should_fire(50)
+        assert unit.should_fire(100)
+        assert not unit.should_fire(150)
+        assert unit.should_fire(200)
+
+    def test_disable_window_delays_interrupt(self):
+        unit = InterruptUnit(interval=100)
+        assert unit.disable_until_head()
+        assert not unit.should_fire(100)
+        assert unit.pending
+        unit.on_head_retired(120)
+        assert unit.should_fire(121)
+
+    def test_disable_refused_while_pending(self):
+        """Anti-starvation: a pending interrupt blocks a new window."""
+        unit = InterruptUnit(interval=100)
+        unit.disable_until_head()
+        unit.should_fire(100)  # delayed: becomes pending
+        unit.on_head_retired(110)  # window closes, interrupt still pending
+        assert not unit.disable_until_head()  # refused until it fires
+        assert unit.should_fire(111)
+        assert unit.disable_until_head()  # allowed again afterwards
+
+    def test_catches_up_after_long_gap(self):
+        unit = InterruptUnit(interval=100)
+        assert unit.should_fire(500)
+        assert unit.next_at > 500
+
+    def test_delayed_stat(self):
+        unit = InterruptUnit(interval=10)
+        unit.disable_until_head()
+        unit.should_fire(10)
+        assert unit.stat_delayed == 1

@@ -1,0 +1,63 @@
+"""Micro-op vocabulary tests."""
+
+from repro.cpu import isa
+from repro.cpu.isa import MicroOp, OpKind
+
+
+class TestOpKind:
+    def test_memory_kinds(self):
+        assert OpKind.LOAD.is_memory
+        assert OpKind.STORE.is_memory
+        assert OpKind.PREFETCH.is_memory
+        assert not OpKind.ALU.is_memory
+        assert not OpKind.BRANCH.is_memory
+
+    def test_fence_like_kinds(self):
+        for kind in (OpKind.FENCE, OpKind.ACQUIRE, OpKind.RELEASE):
+            assert kind.is_fence_like
+        assert not OpKind.LOAD.is_fence_like
+
+
+class TestMicroOp:
+    def test_uids_unique_and_monotonic(self):
+        ops = [MicroOp(OpKind.ALU) for _ in range(10)]
+        uids = [op.uid for op in ops]
+        assert len(set(uids)) == 10
+        assert uids == sorted(uids)
+
+    def test_repr_mentions_kind_and_addr(self):
+        op = MicroOp(OpKind.LOAD, pc=0x10, addr=0x1234, label="access")
+        text = repr(op)
+        assert "load" in text
+        assert "0x1234" in text
+        assert "access" in text
+
+    def test_addr_fn_evaluated_against_env(self):
+        op = MicroOp(OpKind.LOAD, addr_fn=lambda env: 0x100 + env["x"])
+        assert op.addr is None
+        assert op.addr_fn({"x": 8}) == 0x108
+
+
+class TestConstructors:
+    def test_load_helper(self):
+        op = isa.load(pc=1, addr=0x40, size=4, dst="r1", deps=(2,))
+        assert op.kind is OpKind.LOAD
+        assert (op.pc, op.addr, op.size, op.dst, op.deps) == (1, 0x40, 4, "r1", (2,))
+
+    def test_store_helper(self):
+        op = isa.store(pc=2, addr=0x80, value=7)
+        assert op.kind is OpKind.STORE
+        assert op.store_value == 7
+
+    def test_branch_helper(self):
+        op = isa.branch(pc=3, taken=True, latency=5)
+        assert op.kind is OpKind.BRANCH
+        assert op.taken
+        assert op.latency == 5
+
+    def test_alu_helper_with_compute(self):
+        op = isa.alu(pc=4, dst="y", compute_fn=lambda env: 9)
+        assert op.compute_fn({}) == 9
+
+    def test_fence_helper(self):
+        assert isa.fence(pc=5).kind is OpKind.FENCE

@@ -1,0 +1,95 @@
+"""Hardware-prefetcher integration: visible-only training (Section VI-B)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import dataclasses
+
+from conftest import run_ops
+
+from repro import Scheme, SystemParams
+from repro.cpu import isa
+
+
+def prefetch_params(degree=2):
+    base = SystemParams.for_spec()
+    return base.replace(core=dataclasses.replace(base.core, prefetch_degree=degree))
+
+
+def streaming_ops(n=30, base=0x2_0000):
+    """A perfectly strided load stream from one PC."""
+    return [isa.load(pc=0x100, addr=base + 64 * i, size=8) for i in range(n)]
+
+
+class TestPrefetcherIntegration:
+    def test_disabled_by_default(self):
+        result, system = run_ops(streaming_ops())
+        assert system.cores[0].prefetcher is None
+        assert result.count("core.hw_prefetches_issued") == 0
+
+    def test_streaming_triggers_prefetches(self):
+        result, _ = run_ops(streaming_ops(), params=prefetch_params())
+        assert result.count("core.hw_prefetches_issued") > 0
+
+    def test_prefetched_lines_land_in_cache(self):
+        result, system = run_ops(streaming_ops(40), params=prefetch_params())
+        # Far end of the stream was prefetched ahead of demand.
+        hits = result.count("hierarchy.l1_hits.load")
+        assert hits > 0
+
+    def test_random_stream_stays_quiet(self):
+        ops = [
+            isa.load(pc=0x100, addr=0x2_0000 + 64 * ((i * 37) % 97), size=8)
+            for i in range(30)
+        ]
+        result, _ = run_ops(ops, params=prefetch_params())
+        assert result.count("core.hw_prefetches_issued") == 0
+
+    def test_transient_loads_never_train_under_invisispec(self):
+        """A squashed wrong path full of strided loads must leave no
+        prefetch footprint under IS (Section VI-B)."""
+        train = [isa.branch(pc=0x500, taken=True) for _ in range(30)]
+        slow = isa.load(pc=0x10, addr=0xF000, size=8, dst="d")
+        branch = isa.branch(pc=0x500, taken=False, deps=(1,))
+        wrong = [
+            isa.load(pc=0x700, addr=0x8_0000 + 64 * i, size=8) for i in range(8)
+        ]
+        ops = train + [slow, branch]
+        result, system = run_ops(
+            ops,
+            scheme=Scheme.IS_FUTURE,
+            params=prefetch_params(),
+            wrong_paths={branch.uid: wrong},
+        )
+        # No prefetch was issued for the transient stride.
+        prefetched_region = [
+            line
+            for line in system.hierarchy.l1s[0].resident_lines()
+            if 0x8_0000 <= line < 0x9_0000
+        ]
+        assert prefetched_region == []
+
+    def test_transient_loads_do_train_in_base(self):
+        """The contrast: the insecure baseline prefetches down the wrong
+        path, leaving an even larger footprint."""
+        train = [isa.branch(pc=0x500, taken=True) for _ in range(30)]
+        slow = isa.load(pc=0x10, addr=0xF000, size=8, dst="d")
+        branch = isa.branch(pc=0x500, taken=False, deps=(1,))
+        wrong = [
+            isa.load(pc=0x700, addr=0x8_0000 + 64 * i, size=8) for i in range(8)
+        ]
+        ops = train + [slow, branch]
+        result, system = run_ops(
+            ops,
+            scheme=Scheme.BASE,
+            params=prefetch_params(),
+            wrong_paths={branch.uid: wrong},
+        )
+        touched = [
+            line
+            for line in system.hierarchy.l1s[0].resident_lines()
+            if 0x8_0000 <= line < 0x9_0000
+        ]
+        assert len(touched) > 0

@@ -1,0 +1,47 @@
+"""Lazy min-seq tracker tests."""
+
+from repro.cpu.tracking import LazyMinTracker
+
+
+class FakeEntry:
+    def __init__(self, seq):
+        self.seq = seq
+        self.squashed = False
+        self.active = True
+
+
+class TestLazyMinTracker:
+    def test_min_of_active(self):
+        tracker = LazyMinTracker(lambda e: e.active)
+        entries = [FakeEntry(i) for i in (5, 2, 9)]
+        for e in entries:
+            tracker.push(e)
+        assert tracker.min_seq() == 2
+
+    def test_inactive_head_is_skipped(self):
+        tracker = LazyMinTracker(lambda e: e.active)
+        a, b = FakeEntry(1), FakeEntry(2)
+        tracker.push(a)
+        tracker.push(b)
+        a.active = False
+        assert tracker.min_seq() == 2
+
+    def test_squashed_is_inactive(self):
+        tracker = LazyMinTracker(lambda e: e.active)
+        a = FakeEntry(1)
+        tracker.push(a)
+        a.squashed = True
+        assert tracker.min_seq() is None
+
+    def test_empty_returns_none(self):
+        assert LazyMinTracker(lambda e: True).min_seq() is None
+
+    def test_lazy_deletion_shrinks_heap(self):
+        tracker = LazyMinTracker(lambda e: e.active)
+        entries = [FakeEntry(i) for i in range(10)]
+        for e in entries:
+            tracker.push(e)
+        for e in entries[:9]:
+            e.active = False
+        assert tracker.min_seq() == 9
+        assert len(tracker) == 1

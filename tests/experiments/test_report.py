@@ -1,0 +1,45 @@
+"""Report-generation tests."""
+
+from repro.experiments import figure5, report, table7
+from repro.experiments.common import ExperimentResult
+
+
+def fake_figure4():
+    headers = ["app", "Base", "Fe-Sp", "IS-Sp", "Fe-Fu", "IS-Fu", "x", "y"]
+    rows = [
+        ["mcf", 1.0, 2.2, 1.05, 3.3, 1.2, 0, 0],
+        ["average", 1.0, 2.19, 1.10, 3.72, 1.30, "", ""],
+        ["RC-average", 1.0, 4.0, 1.07, 6.9, 1.34, "", ""],
+    ]
+    return ExperimentResult("figure4", "Fig 4", headers, rows)
+
+
+class TestBuildReport:
+    def test_report_includes_paper_numbers(self):
+        text = report.build_report({"figure4": fake_figure4()})
+        assert "1.88" in text  # paper Fe-Sp
+        assert "1.1" in text  # measured IS-Sp
+        assert "Figure 4" in text
+
+    def test_report_with_table7(self):
+        result = table7.run()
+        text = report.build_report({"table7": result})
+        assert "Table VII" in text
+        assert "0.0174" in text
+
+    def test_security_matrix_always_present(self):
+        text = report.build_report({})
+        assert "Security matrix" in text
+        assert "Spectre v1" in text
+
+    def test_cli_run_with_saved_json(self, tmp_path):
+        fake_figure4().save_json(tmp_path / "figure4.json")
+        text = report.run(results_dir=str(tmp_path))
+        assert "Figure 4" in text
+
+    def test_cli_run_writes_out(self, tmp_path):
+        fake_figure4().save_json(tmp_path / "figure4.json")
+        out = tmp_path / "EXPERIMENTS.md"
+        report.run(results_dir=str(tmp_path), out=str(out))
+        assert out.exists()
+        assert "paper vs. measured" in out.read_text()

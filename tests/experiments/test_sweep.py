@@ -1,0 +1,33 @@
+"""Parameter-sweep experiment smoke test (tiny budget)."""
+
+from repro.experiments import sweep
+
+
+class TestVariance:
+    def test_variance_rows(self):
+        from repro.experiments import variance
+
+        result = variance.run(apps=("hmmer",), instructions=400,
+                              seeds=(0, 1))
+        row = result.row_for("hmmer")
+        assert row is not None
+        assert row[1] > 0.5  # IS-Sp mean overhead factor
+        assert row[2] >= 0.0  # std
+
+
+class TestSweep:
+    def test_single_dimension_rows(self):
+        result = sweep.run(app="hmmer", dimensions=("lq",), instructions=500)
+        labels = [row[0] for row in result.rows]
+        assert labels == ["lq:LQ=16", "lq:LQ=32", "lq:LQ=64"]
+        for row in result.rows:
+            assert row[1] > 0  # base cycles
+            assert row[2] > 0  # IS-Fu cycles
+            assert row[3].endswith("%")
+
+    def test_dram_dimension_monotone_base(self):
+        result = sweep.run(app="hmmer", dimensions=("dram",),
+                           instructions=500)
+        base_cycles = [row[1] for row in result.rows]
+        # Higher DRAM latency never speeds up the baseline.
+        assert base_cycles == sorted(base_cycles)

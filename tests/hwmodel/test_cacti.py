@@ -1,0 +1,56 @@
+"""Hardware cost model tests (Table VII magnitudes)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hwmodel import SRAMModel, estimate_invisispec_overhead
+
+
+class TestSRAMModel:
+    def test_bigger_array_bigger_area(self):
+        model = SRAMModel()
+        small = model.estimate("s", entries=32, entry_bits=512)
+        big = model.estimate("b", entries=128, entry_bits=512)
+        assert big.area_mm2 > small.area_mm2
+
+    def test_cam_costs_more_leakage(self):
+        model = SRAMModel()
+        ram = model.estimate("ram", entries=32, entry_bits=512)
+        cam = model.estimate("cam", entries=32, entry_bits=512, tag_bits=54,
+                             is_cam=True)
+        assert cam.leakage_mw > ram.leakage_mw
+
+    def test_node_scaling(self):
+        small_node = SRAMModel(node_nm=16).estimate("x", 32, 512)
+        big_node = SRAMModel(node_nm=32).estimate("x", 32, 512)
+        assert big_node.area_mm2 > small_node.area_mm2
+        assert big_node.read_energy_pj > small_node.read_energy_pj
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            SRAMModel(node_nm=0)
+        with pytest.raises(ConfigError):
+            SRAMModel().estimate("x", entries=0, entry_bits=512)
+
+
+class TestTableVII:
+    def test_magnitudes_match_paper(self):
+        l1_sb, llc_sb = estimate_invisispec_overhead()
+        # Paper: 0.0174 / 0.0176 mm^2; 97.1 ps; 4.4/4.3 pJ; 0.56/0.61 mW.
+        assert 0.010 <= l1_sb.area_mm2 <= 0.025
+        assert 0.010 <= llc_sb.area_mm2 <= 0.025
+        assert 80 <= l1_sb.access_time_ps <= 120
+        assert 3.0 <= l1_sb.read_energy_pj <= 6.0
+        assert 0.3 <= l1_sb.leakage_mw <= 0.9
+        assert 0.3 <= llc_sb.leakage_mw <= 0.9
+
+    def test_overhead_is_tiny(self):
+        """The paper's point: both buffers add well under 0.05 mm^2/core."""
+        total = sum(e.area_mm2 for e in estimate_invisispec_overhead())
+        assert total < 0.05
+
+    def test_rows_render(self):
+        for estimate in estimate_invisispec_overhead():
+            row = estimate.as_row()
+            assert row[0] in ("L1-SB", "LLC-SB")
+            assert all(isinstance(v, (int, float)) for v in row[1:])

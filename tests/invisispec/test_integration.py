@@ -1,0 +1,133 @@
+"""End-to-end InvisiSpec behaviour on the full pipeline."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from conftest import run_ops, simple_load_alu_ops
+
+from repro import ConsistencyModel, Scheme
+from repro.cpu import isa
+
+
+class TestUSLLifecycle:
+    def test_usls_classified_and_made_visible(self):
+        # Delay branch resolution so the loads behind it are USLs.
+        ops = []
+        for i in range(20):
+            ops.append(isa.load(pc=0x10, addr=0xD000 + 64 * i, size=8, dst="d"))
+            ops.append(isa.branch(pc=0x500, taken=True, deps=(1,)))
+            ops.append(isa.load(pc=0x20, addr=0x1000 + 64 * i, size=8))
+        result, _ = run_ops(ops, scheme=Scheme.IS_SPECTRE)
+        assert result.count("invisispec.usls") > 0
+        visible = (
+            result.count("invisispec.validations")
+            + result.count("invisispec.exposures")
+        )
+        assert visible > 0
+        assert result.instructions == len(ops)
+
+    def test_tso_mostly_validations(self):
+        result, _ = run_ops(
+            simple_load_alu_ops(40),
+            scheme=Scheme.IS_FUTURE,
+            consistency=ConsistencyModel.TSO,
+        )
+        vals = result.count("invisispec.validations")
+        exps = result.count("invisispec.exposures")
+        assert vals + exps > 0
+        assert vals >= exps  # Section V-C: TSO forces validations
+
+    def test_rc_practically_all_exposures(self):
+        result, _ = run_ops(
+            simple_load_alu_ops(40),
+            scheme=Scheme.IS_FUTURE,
+            consistency=ConsistencyModel.RC,
+        )
+        vals = result.count("invisispec.validations")
+        exps = result.count("invisispec.exposures")
+        assert exps > 0
+        assert vals == 0  # no older acquires anywhere
+
+    def test_every_usl_becomes_visible_or_squashed(self):
+        result, system = run_ops(
+            simple_load_alu_ops(30), scheme=Scheme.IS_FUTURE
+        )
+        # At completion the LQ is empty: nothing left invisible.
+        assert len(system.cores[0].lq) == 0
+        assert result.instructions == 60
+
+    def test_validation_failures_zero_single_core(self):
+        result, _ = run_ops(simple_load_alu_ops(40), scheme=Scheme.IS_FUTURE)
+        assert result.count("invisispec.validation_failures") == 0
+
+    def test_same_line_usls_share_one_spec_gets(self):
+        """Section V-E: a later USL to the same line copies the SB entry."""
+        ops = []
+        # Train the branch taken, so the shadow loads are fetched down the
+        # (correct) predicted path while the branch is unresolved.
+        ops.extend(isa.branch(pc=0x500, taken=True) for _ in range(30))
+        # Drain speculation, then warm the page's TLB entry architecturally
+        # (a cold page would defer the USLs instead of filling the SB).
+        ops.append(isa.fence(pc=0x0C))
+        ops.append(isa.load(pc=0x08, addr=0x1800, size=8))
+        # Keep the loads speculative behind a slow branch.
+        ops.append(isa.load(pc=0x10, addr=0xF000, size=8, dst="d"))
+        ops.append(isa.branch(pc=0x500, taken=True, deps=(1,)))
+        for i in range(4):
+            ops.append(isa.load(pc=0x20 + i, addr=0x1000 + 8 * i, size=8))
+        result, _ = run_ops(ops, scheme=Scheme.IS_SPECTRE)
+        assert (
+            result.count("invisispec.sb_hits")
+            + result.count("invisispec.sb_merge_waits")
+        ) >= 1
+
+    def test_usl_value_comes_from_sb_line(self):
+        ops = [
+            isa.load(pc=0x10, addr=0xF000, size=8, dst="d"),
+            isa.branch(pc=0x500, taken=True, deps=(1,)),
+            isa.load(pc=0x20, addr=0x2004, size=4, dst="x"),
+        ]
+        result, system = run_ops(
+            ops,
+            scheme=Scheme.IS_SPECTRE,
+            memory_init={0x2004: [0x11, 0x22, 0x33, 0x44]},
+        )
+        assert system.cores[0].env["x"] == 0x44332211
+
+    def test_deferred_tlb_walks_counted(self):
+        # Fresh pages touched speculatively: the walks defer to visibility.
+        ops = []
+        for i in range(12):
+            ops.append(isa.load(pc=0x10, addr=0xF000 + 64 * i, size=8, dst="d"))
+            ops.append(isa.branch(pc=0x500, taken=True, deps=(1,)))
+            ops.append(isa.load(pc=0x20, addr=0x40_0000 + 4096 * i, size=8))
+        result, _ = run_ops(ops, scheme=Scheme.IS_SPECTRE)
+        assert result.count("invisispec.tlb_deferred") > 0
+        assert result.instructions == len(ops)
+
+
+class TestExposureRetire:
+    def test_exposure_allows_retire_before_completion(self):
+        """Section V-A4: exposures never stall the pipeline."""
+        result, _ = run_ops(
+            simple_load_alu_ops(40),
+            scheme=Scheme.IS_FUTURE,
+            consistency=ConsistencyModel.RC,
+        )
+        assert result.count("invisispec.validation_stall_cycles") == 0
+
+
+class TestSchemeComparison:
+    def test_invisispec_much_faster_than_fences(self):
+        ops = simple_load_alu_ops(60)
+        is_fu, _ = run_ops(list(ops), scheme=Scheme.IS_FUTURE)
+        fe_fu, _ = run_ops(list(ops), scheme=Scheme.FENCE_FUTURE)
+        assert is_fu.cycles < fe_fu.cycles
+
+    def test_is_spectre_overhead_below_is_future(self):
+        ops = simple_load_alu_ops(60)
+        is_sp, _ = run_ops(list(ops), scheme=Scheme.IS_SPECTRE)
+        is_fu, _ = run_ops(list(ops), scheme=Scheme.IS_FUTURE)
+        assert is_sp.cycles <= is_fu.cycles * 1.1

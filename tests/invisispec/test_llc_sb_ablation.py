@@ -1,0 +1,44 @@
+"""LLC-SB ablation behaviour end to end."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from conftest import run_ops, simple_load_alu_ops
+
+from repro import ConsistencyModel, ProcessorConfig, Scheme, SystemParams
+from repro.cpu.trace import ProgramTrace
+from repro.system import System
+
+
+def run_with(llc_sb_enabled):
+    ops = simple_load_alu_ops(40, base=0x5_0000)
+    system = System(
+        params=SystemParams.for_spec(),
+        config=ProcessorConfig(
+            scheme=Scheme.IS_FUTURE,
+            consistency=ConsistencyModel.TSO,
+            llc_sb_enabled=llc_sb_enabled,
+        ),
+        traces=[ProgramTrace(ops)],
+    )
+    return system.run(max_cycles=500_000)
+
+
+class TestLLCSBAblation:
+    def test_disabling_llc_sb_costs_dram_accesses(self):
+        with_sb = run_with(True)
+        without_sb = run_with(False)
+        assert without_sb.count("dram.accesses") > with_sb.count(
+            "dram.accesses"
+        )
+
+    def test_disabling_llc_sb_never_helps_latency(self):
+        with_sb = run_with(True)
+        without_sb = run_with(False)
+        assert without_sb.cycles >= with_sb.cycles * 0.95
+
+    def test_no_llc_sb_hits_when_disabled(self):
+        without_sb = run_with(False)
+        assert without_sb.count("invisispec.llc_sb_hits") == 0

@@ -1,0 +1,98 @@
+"""Speculative Buffer tests (Section VI-A + the Section VII invariants)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.invisispec.sb import SpeculativeBuffer
+
+
+LINE = tuple(range(64))
+
+
+class TestSpeculativeBuffer:
+    def test_allocate_resets_slot(self):
+        sb = SpeculativeBuffer(4)
+        sb.allocate(0)
+        sb.fill(0, 0x1000, LINE, version=1, address_mask=0xFF)
+        slot = sb.allocate(4)  # same physical slot (4 % 4 == 0)
+        assert not slot.valid or slot.data is None
+
+    def test_fill_and_read(self):
+        sb = SpeculativeBuffer(4)
+        sb.allocate(1)
+        slot = sb.fill(1, 0x1000, LINE, version=3, address_mask=0xF0)
+        assert slot.valid
+        assert slot.data == LINE
+        assert slot.version == 3
+        assert sb.read_bytes(1, 4, 4) == (4, 5, 6, 7)
+
+    def test_fill_for_reassigned_slot_dropped(self):
+        """A squashed USL's late fill must not land in the recycled slot."""
+        sb = SpeculativeBuffer(4)
+        sb.allocate(1)
+        sb.allocate(5)  # slot 1 recycled for LQ index 5
+        result = sb.fill(1, 0x1000, LINE, version=1, address_mask=1)
+        assert result is None
+        assert sb.entry(5).data is None
+
+    def test_copy_old_to_new(self):
+        sb = SpeculativeBuffer(8)
+        sb.allocate(2)
+        sb.fill(2, 0x1000, LINE, version=1, address_mask=0xFF)
+        sb.allocate(5)
+        dst = sb.copy(2, 5, address_mask=0xF00)
+        assert dst.data == LINE
+        assert dst.lq_index == 5
+
+    def test_copy_from_younger_is_forbidden(self):
+        """Section VII: a load may never reuse a younger USL's data."""
+        sb = SpeculativeBuffer(8)
+        sb.allocate(5)
+        sb.fill(5, 0x1000, LINE, version=1, address_mask=0xFF)
+        sb.allocate(2)
+        with pytest.raises(SimulationError):
+            sb.copy(5, 2, address_mask=1)
+
+    def test_copy_from_invalid_raises(self):
+        sb = SpeculativeBuffer(8)
+        sb.allocate(1)
+        sb.allocate(2)
+        with pytest.raises(SimulationError):
+            sb.copy(1, 2, address_mask=1)
+
+    def test_invalidate_on_squash(self):
+        sb = SpeculativeBuffer(4)
+        sb.allocate(1)
+        sb.fill(1, 0x1000, LINE, version=1, address_mask=1)
+        sb.invalidate(1)
+        assert not sb.entry(1).valid
+
+    def test_invalidate_ignores_reassigned_slot(self):
+        sb = SpeculativeBuffer(4)
+        sb.allocate(5)
+        sb.fill(5, 0x1000, LINE, version=1, address_mask=1)
+        sb.invalidate(1)  # stale index for the same physical slot
+        assert sb.entry(5).valid
+
+    def test_store_forward_bytes_survive_fill(self):
+        """Section VI-A2: the Spec-GetS response must not overwrite bytes
+        forwarded from an older store."""
+        sb = SpeculativeBuffer(4)
+        sb.allocate(0)
+        sb.forward_from_store(0, 0x1000, offset=8, value_bytes=[0xAA, 0xBB])
+        fresh = tuple([0] * 64)
+        slot = sb.fill(0, 0x1000, fresh, version=2, address_mask=0x3 << 8)
+        assert slot.data[8] == 0xAA
+        assert slot.data[9] == 0xBB
+        assert slot.data[10] == 0
+
+    def test_read_invalid_raises(self):
+        sb = SpeculativeBuffer(4)
+        with pytest.raises(SimulationError):
+            sb.read_bytes(0, 0, 8)
+
+    def test_valid_entries(self):
+        sb = SpeculativeBuffer(4)
+        sb.allocate(0)
+        sb.fill(0, 0x1000, LINE, version=1, address_mask=1)
+        assert len(sb.valid_entries()) == 1

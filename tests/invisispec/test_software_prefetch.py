@@ -1,0 +1,73 @@
+"""Software-prefetch support (Section VI-B).
+
+A software prefetch under InvisiSpec is a two-step USL: an invisible
+prefetch into the SB, then an *exposure* at the visibility point (prefetches
+never need memory-consistency validation).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from conftest import run_ops
+
+from repro import Scheme
+from repro.cpu import isa
+from repro.cpu.isa import MicroOp, OpKind
+
+
+def prefetch_program(n=6):
+    """Warm TLB, then prefetches in a trained branch's shadow, then the
+    demand loads that consume them."""
+    ops = [isa.branch(pc=0x500, taken=True) for _ in range(30)]
+    ops.append(isa.fence(pc=0xC))
+    ops.append(isa.load(pc=0x8, addr=0x2800, size=8))  # warm the page
+    ops.append(isa.load(pc=0x10, addr=0xF0000, size=8, dst="d"))
+    ops.append(isa.branch(pc=0x500, taken=True, deps=(1,)))
+    for i in range(n):
+        ops.append(
+            MicroOp(OpKind.PREFETCH, pc=0x20 + 4 * i, addr=0x2000 + 64 * i,
+                    size=8)
+        )
+    for i in range(n):
+        ops.append(isa.load(pc=0x40 + 4 * i, addr=0x2000 + 64 * i, size=8))
+    return ops
+
+
+class TestSoftwarePrefetchUnderInvisiSpec:
+    def test_prefetches_use_exposures_not_validations(self):
+        result, _ = run_ops(prefetch_program(), scheme=Scheme.IS_SPECTRE)
+        assert result.count("invisispec.exposures") > 0
+
+    def test_program_retires_fully(self):
+        ops = prefetch_program()
+        result, system = run_ops(ops, scheme=Scheme.IS_FUTURE)
+        assert result.instructions == len(ops)
+        assert len(system.cores[0].lq) == 0
+
+    def test_speculative_prefetch_invisible_when_squashed(self):
+        """A prefetch on the wrong path must leave no cache footprint."""
+        train = [isa.branch(pc=0x500, taken=True) for _ in range(30)]
+        slow = isa.load(pc=0x10, addr=0xF0000, size=8, dst="d")
+        branch = isa.branch(pc=0x500, taken=False, deps=(1,))
+        wrong = [MicroOp(OpKind.PREFETCH, pc=0x600, addr=0xCCC0, size=8)]
+        ops = train + [slow, branch]
+        result, system = run_ops(
+            ops, scheme=Scheme.IS_FUTURE, wrong_paths={branch.uid: wrong}
+        )
+        line = system.space.line_of(0xCCC0)
+        assert not system.hierarchy.l1s[0].contains(line)
+        bank = system.hierarchy.bank_of(line)
+        assert not system.hierarchy.l2[bank].contains(line)
+
+    def test_wrong_path_prefetch_pollutes_in_base(self):
+        train = [isa.branch(pc=0x500, taken=True) for _ in range(30)]
+        slow = isa.load(pc=0x10, addr=0xF0000, size=8, dst="d")
+        branch = isa.branch(pc=0x500, taken=False, deps=(1,))
+        wrong = [MicroOp(OpKind.PREFETCH, pc=0x600, addr=0xCDC0, size=8)]
+        ops = train + [slow, branch]
+        result, system = run_ops(
+            ops, scheme=Scheme.BASE, wrong_paths={branch.uid: wrong}
+        )
+        assert system.hierarchy.l1s[0].contains(system.space.line_of(0xCDC0))

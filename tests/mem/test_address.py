@@ -1,0 +1,78 @@
+"""Address arithmetic tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.mem.address import AddressSpace
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(line_bytes=64, page_bytes=4096)
+
+
+class TestAddressSpace:
+    def test_line_of_aligns_down(self, space):
+        assert space.line_of(0x1000) == 0x1000
+        assert space.line_of(0x103F) == 0x1000
+        assert space.line_of(0x1040) == 0x1040
+
+    def test_line_index(self, space):
+        assert space.line_index(0x1000) == 0x40
+        assert space.line_index(0x103F) == 0x40
+
+    def test_offset_in_line(self, space):
+        assert space.offset_in_line(0x1000) == 0
+        assert space.offset_in_line(0x1039) == 0x39
+
+    def test_page_of(self, space):
+        assert space.page_of(0) == 0
+        assert space.page_of(4095) == 0
+        assert space.page_of(4096) == 1
+
+    def test_same_line(self, space):
+        assert space.same_line(0x1000, 0x103F)
+        assert not space.same_line(0x1000, 0x1040)
+
+    def test_lines_touched_single(self, space):
+        assert space.lines_touched(0x1008, 8) == [0x1000]
+
+    def test_lines_touched_straddle(self, space):
+        assert space.lines_touched(0x103C, 8) == [0x1000, 0x1040]
+
+    def test_byte_mask_contiguous(self, space):
+        mask = space.byte_mask(0x1008, 4)
+        assert mask == 0b1111 << 8
+
+    def test_byte_mask_clipped_at_line_end(self, space):
+        mask = space.byte_mask(0x103E, 8)
+        assert mask == 0b11 << 62
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            AddressSpace(line_bytes=48)
+
+    def test_rejects_page_smaller_than_line(self):
+        with pytest.raises(ConfigError):
+            AddressSpace(line_bytes=64, page_bytes=32)
+
+    @given(addr=st.integers(min_value=0, max_value=1 << 48))
+    def test_line_of_is_idempotent(self, addr):
+        space = AddressSpace()
+        line = space.line_of(addr)
+        assert space.line_of(line) == line
+        assert line <= addr < line + space.line_bytes
+
+    @given(
+        addr=st.integers(min_value=0, max_value=1 << 40),
+        size=st.integers(min_value=1, max_value=256),
+    )
+    def test_lines_touched_cover_access(self, addr, size):
+        space = AddressSpace()
+        lines = space.lines_touched(addr, size)
+        assert lines[0] == space.line_of(addr)
+        assert lines[-1] == space.line_of(addr + size - 1)
+        # Consecutive lines, no gaps.
+        for a, b in zip(lines, lines[1:]):
+            assert b - a == space.line_bytes

@@ -1,0 +1,33 @@
+"""DRAM model tests."""
+
+from repro.mem.dram import DRAMModel
+
+
+class TestDRAM:
+    def test_fixed_latency(self):
+        dram = DRAMModel(latency=100, burst_cycles=4)
+        assert dram.access(0) == 100
+
+    def test_channel_occupancy_queues_requests(self):
+        dram = DRAMModel(latency=100, burst_cycles=4)
+        first = dram.access(0)
+        second = dram.access(0)
+        assert first == 100
+        assert second == 104  # queued behind the first burst
+
+    def test_idle_gap_resets_queue(self):
+        dram = DRAMModel(latency=100, burst_cycles=4)
+        dram.access(0)
+        assert dram.access(50) == 150
+
+    def test_queue_cycles_counted(self):
+        dram = DRAMModel(latency=100, burst_cycles=4)
+        dram.access(0)
+        dram.access(0)
+        assert dram.stat_queue_cycles == 4
+
+    def test_multi_channel_parallelism(self):
+        dram = DRAMModel(latency=100, burst_cycles=4, channels=2)
+        a = dram.access(0, line_addr=0)
+        b = dram.access(0, line_addr=1)
+        assert a == b == 100

@@ -1,0 +1,62 @@
+"""MSHR file tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mem.mshr import MSHRFile
+
+
+class TestMSHRFile:
+    def test_allocate_and_complete(self):
+        mshrs = MSHRFile(4)
+        entry = mshrs.allocate(0x1000, allocator_seq=1, speculative=False, cycle=0)
+        assert entry is not None
+        assert mshrs.lookup(0x1000) is entry
+        completed = mshrs.complete(0x1000)
+        assert completed is entry
+        assert mshrs.lookup(0x1000) is None
+
+    def test_full_returns_none(self):
+        mshrs = MSHRFile(2)
+        assert mshrs.allocate(0x1000, 1, False, 0)
+        assert mshrs.allocate(0x2000, 2, False, 0)
+        assert mshrs.allocate(0x3000, 3, False, 0) is None
+        assert mshrs.stat_full_stalls == 1
+
+    def test_duplicate_allocation_raises(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1000, 1, False, 0)
+        with pytest.raises(SimulationError):
+            mshrs.allocate(0x1000, 2, False, 0)
+
+    def test_merge_attaches_target(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1000, 1, False, 0)
+        target = object()
+        entry = mshrs.merge(0x1000, target)
+        assert target in entry.targets
+        assert mshrs.stat_merges == 1
+
+    def test_complete_absent_raises(self):
+        with pytest.raises(SimulationError):
+            MSHRFile(4).complete(0x1000)
+
+    def test_discard_is_silent(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1000, 1, True, 0)
+        mshrs.discard(0x1000)
+        mshrs.discard(0x1000)  # idempotent
+        assert mshrs.lookup(0x1000) is None
+
+    def test_allocator_seq_recorded(self):
+        mshrs = MSHRFile(4)
+        entry = mshrs.allocate(0x1000, allocator_seq=42, speculative=True, cycle=9)
+        assert entry.allocator_seq == 42
+        assert entry.speculative
+        assert entry.issued_cycle == 9
+
+    def test_outstanding_lines(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1000, 1, False, 0)
+        mshrs.allocate(0x2000, 2, False, 0)
+        assert set(mshrs.outstanding_lines()) == {0x1000, 0x2000}

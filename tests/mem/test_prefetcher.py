@@ -1,0 +1,42 @@
+"""Stride prefetcher tests."""
+
+from repro.mem.prefetcher import StridePrefetcher
+
+
+class TestStridePrefetcher:
+    def test_learns_constant_stride(self):
+        pf = StridePrefetcher(threshold=2, degree=1)
+        pc = 0x400
+        issued = []
+        for i in range(6):
+            issued.extend(pf.train(pc, 0x1000 + 64 * i))
+        assert issued  # eventually confident
+        assert issued[-1] == 0x1000 + 64 * 5 + 64
+
+    def test_degree_controls_count(self):
+        pf = StridePrefetcher(threshold=1, degree=3)
+        pc = 0x400
+        result = []
+        for i in range(5):
+            result = pf.train(pc, 0x2000 + 128 * i)
+        assert len(result) == 3
+        assert result == [0x2000 + 128 * 5, 0x2000 + 128 * 6, 0x2000 + 128 * 7]
+
+    def test_random_pattern_stays_quiet(self):
+        pf = StridePrefetcher(threshold=2)
+        addrs = [0x1000, 0x5040, 0x2380, 0x9000, 0x1140]
+        for addr in addrs:
+            assert pf.train(0x400, addr) == []
+
+    def test_zero_stride_never_prefetches(self):
+        pf = StridePrefetcher(threshold=1)
+        for _ in range(5):
+            result = pf.train(0x400, 0x3000)
+        assert result == []
+
+    def test_table_capacity_evicts(self):
+        pf = StridePrefetcher(table_entries=2)
+        pf.train(1, 0x100)
+        pf.train(2, 0x200)
+        pf.train(3, 0x300)  # evicts pc=1
+        assert len(pf._table) == 2

@@ -1,0 +1,75 @@
+"""Data TLB tests, including the deferred-update property of Section VI-E3."""
+
+from repro.mem.tlb import DataTLB
+from repro.params import TLBParams
+
+
+def make_tlb(entries=4):
+    return DataTLB(TLBParams(entries=entries))
+
+
+class TestDataTLB:
+    def test_miss_then_fill_then_hit(self):
+        tlb = make_tlb()
+        assert not tlb.lookup(5)
+        tlb.fill(5)
+        assert tlb.lookup(5)
+        assert tlb.stat_misses == 1
+        assert tlb.stat_hits == 1
+
+    def test_lru_eviction(self):
+        tlb = make_tlb(entries=2)
+        tlb.fill(1)
+        tlb.fill(2)
+        tlb.lookup(1)  # 1 becomes MRU
+        evicted = tlb.fill(3)
+        assert evicted == 2
+
+    def test_invisible_lookup_does_not_touch_lru(self):
+        """A USL's TLB hit must not change the replacement order."""
+        tlb = make_tlb(entries=2)
+        tlb.fill(1)
+        tlb.fill(2)  # LRU order: 1, 2
+        tlb.lookup(1, update_state=False)  # invisible
+        evicted = tlb.fill(3)
+        assert evicted == 1  # unchanged order: 1 was still LRU
+        assert tlb.stat_deferred_updates == 1
+
+    def test_invisible_lookup_does_not_set_accessed(self):
+        tlb = make_tlb()
+        tlb.fill(7)
+        entry = tlb._map[7]
+        entry.accessed = False
+        tlb.lookup(7, update_state=False)
+        assert not entry.accessed
+
+    def test_touch_applies_deferred_update(self):
+        tlb = make_tlb(entries=2)
+        tlb.fill(1)
+        tlb.fill(2)
+        tlb._map[1].accessed = False
+        assert tlb.touch(1)
+        assert tlb._map[1].accessed
+        evicted = tlb.fill(3)
+        assert evicted == 2  # touch moved 1 to MRU
+
+    def test_touch_absent_returns_false(self):
+        assert not make_tlb().touch(99)
+
+    def test_store_sets_dirty(self):
+        tlb = make_tlb()
+        tlb.fill(3, is_store=True)
+        assert tlb._map[3].dirty
+
+    def test_resident_vpns_order(self):
+        tlb = make_tlb()
+        tlb.fill(1)
+        tlb.fill(2)
+        tlb.lookup(1)
+        assert tlb.resident_vpns() == [2, 1]
+
+    def test_flush(self):
+        tlb = make_tlb()
+        tlb.fill(1)
+        tlb.flush()
+        assert not tlb.contains(1)

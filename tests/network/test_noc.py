@@ -1,0 +1,51 @@
+"""NoC latency and traffic accounting tests."""
+
+from repro.network.noc import NoC, TrafficCategory
+from repro.params import NetworkParams
+
+
+def make_noc():
+    return NoC(NetworkParams())
+
+
+class TestNoC:
+    def test_latency_per_hop(self):
+        noc = make_noc()
+        assert noc.delay(0, 0) == 0
+        assert noc.delay(0, 3) == 3
+        assert noc.round_trip(0, 7) == 8
+
+    def test_send_accounts_control_bytes(self):
+        noc = make_noc()
+        noc.send(0, 1, is_data=False, category=TrafficCategory.NORMAL)
+        assert noc.total_bytes == 8
+        assert noc.messages == 1
+
+    def test_send_accounts_data_bytes(self):
+        noc = make_noc()
+        noc.send(0, 1, is_data=True, category=TrafficCategory.SPECLOAD)
+        assert noc.bytes_by_category[TrafficCategory.SPECLOAD] == 72
+
+    def test_byte_hops_scale_with_distance(self):
+        noc = make_noc()
+        noc.send(0, 7, is_data=True, category=TrafficCategory.NORMAL)
+        assert noc.byte_hops == 72 * 4
+
+    def test_breakdown_keys(self):
+        noc = make_noc()
+        noc.send(0, 1, False, TrafficCategory.NORMAL)
+        noc.send(0, 1, False, TrafficCategory.SPECLOAD)
+        noc.send(0, 1, True, TrafficCategory.EXPOSE_VALIDATE)
+        split = noc.traffic_breakdown()
+        assert split == {"normal": 8, "specload": 8, "expose_validate": 72}
+
+    def test_send_returns_latency(self):
+        noc = make_noc()
+        assert noc.send(0, 2, False, TrafficCategory.NORMAL) == 2
+
+    def test_reset_stats(self):
+        noc = make_noc()
+        noc.send(0, 1, True, TrafficCategory.NORMAL)
+        noc.reset_stats()
+        assert noc.total_bytes == 0
+        assert noc.messages == 0

@@ -1,0 +1,66 @@
+"""Mesh topology tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.network.topology import MeshTopology
+
+
+class TestMeshTopology:
+    def test_table_iv_mesh_dimensions(self):
+        mesh = MeshTopology(4, 2)
+        assert mesh.num_nodes == 8
+        assert mesh.max_hops() == 4
+
+    def test_coords_row_major(self):
+        mesh = MeshTopology(4, 2)
+        assert mesh.coords(0) == (0, 0)
+        assert mesh.coords(3) == (3, 0)
+        assert mesh.coords(4) == (0, 1)
+        assert mesh.coords(7) == (3, 1)
+
+    def test_hops_manhattan(self):
+        mesh = MeshTopology(4, 2)
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 3) == 3
+        assert mesh.hops(0, 7) == 4
+        assert mesh.hops(1, 6) == 2
+
+    def test_route_endpoints(self):
+        mesh = MeshTopology(4, 2)
+        route = mesh.route(0, 7)
+        assert route[0] == 0
+        assert route[-1] == 7
+        assert len(route) == mesh.hops(0, 7) + 1
+
+    def test_route_steps_are_neighbors(self):
+        mesh = MeshTopology(4, 2)
+        route = mesh.route(1, 6)
+        for a, b in zip(route, route[1:]):
+            assert mesh.hops(a, b) == 1
+
+    def test_invalid_node_raises(self):
+        with pytest.raises(ConfigError):
+            MeshTopology(4, 2).coords(8)
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ConfigError):
+            MeshTopology(0, 2)
+
+    @given(
+        a=st.integers(min_value=0, max_value=7),
+        b=st.integers(min_value=0, max_value=7),
+    )
+    def test_hops_symmetric(self, a, b):
+        mesh = MeshTopology(4, 2)
+        assert mesh.hops(a, b) == mesh.hops(b, a)
+
+    @given(
+        a=st.integers(min_value=0, max_value=7),
+        b=st.integers(min_value=0, max_value=7),
+        c=st.integers(min_value=0, max_value=7),
+    )
+    def test_triangle_inequality(self, a, b, c):
+        mesh = MeshTopology(4, 2)
+        assert mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c)

@@ -1,0 +1,104 @@
+"""The attack-vs-defense matrix (Table II scoping, Figures 1 and 5)."""
+
+import pytest
+
+from repro import ProcessorConfig, Scheme
+from repro.security import (
+    run_cross_core_attack,
+    run_meltdown_style_attack,
+    run_spectre_v1,
+    run_ssb_attack,
+)
+
+
+def config(scheme):
+    return ProcessorConfig(scheme=scheme)
+
+
+class TestSpectreV1:
+    def test_base_leaks_secret(self):
+        latencies, recovered = run_spectre_v1(config(Scheme.BASE), secret=84,
+                                              trials=1)
+        assert recovered == 84
+        assert latencies[84] <= 40
+
+    def test_base_leaks_any_secret(self):
+        for secret in (1, 200, 255):
+            _, recovered = run_spectre_v1(config(Scheme.BASE), secret=secret,
+                                          trials=1)
+            assert recovered == secret
+
+    def test_is_spectre_blocks(self):
+        latencies, recovered = run_spectre_v1(
+            config(Scheme.IS_SPECTRE), secret=84, trials=1
+        )
+        assert recovered is None
+        # Figure 5: every access goes to memory under IS-Sp.
+        assert min(latencies) >= 100
+
+    def test_is_future_blocks(self):
+        _, recovered = run_spectre_v1(config(Scheme.IS_FUTURE), secret=84,
+                                      trials=1)
+        assert recovered is None
+
+    def test_fence_spectre_blocks(self):
+        _, recovered = run_spectre_v1(config(Scheme.FENCE_SPECTRE), secret=84,
+                                      trials=1)
+        assert recovered is None
+
+
+class TestSpeculativeStoreBypass:
+    def test_base_leaks(self):
+        _, recovered = run_ssb_attack(config(Scheme.BASE), secret=113)
+        assert recovered == 113
+
+    def test_spectre_defenses_do_not_block(self):
+        """No branch is involved: the Spectre-model defenses are blind to
+        it (the paper's motivation for the Futuristic model)."""
+        for scheme in (Scheme.FENCE_SPECTRE, Scheme.IS_SPECTRE):
+            _, recovered = run_ssb_attack(config(scheme), secret=113)
+            assert recovered == 113
+
+    def test_futuristic_defenses_block(self):
+        for scheme in (Scheme.FENCE_FUTURE, Scheme.IS_FUTURE):
+            _, recovered = run_ssb_attack(config(scheme), secret=113)
+            assert recovered is None
+
+
+class TestCrossCore:
+    """Section III-C's CrossCore setting: the receiver monitors the shared
+    LLC from another physical core."""
+
+    def test_base_leaks_through_llc(self):
+        latencies, recovered = run_cross_core_attack(
+            config(Scheme.BASE), secret=37
+        )
+        assert recovered == 37
+        assert latencies[37] <= 60  # on-chip: the transient load filled L2
+
+    def test_invisispec_blocks_cross_core(self):
+        for scheme in (Scheme.IS_SPECTRE, Scheme.IS_FUTURE):
+            latencies, recovered = run_cross_core_attack(
+                config(scheme), secret=37
+            )
+            assert recovered is None
+            assert min(latencies) >= 100  # nothing on chip
+
+
+class TestMeltdownStyle:
+    def test_base_leaks(self):
+        _, recovered = run_meltdown_style_attack(config(Scheme.BASE),
+                                                 secret=199)
+        assert recovered == 199
+
+    def test_spectre_defenses_do_not_block(self):
+        for scheme in (Scheme.FENCE_SPECTRE, Scheme.IS_SPECTRE):
+            _, recovered = run_meltdown_style_attack(config(scheme),
+                                                     secret=199)
+            assert recovered == 199
+
+    def test_futuristic_defenses_block(self):
+        for scheme in (Scheme.FENCE_FUTURE, Scheme.IS_FUTURE):
+            _, recovered = run_meltdown_style_attack(config(scheme),
+                                                     secret=199)
+            assert recovered is None

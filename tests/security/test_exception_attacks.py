@@ -1,0 +1,45 @@
+"""The Table I exception-attack family against the Table V configurations."""
+
+import pytest
+
+from repro import ProcessorConfig, Scheme
+from repro.security import VARIANTS, run_exception_attack
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+class TestExceptionFamily:
+    def test_base_leaks(self, variant):
+        _lat, recovered = run_exception_attack(
+            ProcessorConfig(scheme=Scheme.BASE), variant=variant, secret=177
+        )
+        assert recovered == 177
+
+    def test_is_future_blocks(self, variant):
+        _lat, recovered = run_exception_attack(
+            ProcessorConfig(scheme=Scheme.IS_FUTURE), variant=variant,
+            secret=177,
+        )
+        assert recovered is None
+
+    def test_is_spectre_does_not_block(self, variant):
+        """Exceptions are outside the Spectre attack model (Table II)."""
+        _lat, recovered = run_exception_attack(
+            ProcessorConfig(scheme=Scheme.IS_SPECTRE), variant=variant,
+            secret=177,
+        )
+        assert recovered == 177
+
+
+class TestVariantValidation:
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            run_exception_attack(ProcessorConfig(), variant="spectre-v9")
+
+    def test_attack_matrix_shape(self):
+        from repro.security.exception_attacks import attack_matrix
+
+        matrix = attack_matrix(
+            (Scheme.BASE, Scheme.IS_FUTURE), variants=("meltdown",)
+        )
+        assert matrix["meltdown"][Scheme.BASE] is True
+        assert matrix["meltdown"][Scheme.IS_FUTURE] is False

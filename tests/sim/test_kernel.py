@@ -1,0 +1,92 @@
+"""Simulation kernel: tick protocol, fast-forward, deadlock detection."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.sim.kernel import SimKernel
+
+
+class CountdownComponent:
+    """Active for n ticks, then done."""
+
+    def __init__(self, n):
+        self.remaining = n
+        self.ticks = 0
+
+    def tick(self):
+        self.ticks += 1
+        if self.remaining <= 0:
+            return "done"
+        self.remaining -= 1
+        return "active"
+
+
+class EventWaiter:
+    """Waits for its event to fire, then finishes."""
+
+    def __init__(self, kernel, at_cycle):
+        self.fired = False
+        kernel.schedule_at(at_cycle, self._fire)
+
+    def _fire(self):
+        self.fired = True
+
+    def tick(self):
+        return "done" if self.fired else "waiting"
+
+
+class TestSimKernel:
+    def test_runs_components_to_done(self):
+        kernel = SimKernel()
+        comp = CountdownComponent(5)
+        kernel.register(comp)
+        kernel.run()
+        assert comp.remaining == 0
+
+    def test_advances_one_cycle_while_active(self):
+        kernel = SimKernel()
+        kernel.register(CountdownComponent(7))
+        final = kernel.run()
+        assert final == 7
+
+    def test_fast_forwards_to_next_event_when_waiting(self):
+        kernel = SimKernel()
+        waiter = EventWaiter(kernel, 1000)
+        kernel.register(waiter)
+        final = kernel.run()
+        assert waiter.fired
+        assert final == 1000  # jumped, not crawled
+
+    def test_deadlock_detected_without_events(self):
+        kernel = SimKernel()
+
+        class Stuck:
+            def tick(self):
+                return "waiting"
+
+        kernel.register(Stuck())
+        with pytest.raises(DeadlockError):
+            kernel.run()
+
+    def test_max_cycles_enforced(self):
+        kernel = SimKernel()
+        kernel.register(CountdownComponent(1_000_000))
+        with pytest.raises(DeadlockError):
+            kernel.run(max_cycles=50)
+
+    def test_schedule_negative_delay_clamps_to_now(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(-5, lambda: fired.append(True))
+        kernel.register(CountdownComponent(1))
+        kernel.run()
+        assert fired == [True]
+
+    def test_drains_events_after_components_finish(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.register(CountdownComponent(1))
+        kernel.schedule_at(500, lambda: fired.append(True))
+        final = kernel.run()
+        assert fired == [True]
+        assert final >= 500

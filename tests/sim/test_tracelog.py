@@ -1,0 +1,86 @@
+"""Trace-log facility tests."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from conftest import make_system, simple_load_alu_ops
+
+from repro import Scheme
+from repro.sim.tracelog import TraceLog
+
+
+class TestTraceLogUnit:
+    def test_record_and_iterate(self):
+        log = TraceLog()
+        log.record(10, 0, "dispatch", "seq=0")
+        log.record(11, 0, "retire", "seq=0")
+        assert len(log) == 2
+        assert [e[2] for e in log.events()] == ["dispatch", "retire"]
+
+    def test_kind_filter_at_record_time(self):
+        log = TraceLog(kinds={"squash"})
+        log.record(1, 0, "dispatch", "")
+        log.record(2, 0, "squash", "branch")
+        assert len(log) == 1
+
+    def test_ring_buffer_caps_and_counts_drops(self):
+        log = TraceLog(capacity=3)
+        for i in range(5):
+            log.record(i, 0, "dispatch", "")
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [e[0] for e in log.events()] == [2, 3, 4]
+
+    def test_counts_histogram(self):
+        log = TraceLog()
+        log.record(1, 0, "dispatch", "")
+        log.record(2, 0, "dispatch", "")
+        log.record(3, 0, "retire", "")
+        assert log.counts() == {"dispatch": 2, "retire": 1}
+
+    def test_format_filters_core(self):
+        log = TraceLog()
+        log.record(1, 0, "dispatch", "a")
+        log.record(2, 1, "dispatch", "b")
+        lines = log.format(core_id=1)
+        assert len(lines) == 1
+        assert "core1" in lines[0]
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(1, 0, "x", "")
+        log.clear()
+        assert len(log) == 0
+
+
+class TestTraceLogIntegration:
+    def test_pipeline_events_recorded(self):
+        log = TraceLog()
+        system = make_system(simple_load_alu_ops(5), tracelog=log)
+        system.run(max_cycles=100_000)
+        counts = log.counts()
+        assert counts["dispatch"] == 10
+        assert counts["retire"] == 10
+
+    def test_invisispec_events_recorded(self):
+        log = TraceLog()
+        system = make_system(
+            simple_load_alu_ops(10), scheme=Scheme.IS_FUTURE, tracelog=log
+        )
+        system.run(max_cycles=100_000)
+        counts = log.counts()
+        assert counts.get("validate", 0) + counts.get("expose", 0) > 0
+
+    def test_squash_events_recorded(self):
+        from repro.cpu import isa
+
+        log = TraceLog(kinds={"squash"})
+        ops = []
+        for i in range(40):
+            ops.append(isa.branch(pc=0x500, taken=(i % 2 == 0)))
+        system = make_system(ops, tracelog=log)
+        system.run(max_cycles=100_000)
+        assert len(log) > 0
+        assert all(e[2] == "squash" for e in log.events())

@@ -1,0 +1,73 @@
+"""Counter and report tests."""
+
+from repro.stats import Counters, format_table
+from repro.stats.report import format_grouped_bars
+
+
+class TestCounters:
+    def test_bump_and_get(self):
+        counters = Counters()
+        counters.bump("a.b")
+        counters.bump("a.b", 4)
+        assert counters["a.b"] == 5
+        assert counters.get("missing") == 0
+
+    def test_set_overrides(self):
+        counters = Counters()
+        counters.bump("x", 10)
+        counters.set("x", 3)
+        assert counters["x"] == 3
+
+    def test_ratio(self):
+        counters = Counters()
+        counters.bump("hits", 3)
+        counters.bump("total", 4)
+        assert counters.ratio("hits", "total") == 0.75
+        assert counters.ratio("hits", "zero", default=-1.0) == -1.0
+
+    def test_with_prefix(self):
+        counters = Counters()
+        counters.bump("core.loads", 2)
+        counters.bump("core.stores", 1)
+        counters.bump("noc.bytes", 9)
+        assert counters.with_prefix("core") == {"loads": 2, "stores": 1}
+
+    def test_merge(self):
+        a = Counters()
+        b = Counters()
+        a.bump("x", 1)
+        b.bump("x", 2)
+        b.bump("y", 3)
+        a.merge(b)
+        assert a["x"] == 3
+        assert a["y"] == 3
+
+    def test_contains(self):
+        counters = Counters()
+        counters.bump("x")
+        assert "x" in counters
+        assert "y" not in counters
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[-1]
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_rendering(self):
+        text = format_table(["v"], [[1.23456]])
+        assert "1.23" in text
+
+    def test_grouped_bars(self):
+        text = format_grouped_bars(
+            ["app1"], {"Base": [1.0], "IS-Fu": [1.5]}, title="bars"
+        )
+        assert "app1" in text
+        assert "IS-Fu" in text
+        assert "#" in text

@@ -1,0 +1,66 @@
+"""Latency-histogram tests, including the validation-latency integration."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from conftest import run_ops, simple_load_alu_ops
+
+from repro import Scheme
+from repro.stats import LatencyHistogram
+
+
+class TestLatencyHistogram:
+    def test_bucket_placement(self):
+        hist = LatencyHistogram(edges=(0, 4, 16))
+        for latency in (0, 3, 4, 15, 16, 99):
+            hist.record(latency)
+        assert dict(hist.buckets()) == {"[0,4)": 2, "[4,16)": 2, ">=16": 2}
+
+    def test_mean_and_max(self):
+        hist = LatencyHistogram()
+        for latency in (2, 4, 6):
+            hist.record(latency)
+        assert hist.mean == 4.0
+        assert hist.max == 6
+        assert hist.total == 3
+
+    def test_fraction_below(self):
+        hist = LatencyHistogram(edges=(0, 4, 16))
+        for latency in (1, 2, 10):
+            hist.record(latency)
+        assert abs(hist.fraction_below(4) - 2 / 3) < 1e-9
+        assert hist.fraction_below(16) == 1.0
+
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.mean == 0.0
+        assert hist.fraction_below(100) == 0.0
+
+    def test_format_renders(self):
+        hist = LatencyHistogram()
+        hist.record(3)
+        text = hist.format()
+        assert "mean" in text
+        assert "#" in text
+
+
+class TestValidationLatencyIntegration:
+    def test_validations_dominated_by_fast_service(self):
+        """The paper's negligible-stall claim: most validations are served
+        at L1-ish latency once the working set is warm."""
+        ops = simple_load_alu_ops(30, base=0x1000, stride=8)  # one hot line
+        result, system = run_ops(ops, scheme=Scheme.IS_FUTURE)
+        hist = system.cores[0].visibility.validation_latency
+        if hist.total:
+            assert hist.fraction_below(32) > 0.5
+
+    def test_histogram_counts_match_counter(self):
+        result, system = run_ops(
+            simple_load_alu_ops(25), scheme=Scheme.IS_FUTURE
+        )
+        hist = system.cores[0].visibility.validation_latency
+        assert hist.total == result.counters["invisispec.validations"] - (
+            result.counters["invisispec.validation_failures"]
+        ) or hist.total <= result.counters["invisispec.validations"]

@@ -1,0 +1,66 @@
+"""Derived-metric tests."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import run_ops, simple_load_alu_ops
+
+from repro import Scheme
+from repro import analysis
+from repro.cpu import isa
+
+
+class TestAnalysis:
+    def test_summarize_keys(self):
+        result, _ = run_ops(simple_load_alu_ops(20), scheme=Scheme.IS_FUTURE)
+        summary = analysis.summarize(result)
+        for key in ("ipc", "l1_mpki", "squashes_per_million",
+                    "usl_fraction", "validation_l1_hit_fraction"):
+            assert key in summary
+
+    def test_mpki_counts_misses(self):
+        # 20 distinct lines, all cold: 20 L1 misses over 40 instructions.
+        result, _ = run_ops(simple_load_alu_ops(20))
+        assert analysis.mpki(result) == 1000.0 * 20 / 40
+
+    def test_mpki_low_when_warm(self):
+        # Same line 20 times: one primary cold miss (plus possibly a
+        # bypassed out-of-order sibling); merged secondaries don't count.
+        ops = [isa.load(pc=0x10, addr=0x1000, size=8) for _ in range(20)]
+        result, _ = run_ops(ops)
+        assert analysis.mpki(result) <= 1000.0 * 3 / 20
+        assert result.count("hierarchy.mshr_merges") > 0
+
+    def test_branch_rate_bounds(self):
+        ops = [isa.branch(pc=0x500, taken=True) for _ in range(50)]
+        result, _ = run_ops(ops)
+        rate = analysis.branch_mispredict_rate(result)
+        assert 0.0 <= rate <= 1.0
+
+    def test_squash_breakdown_sums_to_one(self):
+        ops = [isa.branch(pc=0x500, taken=bool(i % 2 == 0 and i % 3 == 0))
+               for i in range(60)]
+        result, _ = run_ops(ops)
+        breakdown = analysis.squash_breakdown(result)
+        if breakdown:
+            assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+
+    def test_no_squashes_empty_breakdown(self):
+        result, _ = run_ops([isa.alu(pc=1) for _ in range(10)])
+        assert analysis.squash_breakdown(result) == {}
+
+    def test_usl_fraction_zero_for_base(self):
+        result, _ = run_ops(simple_load_alu_ops(10), scheme=Scheme.BASE)
+        assert analysis.usl_fraction(result) == 0.0
+
+    def test_visibility_split_sums_to_one_when_present(self):
+        result, _ = run_ops(simple_load_alu_ops(30), scheme=Scheme.IS_FUTURE)
+        split = analysis.visibility_split(result)
+        if any(split):
+            assert abs(sum(split) - 1.0) < 1e-9
+
+    def test_traffic_per_ki_positive(self):
+        result, _ = run_ops(simple_load_alu_ops(10))
+        assert analysis.traffic_per_kiloinstruction(result) > 0

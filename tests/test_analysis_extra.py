@@ -1,0 +1,38 @@
+"""Additional derived-metric coverage: InvisiSpec-specific metrics."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import run_ops, simple_load_alu_ops
+
+from repro import ConsistencyModel, Scheme, analysis
+
+
+class TestInvisiSpecMetrics:
+    def test_usl_fraction_positive_for_is_future(self):
+        result, _ = run_ops(simple_load_alu_ops(30), scheme=Scheme.IS_FUTURE)
+        assert 0.0 < analysis.usl_fraction(result) <= 1.0
+
+    def test_rc_split_is_all_exposures(self):
+        result, _ = run_ops(
+            simple_load_alu_ops(30),
+            scheme=Scheme.IS_FUTURE,
+            consistency=ConsistencyModel.RC,
+        )
+        exposures, val_hit, val_miss = analysis.visibility_split(result)
+        assert exposures == 1.0
+        assert val_hit == val_miss == 0.0
+
+    def test_tlb_miss_rate_bounds(self):
+        result, _ = run_ops(simple_load_alu_ops(30))
+        assert 0.0 <= analysis.tlb_miss_rate(result) <= 1.0
+
+    def test_summary_consistent_with_runresult(self):
+        result, _ = run_ops(simple_load_alu_ops(15), scheme=Scheme.IS_SPECTRE)
+        summary = analysis.summarize(result)
+        assert summary["cycles"] == result.cycles
+        assert summary["instructions"] == result.instructions
+        assert abs(summary["ipc"] - result.ipc) < 1e-12
+        assert summary["traffic_bytes"] == result.traffic_bytes

@@ -1,0 +1,42 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ConfigError",
+            "SimulationError",
+            "ProtocolError",
+            "ConsistencyError",
+            "WorkloadError",
+            "DeadlockError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_protocol_is_simulation_error(self):
+        assert issubclass(errors.ProtocolError, errors.SimulationError)
+
+    def test_deadlock_carries_cycle_and_detail(self):
+        err = errors.DeadlockError(123, "core0 stuck")
+        assert err.cycle == 123
+        assert err.detail == "core0 stuck"
+        assert "123" in str(err)
+        assert "core0 stuck" in str(err)
+
+    def test_catchable_at_boundary(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ConfigError("x")
+
+
+class TestMainModule:
+    def test_banner_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main() == 0
+        out = capsys.readouterr().out
+        assert "InvisiSpec" in out

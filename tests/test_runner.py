@@ -1,0 +1,62 @@
+"""Runner helper tests (small instruction budgets)."""
+
+from repro import ConsistencyModel, ProcessorConfig, Scheme
+from repro.configs import ALL_SCHEMES
+from repro.runner import (
+    normalized_execution_time,
+    normalized_traffic,
+    run_matrix,
+    run_parsec,
+    run_spec,
+)
+
+
+class TestRunSpec:
+    def test_runs_and_measures(self):
+        result = run_spec("hmmer", ProcessorConfig(), instructions=800)
+        assert result.instructions == 800
+        assert result.cycles > 0
+
+    def test_warmup_default_is_half(self):
+        result = run_spec("hmmer", ProcessorConfig(), instructions=800)
+        assert result.cores[0].retired_instructions == 1200
+
+
+class TestRunParsec:
+    def test_eight_cores_retire(self):
+        result = run_parsec(
+            "swaptions", ProcessorConfig(), instructions=250, warmup=50
+        )
+        assert len(result.cores) == 8
+        assert result.instructions == 8 * 250
+
+
+class TestRunMatrix:
+    def test_matrix_covers_schemes(self):
+        results = run_matrix(
+            "hmmer",
+            instructions=600,
+            schemes=(Scheme.BASE, Scheme.IS_FUTURE),
+        )
+        assert set(results) == {Scheme.BASE, Scheme.IS_FUTURE}
+
+    def test_normalizations_anchor_base_at_one(self):
+        results = run_matrix(
+            "hmmer",
+            instructions=600,
+            schemes=(Scheme.BASE, Scheme.IS_SPECTRE),
+        )
+        exec_norm = normalized_execution_time(results)
+        traffic_norm = normalized_traffic(results)
+        assert exec_norm[Scheme.BASE] == 1.0
+        assert traffic_norm[Scheme.BASE] == 1.0
+        assert exec_norm[Scheme.IS_SPECTRE] > 0
+
+    def test_rc_matrix_runs(self):
+        results = run_matrix(
+            "hmmer",
+            consistency=ConsistencyModel.RC,
+            instructions=600,
+            schemes=(Scheme.BASE, Scheme.IS_FUTURE),
+        )
+        assert results[Scheme.IS_FUTURE].cycles > 0

@@ -1,0 +1,40 @@
+"""Functional predictor pre-training (the fast-forward substitute)."""
+
+from repro import ProcessorConfig, Scheme
+from repro.runner import run_spec
+
+
+class TestPretraining:
+    def test_pretrain_cuts_mispredicts(self):
+        config = ProcessorConfig(scheme=Scheme.BASE)
+        cold = run_spec("libquantum", config, instructions=1200, warmup=0,
+                        pretrain_ops=0)
+        warm = run_spec("libquantum", config, instructions=1200, warmup=0)
+        cold_rate = cold.count("core.branch_mispredicts") / max(
+            cold.count("core.branches_resolved"), 1
+        )
+        warm_rate = warm.count("core.branch_mispredicts") / max(
+            warm.count("core.branches_resolved"), 1
+        )
+        assert warm_rate < cold_rate / 2
+
+    def test_pretrain_preserves_committed_stream(self):
+        """Pre-training must not consume the core's own trace."""
+        config = ProcessorConfig(scheme=Scheme.BASE)
+        a = run_spec("hmmer", config, instructions=800, warmup=0,
+                     pretrain_ops=0)
+        b = run_spec("hmmer", config, instructions=800, warmup=0,
+                     pretrain_ops=10_000)
+        assert a.instructions == b.instructions == 800
+        # Same memory side effects either way (same committed stream).
+        assert a.count("core.stores_performed") == b.count(
+            "core.stores_performed"
+        )
+
+    def test_pretrain_resets_predictor_stats(self):
+        config = ProcessorConfig(scheme=Scheme.BASE)
+        result = run_spec("hmmer", config, instructions=600, warmup=0)
+        core = result.cores[0]
+        # Lookups counted during measurement only are bounded by the
+        # branches actually dispatched (incl. squashed re-dispatches).
+        assert core.predictor.stat_lookups <= 600 * 2

@@ -1,0 +1,28 @@
+"""Every shipped profile runs end to end (small budgets)."""
+
+import pytest
+
+from repro import ProcessorConfig, Scheme
+from repro.runner import run_parsec, run_spec
+from repro.workloads import parsec_names, spec_names
+
+
+@pytest.mark.parametrize("app", spec_names())
+def test_every_spec_profile_runs(app):
+    result = run_spec(
+        app, ProcessorConfig(scheme=Scheme.IS_FUTURE), instructions=300,
+        warmup=100, pretrain_ops=2000,
+    )
+    assert result.instructions == 300
+    assert result.cycles > 0
+    assert result.traffic_bytes > 0
+
+
+@pytest.mark.parametrize("app", parsec_names())
+def test_every_parsec_profile_runs(app):
+    result = run_parsec(
+        app, ProcessorConfig(scheme=Scheme.IS_SPECTRE), instructions=120,
+        warmup=40, pretrain_ops=1500,
+    )
+    assert result.instructions == 8 * 120
+    assert result.cycles > 0

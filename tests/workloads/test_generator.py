@@ -1,0 +1,127 @@
+"""Synthetic trace generator tests: determinism and statistics."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.isa import OpKind
+from repro.workloads import SPEC_PROFILES, SyntheticTrace
+from repro.workloads.profiles import WorkloadProfile
+
+
+def sample(profile, n, seed=0, core_id=0):
+    trace = SyntheticTrace(profile, seed=seed, core_id=core_id)
+    return [trace.next_op() for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        profile = SPEC_PROFILES["mcf"]
+        a = sample(profile, 500, seed=3)
+        b = sample(profile, 500, seed=3)
+        for op_a, op_b in zip(a, b):
+            assert op_a.kind == op_b.kind
+            assert op_a.addr == op_b.addr
+            assert op_a.pc == op_b.pc
+            assert op_a.taken == op_b.taken
+
+    def test_different_seeds_differ(self):
+        profile = SPEC_PROFILES["mcf"]
+        a = sample(profile, 200, seed=1)
+        b = sample(profile, 200, seed=2)
+        assert any(
+            op_a.addr != op_b.addr
+            for op_a, op_b in zip(a, b)
+            if op_a.kind is OpKind.LOAD and op_b.kind is OpKind.LOAD
+        )
+
+    def test_cores_get_disjoint_private_regions(self):
+        profile = SPEC_PROFILES["hmmer"]
+        a = sample(profile, 300, core_id=0)
+        b = sample(profile, 300, core_id=1)
+        addrs_a = {op.addr for op in a if op.addr is not None}
+        addrs_b = {op.addr for op in b if op.addr is not None}
+        assert not addrs_a & addrs_b
+
+    def test_wrong_path_deterministic_per_branch(self):
+        profile = SPEC_PROFILES["sjeng"]
+        trace = SyntheticTrace(profile, seed=0)
+        branch = next(
+            op for op in iter(trace.next_op, None) if op.kind is OpKind.BRANCH
+        )
+        first = [trace.wrong_path_op(branch, i) for i in range(5)]
+        second = [trace.wrong_path_op(branch, i) for i in range(5)]
+        for op_a, op_b in zip(first, second):
+            assert op_a.kind == op_b.kind
+            assert op_a.addr == op_b.addr
+
+    def test_wrong_path_does_not_perturb_correct_path(self):
+        profile = SPEC_PROFILES["libquantum"]
+        a_trace = SyntheticTrace(profile, seed=5)
+        b_trace = SyntheticTrace(profile, seed=5)
+        a_ops = []
+        b_ops = []
+        for i in range(400):
+            op_a = a_trace.next_op()
+            a_ops.append(op_a)
+            if op_a.kind is OpKind.BRANCH:
+                for j in range(10):
+                    a_trace.wrong_path_op(op_a, j)  # must be side-effect free
+            b_ops.append(b_trace.next_op())
+        for op_a, op_b in zip(a_ops, b_ops):
+            assert op_a.addr == op_b.addr
+
+
+class TestStatistics:
+    def test_mix_matches_profile(self):
+        profile = SPEC_PROFILES["mcf"]
+        ops = sample(profile, 8000)
+        counts = Counter(op.kind for op in ops)
+        load_frac = counts[OpKind.LOAD] / len(ops)
+        store_frac = counts[OpKind.STORE] / len(ops)
+        branch_frac = counts[OpKind.BRANCH] / len(ops)
+        assert abs(load_frac - profile.load_frac) < 0.03
+        assert abs(store_frac - profile.store_frac) < 0.03
+        assert abs(branch_frac - profile.branch_frac) < 0.03
+
+    def test_streaming_profile_advances(self):
+        profile = SPEC_PROFILES["lbm"]
+        ops = sample(profile, 3000)
+        stream_addrs = [
+            op.addr for op in ops
+            if op.addr is not None and op.addr >= 0x1800_0000
+        ]
+        assert stream_addrs == sorted(stream_addrs)
+
+    def test_hot_set_concentration(self):
+        profile = SPEC_PROFILES["hmmer"]  # hot_fraction 0.95
+        ops = sample(profile, 5000)
+        hot_limit = 0x1000_0000 + profile.hot_lines * 64
+        mem_ops = [op for op in ops if op.addr is not None]
+        hot = sum(1 for op in mem_ops if op.addr < hot_limit)
+        assert hot / len(mem_ops) > 0.8
+
+    def test_branch_biases_cover_both_directions(self):
+        profile = SPEC_PROFILES["gobmk"]
+        trace = SyntheticTrace(profile, seed=0)
+        biases = list(trace._branch_bias.values())
+        assert any(b > 0.5 for b in biases)
+        assert any(b < 0.5 for b in biases)
+
+    def test_parsec_sync_sections_emitted(self):
+        from repro.workloads import PARSEC_PROFILES
+
+        profile = PARSEC_PROFILES["fluidanimate"]
+        ops = sample(profile, 4000)
+        kinds = Counter(op.kind for op in ops)
+        assert kinds[OpKind.ACQUIRE] > 0
+        assert kinds[OpKind.ACQUIRE] == kinds[OpKind.RELEASE]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_all_addresses_nonnegative(self, seed):
+        profile = SPEC_PROFILES["omnetpp"]
+        for op in sample(profile, 200, seed=seed):
+            if op.addr is not None:
+                assert op.addr >= 0

@@ -1,0 +1,86 @@
+"""Workload profile and suite coverage tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    PARSEC_PROFILES,
+    SPEC_PROFILES,
+    WorkloadProfile,
+    parsec_names,
+    parsec_traces,
+    spec_names,
+    spec_trace,
+)
+
+
+class TestSuiteCoverage:
+    def test_23_spec_applications(self):
+        assert len(SPEC_PROFILES) == 23
+
+    def test_9_parsec_applications(self):
+        assert len(PARSEC_PROFILES) == 9
+
+    def test_figure4_apps_present(self):
+        for name in ("bzip2", "mcf", "sjeng", "libquantum", "omnetpp",
+                     "GemsFDTD", "lbm", "sphinx3"):
+            assert name in SPEC_PROFILES
+
+    def test_figure7_apps_present(self):
+        for name in ("blackscholes", "canneal", "fluidanimate", "swaptions",
+                     "x264"):
+            assert name in PARSEC_PROFILES
+
+    def test_all_profiles_validate(self):
+        for profile in list(SPEC_PROFILES.values()) + list(
+            PARSEC_PROFILES.values()
+        ):
+            assert 0 < profile.load_frac < 1
+            assert profile.alu_frac > 0
+
+    def test_parsec_profiles_share(self):
+        assert all(
+            p.shared_fraction > 0 for p in PARSEC_PROFILES.values()
+        )
+
+    def test_paper_calibration_anchors(self):
+        # sjeng: worst branches; libquantum: near-perfect, streaming;
+        # omnetpp: worst TLB locality.
+        profiles = SPEC_PROFILES
+        assert profiles["sjeng"].branch_mispredict_target == max(
+            p.branch_mispredict_target for p in profiles.values()
+        )
+        assert profiles["libquantum"].stride_fraction >= 0.8
+        assert profiles["omnetpp"].tlb_locality == min(
+            p.tlb_locality for p in profiles.values()
+        )
+
+
+class TestProfileValidation:
+    def test_rejects_fraction_overflow(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(name="bad", suite="spec_int", load_frac=0.9,
+                            store_frac=0.2, branch_frac=0.1)
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(name="bad", suite="spec_int", hot_fraction=1.5)
+
+    def test_rejects_nonpositive_footprint(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(name="bad", suite="spec_int", footprint_lines=0)
+
+
+class TestFactories:
+    def test_spec_trace_unknown_raises(self):
+        with pytest.raises(WorkloadError):
+            spec_trace("quake")
+
+    def test_parsec_traces_one_per_core(self):
+        traces = parsec_traces("canneal", num_cores=8)
+        assert len(traces) == 8
+        assert len({t.core_id for t in traces}) == 8
+
+    def test_names_align_with_profiles(self):
+        assert set(spec_names()) == set(SPEC_PROFILES)
+        assert set(parsec_names()) == set(PARSEC_PROFILES)
