@@ -151,14 +151,18 @@ class CacheHierarchy:
     #: Cycles a dirty write-back stays in flight (directory transient).
     WRITEBACK_DELAY = 6
 
-    def __init__(self, params, kernel, image, counters, seed=0):
+    def __init__(self, params, kernel, image, counters, seed=0, faults=None):
         self.params = params
         self.kernel = kernel
         self.image = image
         self.space = image.space
         self.counters = counters
-        self.noc = NoC(params.network)
-        self.dram = DRAMModel(latency=params.dram_latency)
+        #: Optional FaultInjector shared with the NoC, DRAM and kernel;
+        #: the hierarchy itself consults the ``inv.ack_drop`` and
+        #: ``mshr.stuck`` sites.
+        self.faults = faults
+        self.noc = NoC(params.network, faults=faults)
+        self.dram = DRAMModel(latency=params.dram_latency, faults=faults)
         self.num_banks = params.num_l2_banks
         self.l1s = [
             CacheArray(params.l1d, MESIState.INVALID, seed=seed + i)
@@ -394,6 +398,8 @@ class CacheHierarchy:
 
         if kind is RequestKind.STORE:
             ready = self._invalidate_sharers(req, line, bank, t_bank, cat, ready)
+            if ready is None:
+                return  # acks lost (fault injection): the store never performs
             self.dirs[bank].set_owner(line, req.core_id)
             self._purge_llc_sbs(line, except_core=None)
             self._finish_store(req, ready, "l2", cat)
@@ -472,6 +478,8 @@ class CacheHierarchy:
         ack_lat = self.noc.send(bank_node, core_node, False, cat)
         ready = t_bank + ack_lat + 1
         ready = self._invalidate_sharers(req, line, bank, t_bank, cat, ready)
+        if ready is None:
+            return  # acks lost (fault injection): the upgrade never completes
         self.dirs[bank].set_owner(line, req.core_id)
         entry = self.l1s[req.core_id].lookup(line, touch=False)
         if entry is not None:
@@ -483,7 +491,13 @@ class CacheHierarchy:
     # ----------------------------------------------------------- state moves
 
     def _invalidate_sharers(self, req, line, bank, t_bank, cat, ready):
-        """Send Inv to every other sharer; returns completion including acks."""
+        """Send Inv to every other sharer; returns completion including acks.
+
+        Returns ``None`` when an injected ``inv.ack_drop`` fault loses the
+        acks: the store can then never perform, which is exactly the lost
+        ack deadlock the kernel's detector exists for.  Callers must stop
+        the transaction (no completion is scheduled) in that case.
+        """
         directory = self.dirs[bank]
         bank_node = self._bank_node(bank)
         others = directory.sharers_other_than(line, req.core_id)
@@ -496,6 +510,13 @@ class CacheHierarchy:
             worst_ack = max(worst_ack, deliver_at + ack_lat)
             directory.remove_core(line, sharer)
         self.counters.bump("coherence.invalidations_sent", len(others))
+        if (
+            others
+            and self.faults is not None
+            and self.faults.fire("inv.ack_drop") is not None
+        ):
+            self.counters.bump("faults.inv_acks_dropped")
+            return None
         return worst_ack
 
     def _deliver_invalidation(self, core_id, line, at_cycle, cat, reason):
@@ -615,6 +636,11 @@ class CacheHierarchy:
         self.kernel.schedule_at(ready, lambda: self._do_complete_read(req, level))
 
     def _do_complete_read(self, req, level):
+        if self.faults is not None and self.faults.fire("mshr.stuck") is not None:
+            # The fill is lost and the MSHR entry stays pinned: merged
+            # targets never complete and the core hangs on the load.
+            self.counters.bump("faults.mshr_stuck")
+            return
         data, version = self.image.snapshot(req.addr, req.size)
         result = AccessResult(
             level, data, version, self.kernel.cycle, bounces=req.bounces

@@ -30,6 +30,17 @@ class WorkloadError(ReproError):
     """A workload profile or trace request is malformed."""
 
 
+class TransientError(ReproError):
+    """Marker mixin: the failure is plausibly run-specific.
+
+    Errors that also derive from this class (budget exhaustion, injected
+    perturbations) are worth retrying with a bumped seed / grown budget;
+    errors that do not (a genuine protocol violation, a bad config) are
+    permanent and retrying them is wasted work.  The reliability engine's
+    default :class:`~repro.reliability.RetryPolicy` keys off this marker.
+    """
+
+
 class DeadlockError(SimulationError):
     """The simulation cannot make forward progress."""
 
@@ -37,3 +48,26 @@ class DeadlockError(SimulationError):
         super().__init__(f"deadlock detected at cycle {cycle}: {detail}")
         self.cycle = cycle
         self.detail = detail
+
+
+class SimTimeoutError(DeadlockError, TransientError):
+    """A cycle or wall-clock budget elapsed before the run finished.
+
+    Distinct from a true :class:`DeadlockError`: the simulator was still
+    making forward progress, it just ran out of budget.  Subclasses
+    ``DeadlockError`` so existing ``except DeadlockError`` call sites keep
+    working, and :class:`TransientError` so the reliability engine retries
+    it with a larger budget.
+    """
+
+    def __init__(self, cycle, detail):
+        # Skip DeadlockError.__init__'s "deadlock detected" phrasing.
+        SimulationError.__init__(
+            self, f"simulation budget exhausted at cycle {cycle}: {detail}"
+        )
+        self.cycle = cycle
+        self.detail = detail
+
+
+class FaultInjectionError(SimulationError, TransientError):
+    """An injected fault made the run unusable (reliability testing)."""

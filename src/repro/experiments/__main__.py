@@ -6,14 +6,57 @@ Examples::
     python -m repro.experiments figure4 --instructions 10000
     python -m repro.experiments table6 --apps sjeng,libquantum
     python -m repro.experiments all --quick
+
+Reliability (see ``docs/RELIABILITY.md``)::
+
+    # journal each cell; a failed cell becomes a gap, not an abort
+    python -m repro.experiments figure4 --quick
+
+    # re-attempt only the failed cells of the previous invocation
+    python -m repro.experiments figure4 --quick --resume
+
+    # deterministic fault injection into one matching cell
+    python -m repro.experiments figure4 --quick \
+        --fault mshr.stuck:nth=3 --fault-cells 'spec:mcf:IS-Sp:*'
+
+The process exits non-zero only when the number of failed cells exceeds
+``--max-failures`` (default 0: any failure that survives retries fails the
+invocation, after the full experiment has still been rendered).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from ..errors import ConfigError
+from ..reliability import FaultSchedule, RetryPolicy, RunEngine, RunJournal
 from . import ALL_EXPERIMENTS
+
+#: Generous per-cell cycle budget: an order of magnitude above the slowest
+#: legitimate full-suite cell, so only runaway runs and injected drops trip.
+DEFAULT_MAX_CYCLES = 50_000_000
+
+
+def build_engine(args, experiment, schedule):
+    """One engine (and journal) per experiment invocation."""
+    journal = None
+    if not args.no_journal:
+        journal = RunJournal(
+            os.path.join(args.journal_dir, f"{experiment}.json"),
+            experiment=experiment,
+        )
+    return RunEngine(
+        journal=journal,
+        policy=RetryPolicy(max_attempts=args.retries + 1),
+        max_cycles=args.max_cycles,
+        wall_clock_s=args.wall_clock,
+        resume=args.resume,
+        fault_schedule=schedule,
+        fault_cells=args.fault_cells,
+        failure_budget=args.max_failures,
+    )
 
 
 def main(argv=None):
@@ -57,7 +100,83 @@ def main(argv=None):
         default=None,
         help="for `report`: write the markdown to this path",
     )
+
+    reliability = parser.add_argument_group("reliability")
+    reliability.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve journal-completed cells from the journal; re-run only "
+        "missing/failed ones",
+    )
+    reliability.add_argument(
+        "--journal-dir",
+        type=str,
+        default=os.path.join("results", "journal"),
+        help="directory for per-experiment run journals "
+        "(default: results/journal)",
+    )
+    reliability.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the run journal (cells still retry and degrade)",
+    )
+    reliability.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries per failed cell, each with a bumped seed and grown "
+        "cycle budget (default: 1)",
+    )
+    reliability.add_argument(
+        "--max-cycles",
+        type=int,
+        default=DEFAULT_MAX_CYCLES,
+        help="per-cell cycle budget; exceeded -> SimTimeoutError "
+        f"(default: {DEFAULT_MAX_CYCLES})",
+    )
+    reliability.add_argument(
+        "--wall-clock",
+        type=float,
+        default=None,
+        help="per-cell wall-clock budget in seconds (default: off)",
+    )
+    reliability.add_argument(
+        "--max-failures",
+        type=int,
+        default=0,
+        help="failure budget: exit non-zero only when more cells than this "
+        "fail (default: 0)",
+    )
+    reliability.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SITE[:k=v,...]",
+        help="inject a fault, e.g. mshr.stuck:nth=3 or "
+        "dram.stall:nth=2,extra=5000; repeatable",
+    )
+    reliability.add_argument(
+        "--fault-cells",
+        type=str,
+        default="*",
+        metavar="GLOB",
+        help="glob of cell ids the fault schedule applies to "
+        "(default: every cell)",
+    )
+    reliability.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="RNG seed for probabilistic fault specs",
+    )
     args = parser.parse_args(argv)
+
+    schedule = None
+    if args.fault:
+        try:
+            schedule = FaultSchedule.parse(args.fault, seed=args.fault_seed)
+        except ConfigError as error:
+            parser.error(str(error))
 
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
@@ -73,17 +192,33 @@ def main(argv=None):
     if args.out is not None:
         kwargs["out"] = args.out
 
+    total_failures = 0
     for name in names:
         runner = ALL_EXPERIMENTS[name]
         supported = runner.__code__.co_varnames[: runner.__code__.co_argcount]
         call_kwargs = dict(kwargs)
+        engine = None
+        if "engine" in supported:
+            engine = build_engine(args, name, schedule)
+            call_kwargs["engine"] = engine
         for optional in ("apps", "include_rc", "instructions", "out"):
             if optional in call_kwargs and optional not in supported:
                 del call_kwargs[optional]
         result = runner(**call_kwargs)
         print(result if isinstance(result, str) else result.text)
+        if engine is not None and engine.failures:
+            total_failures += len(engine.failures)
+            print(
+                f"[reliability] {len(engine.failures)} cell(s) failed "
+                f"(rendered as gaps):"
+            )
+            for outcome in engine.failures:
+                print(
+                    f"  {outcome.cell_id}: {outcome.error_class}: "
+                    f"{outcome.error_message}"
+                )
         print()
-    return 0
+    return 1 if total_failures > args.max_failures else 0
 
 
 if __name__ == "__main__":

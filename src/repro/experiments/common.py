@@ -1,4 +1,13 @@
-"""Shared experiment plumbing: sweeps, normalization, result records."""
+"""Shared experiment plumbing: sweeps, normalization, result records.
+
+Fault tolerance: when a :class:`~repro.reliability.RunEngine` is passed to
+:func:`sweep`, each app x scheme cell runs as an isolated unit of work with
+watchdog/retry/journal semantics, and a cell that exhausts its retries
+yields a :class:`~repro.reliability.CellFailure` instead of raising.  The
+normalization helpers then propagate ``None`` for anything touching a
+failed cell, and the figure/table modules render those as the
+:data:`GAP` marker rather than aborting the experiment.
+"""
 
 from __future__ import annotations
 
@@ -7,9 +16,24 @@ import math
 from dataclasses import dataclass, field
 
 from ..configs import ALL_SCHEMES, ConsistencyModel, ProcessorConfig, Scheme
+from ..reliability import CellFailure, cell_id_for, is_ok
 from ..runner import run_parsec, run_spec
 from ..stats.report import format_grouped_bars, format_table
 from ..workloads import parsec_names, spec_names
+
+#: Rendered in place of a value that depends on a failed cell.
+GAP = "×"
+
+
+def gap_round(value, digits=3):
+    """``round(value, digits)``, or the gap marker when the cell failed."""
+    return GAP if value is None else round(value, digits)
+
+
+def mean_available(values):
+    """Arithmetic mean over the non-gap values (None entries dropped)."""
+    present = [v for v in values if v is not None]
+    return arithmetic_mean(present)
 
 
 @dataclass
@@ -102,8 +126,17 @@ def sweep(
     instructions=None,
     seed=0,
     schemes=ALL_SCHEMES,
+    engine=None,
 ):
-    """Run each app under each scheme; returns {app: {scheme: RunResult}}."""
+    """Run each app under each scheme; returns {app: {scheme: RunResult}}.
+
+    With an ``engine`` (:class:`~repro.reliability.RunEngine`), each cell
+    gets watchdog/retry/journal treatment and a cell that still fails maps
+    to a :class:`~repro.reliability.CellFailure` value instead of raising;
+    on ``--resume`` the engine serves completed cells from the journal
+    without re-simulating.  Without an engine, behavior is the classic
+    fail-fast direct run.
+    """
     runner = run_spec if suite == "spec" else run_parsec
     results = {}
     for app in apps:
@@ -111,7 +144,24 @@ def sweep(
         for scheme in schemes:
             config = ProcessorConfig(scheme=scheme, consistency=consistency)
             kwargs = {} if instructions is None else {"instructions": instructions}
-            per_scheme[scheme] = runner(app, config, seed=seed, **kwargs)
+            if engine is None:
+                per_scheme[scheme] = runner(app, config, seed=seed, **kwargs)
+                continue
+            cell_id = cell_id_for(suite, app, scheme, consistency, seed)
+
+            def cell_fn(
+                seed, max_cycles, watchdog, faults,
+                _app=app, _config=config, _kwargs=kwargs,
+            ):
+                return runner(
+                    _app, _config, seed=seed, max_cycles=max_cycles,
+                    watchdog=watchdog, faults=faults, **_kwargs,
+                )
+
+            outcome = engine.run_cell(cell_id, cell_fn, base_seed=seed)
+            per_scheme[scheme] = (
+                outcome.result if outcome.ok else outcome.failure()
+            )
         results[app] = per_scheme
     return results
 
@@ -130,10 +180,19 @@ def default_apps(suite, apps=None, quick=False):
 
 
 def normalized(results_by_scheme, metric):
-    """Each scheme's metric normalized to Base."""
-    base = metric(results_by_scheme[Scheme.BASE])
+    """Each scheme's metric normalized to Base.
+
+    Failed cells (and every scheme, when Base itself failed) normalize to
+    ``None`` — the rendered gap — instead of raising.
+    """
+    base = results_by_scheme.get(Scheme.BASE)
+    base_value = metric(base) if is_ok(base) else None
     return {
-        scheme: metric(result) / max(base, 1e-12)
+        scheme: (
+            metric(result) / max(base_value, 1e-12)
+            if base_value is not None and is_ok(result)
+            else None
+        )
         for scheme, result in results_by_scheme.items()
     }
 

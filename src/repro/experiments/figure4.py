@@ -11,27 +11,36 @@ in the paper.
 from __future__ import annotations
 
 from ..configs import ALL_SCHEMES, ConsistencyModel, Scheme
+from ..reliability import is_ok
 from .common import (
     ExperimentResult,
-    arithmetic_mean,
     default_apps,
+    gap_round,
+    mean_available,
     normalized,
     sweep,
 )
 
 
 def _stall_fraction(result):
+    if not is_ok(result):
+        return None
     return result.count("invisispec.validation_stall_cycles") / max(
         result.cycles, 1
     )
 
 
-def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True):
+def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True,
+        engine=None):
     """Regenerate Figure 4.  Returns an :class:`ExperimentResult` whose rows
     are ``[app, Base, Fe-Sp, IS-Sp, Fe-Fu, IS-Fu, IS-Sp stall, IS-Fu stall]``.
+
+    With ``engine``, failed cells render as gaps and are excluded from the
+    average rows (fail-fast without one).
     """
     apps = default_apps("spec", apps, quick)
-    tso = sweep("spec", apps, ConsistencyModel.TSO, instructions, seed)
+    tso = sweep("spec", apps, ConsistencyModel.TSO, instructions, seed,
+                engine=engine)
 
     headers = ["app"] + [s.value for s in ALL_SCHEMES] + [
         "IS-Sp valstall",
@@ -45,21 +54,22 @@ def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True):
             norm_by_scheme[scheme].append(norm[scheme])
         rows.append(
             [app]
-            + [round(norm[s], 3) for s in ALL_SCHEMES]
+            + [gap_round(norm[s]) for s in ALL_SCHEMES]
             + [
-                round(_stall_fraction(tso[app][Scheme.IS_SPECTRE]), 4),
-                round(_stall_fraction(tso[app][Scheme.IS_FUTURE]), 4),
+                gap_round(_stall_fraction(tso[app][Scheme.IS_SPECTRE]), 4),
+                gap_round(_stall_fraction(tso[app][Scheme.IS_FUTURE]), 4),
             ]
         )
     rows.append(
         ["average"]
-        + [round(arithmetic_mean(norm_by_scheme[s]), 3) for s in ALL_SCHEMES]
+        + [round(mean_available(norm_by_scheme[s]), 3) for s in ALL_SCHEMES]
         + ["", ""]
     )
 
     extras = {"tso": tso}
     if include_rc:
-        rc = sweep("spec", apps, ConsistencyModel.RC, instructions, seed)
+        rc = sweep("spec", apps, ConsistencyModel.RC, instructions, seed,
+                   engine=engine)
         rc_norms = {scheme: [] for scheme in ALL_SCHEMES}
         for app in apps:
             norm = normalized(rc[app], lambda r: r.cycles)
@@ -67,7 +77,7 @@ def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True):
                 rc_norms[scheme].append(norm[scheme])
         rows.append(
             ["RC-average"]
-            + [round(arithmetic_mean(rc_norms[s]), 3) for s in ALL_SCHEMES]
+            + [round(mean_available(rc_norms[s]), 3) for s in ALL_SCHEMES]
             + ["", ""]
         )
         extras["rc"] = rc

@@ -8,25 +8,33 @@ speculative loads (SpecLoad), of exposures/validations, and the rest.
 from __future__ import annotations
 
 from ..configs import ALL_SCHEMES, ConsistencyModel, Scheme
+from ..reliability import is_ok
 from .common import (
+    GAP,
     ExperimentResult,
-    arithmetic_mean,
     default_apps,
+    gap_round,
+    mean_available,
     normalized,
     sweep,
 )
 
 
 def _breakdown(result):
+    if not is_ok(result):
+        return GAP
     split = result.traffic_breakdown
     total = max(sum(split.values()), 1)
-    return split["specload"] / total, split["expose_validate"] / total
+    spec, val = split["specload"] / total, split["expose_validate"] / total
+    return f"{spec:.0%}/{val:.0%}"
 
 
-def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True):
+def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True,
+        engine=None):
     """Regenerate Figure 6."""
     apps = default_apps("spec", apps, quick)
-    tso = sweep("spec", apps, ConsistencyModel.TSO, instructions, seed)
+    tso = sweep("spec", apps, ConsistencyModel.TSO, instructions, seed,
+                engine=engine)
 
     headers = ["app"] + [s.value for s in ALL_SCHEMES] + [
         "IS-Sp spec/val%",
@@ -38,22 +46,24 @@ def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True):
         norm = normalized(tso[app], lambda r: r.traffic_bytes)
         for scheme in ALL_SCHEMES:
             norms[scheme].append(norm[scheme])
-        sp_spec, sp_val = _breakdown(tso[app][Scheme.IS_SPECTRE])
-        fu_spec, fu_val = _breakdown(tso[app][Scheme.IS_FUTURE])
         rows.append(
             [app]
-            + [round(norm[s], 3) for s in ALL_SCHEMES]
-            + [f"{sp_spec:.0%}/{sp_val:.0%}", f"{fu_spec:.0%}/{fu_val:.0%}"]
+            + [gap_round(norm[s]) for s in ALL_SCHEMES]
+            + [
+                _breakdown(tso[app][Scheme.IS_SPECTRE]),
+                _breakdown(tso[app][Scheme.IS_FUTURE]),
+            ]
         )
     rows.append(
         ["average"]
-        + [round(arithmetic_mean(norms[s]), 3) for s in ALL_SCHEMES]
+        + [round(mean_available(norms[s]), 3) for s in ALL_SCHEMES]
         + ["", ""]
     )
 
     extras = {"tso": tso}
     if include_rc:
-        rc = sweep("spec", apps, ConsistencyModel.RC, instructions, seed)
+        rc = sweep("spec", apps, ConsistencyModel.RC, instructions, seed,
+                   engine=engine)
         rc_norms = {scheme: [] for scheme in ALL_SCHEMES}
         for app in apps:
             norm = normalized(rc[app], lambda r: r.traffic_bytes)
@@ -61,7 +71,7 @@ def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True):
                 rc_norms[scheme].append(norm[scheme])
         rows.append(
             ["RC-average"]
-            + [round(arithmetic_mean(rc_norms[s]), 3) for s in ALL_SCHEMES]
+            + [round(mean_available(rc_norms[s]), 3) for s in ALL_SCHEMES]
             + ["", ""]
         )
         extras["rc"] = rc

@@ -9,25 +9,32 @@ loads on L1 evictions — reproduces here.
 from __future__ import annotations
 
 from ..configs import ALL_SCHEMES, ConsistencyModel, Scheme
+from ..reliability import is_ok
 from .common import (
     ExperimentResult,
-    arithmetic_mean,
     default_apps,
+    gap_round,
+    mean_available,
     normalized,
     sweep,
 )
 
 
-def _stall_fraction(result):
-    return result.count("invisispec.validation_stall_cycles") / max(
-        result.cycles * 8, 1
-    )
+def _consistency_squashes_per_k(result, include_evictions):
+    if not is_ok(result):
+        return None
+    events = result.count("core.squashes.consistency")
+    if include_evictions:
+        events += result.count("core.eviction_squashes")
+    return 1000.0 * events / max(result.instructions, 1)
 
 
-def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True):
+def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True,
+        engine=None):
     """Regenerate Figure 7."""
     apps = default_apps("parsec", apps, quick)
-    tso = sweep("parsec", apps, ConsistencyModel.TSO, instructions, seed)
+    tso = sweep("parsec", apps, ConsistencyModel.TSO, instructions, seed,
+                engine=engine)
 
     headers = ["app"] + [s.value for s in ALL_SCHEMES] + [
         "Base consist-squash/1k",
@@ -39,29 +46,34 @@ def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True):
         norm = normalized(tso[app], lambda r: r.cycles)
         for scheme in ALL_SCHEMES:
             norms[scheme].append(norm[scheme])
-        base_res = tso[app][Scheme.BASE]
-        fu_res = tso[app][Scheme.IS_FUTURE]
-        base_ev = base_res.count("core.squashes.consistency") + base_res.count(
-            "core.eviction_squashes"
-        )
-        fu_ev = fu_res.count("core.squashes.consistency")
         rows.append(
             [app]
-            + [round(norm[s], 3) for s in ALL_SCHEMES]
+            + [gap_round(norm[s]) for s in ALL_SCHEMES]
             + [
-                round(1000.0 * base_ev / max(base_res.instructions, 1), 2),
-                round(1000.0 * fu_ev / max(fu_res.instructions, 1), 2),
+                gap_round(
+                    _consistency_squashes_per_k(
+                        tso[app][Scheme.BASE], include_evictions=True
+                    ),
+                    2,
+                ),
+                gap_round(
+                    _consistency_squashes_per_k(
+                        tso[app][Scheme.IS_FUTURE], include_evictions=False
+                    ),
+                    2,
+                ),
             ]
         )
     rows.append(
         ["average"]
-        + [round(arithmetic_mean(norms[s]), 3) for s in ALL_SCHEMES]
+        + [round(mean_available(norms[s]), 3) for s in ALL_SCHEMES]
         + ["", ""]
     )
 
     extras = {"tso": tso}
     if include_rc:
-        rc = sweep("parsec", apps, ConsistencyModel.RC, instructions, seed)
+        rc = sweep("parsec", apps, ConsistencyModel.RC, instructions, seed,
+                   engine=engine)
         rc_norms = {scheme: [] for scheme in ALL_SCHEMES}
         for app in apps:
             norm = normalized(rc[app], lambda r: r.cycles)
@@ -69,7 +81,7 @@ def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True):
                 rc_norms[scheme].append(norm[scheme])
         rows.append(
             ["RC-average"]
-            + [round(arithmetic_mean(rc_norms[s]), 3) for s in ALL_SCHEMES]
+            + [round(mean_available(rc_norms[s]), 3) for s in ALL_SCHEMES]
             + ["", ""]
         )
         extras["rc"] = rc

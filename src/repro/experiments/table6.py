@@ -12,8 +12,9 @@ Per application (and suite average), for IS-Spectre and IS-Future:
 from __future__ import annotations
 
 from ..configs import ConsistencyModel, ProcessorConfig, Scheme
+from ..reliability import cell_id_for, is_ok
 from ..runner import run_parsec, run_spec
-from .common import ExperimentResult, arithmetic_mean, default_apps
+from .common import GAP, ExperimentResult, arithmetic_mean, default_apps
 
 _SQUASH_REASONS = {
     "branch": ("core.squashes.branch",),
@@ -83,6 +84,7 @@ def run(
     seed=0,
     quick=False,
     average_over=None,
+    engine=None,
     **_ignored,
 ):
     """Regenerate Table VI (IS-Sp and IS-Fu under TSO).
@@ -90,9 +92,28 @@ def run(
     ``average_over`` optionally names the app set used for the two average
     rows (defaults to the highlighted apps themselves, to keep the default
     harness fast; pass the full suites for the paper's exact averages).
+    With ``engine``, a failed cell renders as a row of gaps and is dropped
+    from the averages.
     """
     rows = []
     per_app = {}
+
+    def run_cell(suite, app, config, runner):
+        kwargs = {} if instructions is None else {"instructions": instructions}
+        if engine is None:
+            return runner(app, config, seed=seed, **kwargs)
+        cell_id = cell_id_for(
+            suite, app, config.scheme, config.consistency, seed
+        )
+
+        def cell_fn(seed, max_cycles, watchdog, faults):
+            return runner(
+                app, config, seed=seed, max_cycles=max_cycles,
+                watchdog=watchdog, faults=faults, **kwargs,
+            )
+
+        outcome = engine.run_cell(cell_id, cell_fn, base_seed=seed)
+        return outcome.result if outcome.ok else outcome.failure()
 
     def add_rows(suite, apps, runner):
         stats = {}
@@ -102,16 +123,19 @@ def run(
                 config = ProcessorConfig(
                     scheme=scheme, consistency=ConsistencyModel.TSO
                 )
-                kwargs = (
-                    {} if instructions is None else {"instructions": instructions}
+                result = run_cell(suite.lower(), app, config, runner)
+                app_stats[scheme] = (
+                    characterize(result) if is_ok(result) else None
                 )
-                result = runner(app, config, seed=seed, **kwargs)
-                app_stats[scheme] = characterize(result)
             stats[app] = app_stats
             for scheme in (Scheme.IS_SPECTRE, Scheme.IS_FUTURE):
+                cell_stats = app_stats[scheme]
                 rows.append(
                     [f"{app} ({scheme.value})"]
-                    + [round(app_stats[scheme][key], 1) for key, _ in _COLUMNS]
+                    + [
+                        round(cell_stats[key], 1) if cell_stats else GAP
+                        for key, _ in _COLUMNS
+                    ]
                 )
         for scheme in (Scheme.IS_SPECTRE, Scheme.IS_FUTURE):
             rows.append(
@@ -119,7 +143,11 @@ def run(
                 + [
                     round(
                         arithmetic_mean(
-                            [stats[a][scheme][key] for a in apps]
+                            [
+                                stats[a][scheme][key]
+                                for a in apps
+                                if stats[a][scheme] is not None
+                            ]
                         ),
                         1,
                     )

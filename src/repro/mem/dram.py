@@ -13,13 +13,16 @@ from __future__ import annotations
 class DRAMModel:
     """Single-channel DRAM with fixed access latency and burst occupancy."""
 
-    def __init__(self, latency=100, burst_cycles=4, channels=1):
+    def __init__(self, latency=100, burst_cycles=4, channels=1, faults=None):
         self.latency = latency
         self.burst_cycles = burst_cycles
         self.channels = channels
         self._busy_until = [0] * channels
         self.stat_accesses = 0
         self.stat_queue_cycles = 0
+        #: Optional FaultInjector; consulted per access for ``dram.stall``.
+        self.faults = faults
+        self.stat_stalled = 0
 
     def access(self, now, line_addr=0):
         """Issue a request at cycle ``now``; returns the data-ready cycle."""
@@ -28,7 +31,13 @@ class DRAMModel:
         start = max(now, self._busy_until[channel])
         self.stat_queue_cycles += start - now
         self._busy_until[channel] = start + self.burst_cycles
-        return start + self.latency
+        ready = start + self.latency
+        if self.faults is not None:
+            action = self.faults.fire("dram.stall")
+            if action is not None:
+                self.stat_stalled += 1
+                ready += action.extra
+        return ready
 
     def reset(self):
         self._busy_until = [0] * self.channels

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 
+from ..reliability.faults import DROPPED_MESSAGE_DELAY
 from .topology import MeshTopology
 
 
@@ -27,7 +28,7 @@ class TrafficCategory(enum.Enum):
 class NoC:
     """Mesh interconnect: computes delays, accounts traffic."""
 
-    def __init__(self, params):
+    def __init__(self, params, faults=None):
         self.params = params
         self.topology = MeshTopology(params.mesh_cols, params.mesh_rows)
         self.hop_latency = params.hop_latency
@@ -36,6 +37,11 @@ class NoC:
         self.bytes_by_category = {cat: 0 for cat in TrafficCategory}
         self.byte_hops = 0
         self.messages = 0
+        #: Optional FaultInjector; consulted per message for the
+        #: ``noc.drop`` and ``noc.delay`` sites.
+        self.faults = faults
+        self.stat_dropped = 0
+        self.stat_delayed = 0
 
     def delay(self, src_node, dst_node):
         """One-way latency in cycles between two mesh nodes."""
@@ -51,7 +57,19 @@ class NoC:
         self.bytes_by_category[category] += size
         self.byte_hops += size * hops
         self.messages += 1
-        return hops * self.hop_latency
+        latency = hops * self.hop_latency
+        if self.faults is not None:
+            # A dropped message never arrives: model as a delay beyond any
+            # sane cycle budget, so the dependent transaction stalls until
+            # the watchdog raises SimTimeoutError.
+            if self.faults.fire("noc.drop") is not None:
+                self.stat_dropped += 1
+                return DROPPED_MESSAGE_DELAY
+            action = self.faults.fire("noc.delay")
+            if action is not None:
+                self.stat_delayed += 1
+                latency += action.extra
+        return latency
 
     @property
     def total_bytes(self):

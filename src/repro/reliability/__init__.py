@@ -1,0 +1,54 @@
+"""Reliability layer: fault-tolerant, resumable, fault-injectable runs.
+
+Three pieces:
+
+* :mod:`~repro.reliability.engine` — the :class:`RunEngine` executes each
+  experiment cell with a watchdog, bounded seed-bump retry, graceful
+  failure capture, and a failure budget;
+* :mod:`~repro.reliability.journal` — the :class:`RunJournal` persists per
+  cell outcomes so interrupted sweeps resume instead of restarting;
+* :mod:`~repro.reliability.faults` — seeded, deterministic fault injection
+  into the NoC, DRAM, coherence and kernel layers, used to exercise the
+  simulator's failure detectors and this layer's recovery paths.
+
+See ``docs/RELIABILITY.md`` for the journal format, resume semantics,
+retry policy, and the fault-schedule language.
+"""
+
+from .engine import (
+    CellFailure,
+    CellOutcome,
+    CellResult,
+    RetryPolicy,
+    RunEngine,
+    WallClockGuard,
+    capture_metrics,
+    cell_id_for,
+    is_ok,
+)
+from .faults import (
+    DROPPED_MESSAGE_DELAY,
+    FAULT_SITES,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+)
+from .journal import RunJournal
+
+__all__ = [
+    "CellFailure",
+    "CellOutcome",
+    "CellResult",
+    "DROPPED_MESSAGE_DELAY",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "RetryPolicy",
+    "RunEngine",
+    "RunJournal",
+    "WallClockGuard",
+    "capture_metrics",
+    "cell_id_for",
+    "is_ok",
+]

@@ -1,0 +1,107 @@
+"""Persistent run journal: one JSON file per experiment.
+
+The journal is the reliability engine's source of truth for resume: after
+every cell completes (or exhausts its retries) the engine records the
+outcome and the journal is atomically rewritten, so a crashed or aborted
+harness loses at most the cell that was in flight.  A subsequent
+``python -m repro.experiments <name> --resume`` skips cells whose journal
+record is ``ok`` — their figure-relevant metrics are reconstructed straight
+from the journal — and re-attempts only the failed ones.
+
+File format (``results/journal/<experiment>.json``)::
+
+    {
+      "version": 1,
+      "experiment": "figure4",
+      "cells": {
+        "<cell id>": {
+          "status": "ok" | "failed",
+          "error_class": "DeadlockError",     # failed cells only
+          "error_message": "...",
+          "cycles": 12345,                    # last attempt's cycle count
+          "attempts": [                        # full retry history
+            {"seed": 0, "status": "failed", "error_class": "...",
+             "wall_ms": 812, "max_cycles": 1000000, "faults": {...}},
+            {"seed": 9973, "status": "ok", "wall_ms": 790, ...}
+          ],
+          "metrics": {...}                    # ok cells only; see engine
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+JOURNAL_VERSION = 1
+
+
+class RunJournal:
+    """Crash-safe per-experiment record of cell outcomes."""
+
+    def __init__(self, path, experiment=""):
+        self.path = os.fspath(path)
+        self.experiment = experiment
+        self._cells = {}
+        self._load()
+
+    def _load(self):
+        if not os.path.exists(self.path):
+            return
+        with open(self.path) as handle:
+            data = json.load(handle)
+        self.experiment = data.get("experiment", self.experiment)
+        self._cells = dict(data.get("cells", {}))
+
+    def save(self):
+        """Atomically rewrite the journal (write temp + rename)."""
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        payload = {
+            "version": JOURNAL_VERSION,
+            "experiment": self.experiment,
+            "cells": self._cells,
+        }
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        os.replace(tmp_path, self.path)
+
+    # ------------------------------------------------------------- records
+
+    def get(self, cell_id):
+        return self._cells.get(cell_id)
+
+    def record(self, cell_id, record):
+        """Store a cell outcome, extending any prior attempt history."""
+        previous = self._cells.get(cell_id)
+        if previous is not None:
+            record = dict(record)
+            record["attempts"] = previous.get("attempts", []) + record.get(
+                "attempts", []
+            )
+        self._cells[cell_id] = record
+        self.save()
+
+    def is_completed(self, cell_id):
+        record = self._cells.get(cell_id)
+        return record is not None and record.get("status") == "ok"
+
+    def completed_ids(self):
+        return [cid for cid in self._cells if self.is_completed(cid)]
+
+    def failed_ids(self):
+        return [
+            cid
+            for cid, record in self._cells.items()
+            if record.get("status") != "ok"
+        ]
+
+    def __len__(self):
+        return len(self._cells)
+
+    def __contains__(self, cell_id):
+        return cell_id in self._cells

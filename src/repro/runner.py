@@ -54,12 +54,19 @@ def run_spec(
     seed=0,
     params=None,
     pretrain_ops=DEFAULT_PRETRAIN_OPS,
+    max_cycles=None,
+    watchdog=None,
+    faults=None,
 ):
     """Run one SPEC application under one processor configuration.
 
     ``warmup`` instructions (default: half the measured budget) execute
     before measurement starts, and the branch predictor is functionally
     pre-trained, mirroring the paper's fast-forward phase.
+
+    ``max_cycles``, ``watchdog`` and ``faults`` are the reliability hooks
+    (cycle budget, wall-clock guard, fault injector) used by
+    :class:`~repro.reliability.RunEngine`; all default to off.
     """
     profile = SPEC_PROFILES[name]
     if params is None:
@@ -74,10 +81,12 @@ def run_spec(
         warmup_instructions=warmup,
         icache_miss_rate=profile.icache_miss_rate,
         seed=seed,
+        faults=faults,
+        watchdog=watchdog,
     )
     if pretrain_ops:
         _pretrain_predictor(system.cores[0], profile, seed, 0, pretrain_ops)
-    return system.run()
+    return system.run(max_cycles=max_cycles)
 
 
 def run_parsec(
@@ -88,6 +97,9 @@ def run_parsec(
     seed=0,
     params=None,
     pretrain_ops=DEFAULT_PRETRAIN_OPS,
+    max_cycles=None,
+    watchdog=None,
+    faults=None,
 ):
     """Run one PARSEC application on 8 cores under one configuration."""
     profile = PARSEC_PROFILES[name]
@@ -103,11 +115,13 @@ def run_parsec(
         warmup_instructions=warmup,
         icache_miss_rate=profile.icache_miss_rate,
         seed=seed,
+        faults=faults,
+        watchdog=watchdog,
     )
     if pretrain_ops:
         for core_id, core in enumerate(system.cores):
             _pretrain_predictor(core, profile, seed, core_id, pretrain_ops)
-    return system.run()
+    return system.run(max_cycles=max_cycles)
 
 
 def run_matrix(
@@ -147,7 +161,10 @@ def run_matrix(
 def normalized_execution_time(results):
     """Cycles of each scheme normalized to Base (Figure 4/7 y-axis)."""
     base = results[ALL_SCHEMES[0]].cycles
-    return {scheme: result.cycles / base for scheme, result in results.items()}
+    return {
+        scheme: result.cycles / max(base, 1)
+        for scheme, result in results.items()
+    }
 
 
 def normalized_traffic(results):

@@ -6,11 +6,26 @@ every registered component (cores).  When every component reports itself
 idle-but-waiting, the kernel fast-forwards the clock to the next pending
 event instead of spinning, which is what makes a pure-Python cycle-level
 model usable.
+
+Reliability hooks
+-----------------
+
+Two optional hooks support the :mod:`repro.reliability` layer:
+
+* ``kernel.watchdog`` — a callable invoked with the current cycle roughly
+  every :data:`SimKernel.WATCHDOG_PERIOD` cycles of simulated time; it may
+  raise (typically :class:`~repro.errors.SimTimeoutError`) to abort a run
+  that exceeded a wall-clock budget.
+* ``kernel.faults`` — a :class:`~repro.reliability.faults.FaultInjector`;
+  when set, each ``schedule``/``schedule_at`` call consults the
+  ``kernel.event_drop`` fault site, and a triggered fault silently loses
+  the event (the returned handle is pre-cancelled), which is how "message
+  never arrived" failures reach the deadlock detector.
 """
 
 from __future__ import annotations
 
-from ..errors import DeadlockError
+from ..errors import DeadlockError, SimTimeoutError
 from .events import EventQueue
 
 
@@ -21,10 +36,20 @@ class SimKernel:
     #: before the kernel declares deadlock.
     DEADLOCK_GRACE = 4
 
+    #: Simulated cycles between watchdog invocations.
+    WATCHDOG_PERIOD = 4096
+
     def __init__(self):
         self.cycle = 0
         self.events = EventQueue()
         self._components = []
+        self.watchdog = None
+        self.faults = None
+        # Last cycle whose events have already fired this iteration.  A
+        # schedule for that cycle or earlier (e.g. schedule_at with a stale
+        # timestamp from the tick phase) clamps to the next cycle instead of
+        # planting an unfireable past event in the queue.
+        self._fired_through = -1
 
     def register(self, component):
         """Register an object with ``tick() -> str`` called every cycle.
@@ -37,24 +62,44 @@ class SimKernel:
         """
         self._components.append(component)
 
+    def _schedule_event(self, cycle, callback):
+        cycle = max(cycle, self._fired_through + 1)
+        if self.faults is not None:
+            action = self.faults.fire("kernel.event_drop", cycle=self.cycle)
+            if action is not None:
+                # The event is lost: return a handle that will never fire so
+                # callers can still hold/cancel it.
+                event = self.events.schedule(cycle, callback)
+                event.cancel()
+                return event
+        return self.events.schedule(cycle, callback)
+
     def schedule(self, delay, callback):
         """Run ``callback()`` ``delay`` cycles from now (delay >= 0)."""
-        return self.events.schedule(self.cycle + max(0, delay), callback)
+        return self._schedule_event(self.cycle + max(0, delay), callback)
 
     def schedule_at(self, cycle, callback):
         """Run ``callback()`` at an absolute cycle >= now."""
-        return self.events.schedule(max(cycle, self.cycle), callback)
+        return self._schedule_event(max(cycle, self.cycle), callback)
 
     def run(self, max_cycles=None):
         """Run until every component reports ``done``.
 
         Returns the final cycle count.  Raises :class:`DeadlockError` if no
-        component can make progress and no event is pending, or if
-        ``max_cycles`` elapses first.
+        component can make progress and no event is pending, or
+        :class:`SimTimeoutError` if ``max_cycles`` elapses first.
         """
         stall_cycles = 0
+        next_watchdog = (
+            self.cycle + self.WATCHDOG_PERIOD if self.watchdog is not None else None
+        )
         while True:
+            if next_watchdog is not None and self.cycle >= next_watchdog:
+                self.watchdog(self.cycle)
+                next_watchdog = self.cycle + self.WATCHDOG_PERIOD
+
             self.events.run_at(self.cycle)
+            self._fired_through = self.cycle
 
             any_active = False
             all_done = True
@@ -77,7 +122,7 @@ class SimKernel:
                 continue
 
             if max_cycles is not None and self.cycle >= max_cycles:
-                raise DeadlockError(self.cycle, "max_cycles exceeded")
+                raise SimTimeoutError(self.cycle, "max_cycles exceeded")
 
             next_event = self.events.next_cycle()
             if any_active:

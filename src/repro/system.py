@@ -98,6 +98,8 @@ class System:
         memory_init=None,
         seed=0,
         tracelog=None,
+        faults=None,
+        watchdog=None,
     ):
         if not isinstance(params, SystemParams):
             raise ConfigError(f"params must be SystemParams, got {params!r}")
@@ -110,6 +112,14 @@ class System:
         self.params = params
         self.config = config
         self.kernel = SimKernel()
+        # Reliability hooks: a FaultInjector perturbing the hierarchy/kernel
+        # and a wall-clock watchdog callback (see repro.reliability).
+        self.faults = faults
+        if faults is not None:
+            faults.bind(self.kernel)
+            self.kernel.faults = faults
+        if watchdog is not None:
+            self.kernel.watchdog = watchdog
         self.counters = Counters()
         self.space = AddressSpace(
             line_bytes=params.line_bytes, page_bytes=params.tlb.page_bytes
@@ -119,7 +129,8 @@ class System:
             for addr, value in memory_init.items():
                 self.image.write_bytes(addr, [value] if isinstance(value, int) else value)
         self.hierarchy = CacheHierarchy(
-            params, self.kernel, self.image, self.counters, seed=seed
+            params, self.kernel, self.image, self.counters, seed=seed,
+            faults=faults,
         )
         self.warmup_instructions = warmup_instructions
         self._warmup_pending = params.num_cores if warmup_instructions else 0
@@ -161,7 +172,13 @@ class System:
             }
 
     def run(self, max_cycles=None):
-        """Run every core to completion; returns a :class:`RunResult`."""
+        """Run every core to completion; returns a :class:`RunResult`.
+
+        Raises :class:`~repro.errors.SimTimeoutError` when ``max_cycles``
+        (or an installed wall-clock watchdog) trips, and
+        :class:`~repro.errors.DeadlockError` on a genuine lack of forward
+        progress.
+        """
         cycles = self.kernel.run(max_cycles=max_cycles)
         self._harvest_stats()
         return RunResult(

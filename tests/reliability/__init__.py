@@ -1,0 +1,1 @@
+"""Reliability-layer tests."""

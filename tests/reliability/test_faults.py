@@ -1,0 +1,189 @@
+"""Fault-injection framework: schedule language, triggers, hierarchy wiring."""
+
+import pytest
+
+from repro.configs import ProcessorConfig, Scheme
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    ReproError,
+    SimTimeoutError,
+)
+from repro.reliability.faults import (
+    FAULT_SITES,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.runner import run_parsec, run_spec
+
+CFG = ProcessorConfig(scheme=Scheme.BASE)
+
+
+class TestScheduleLanguage:
+    def test_parse_full_spec(self):
+        spec = FaultSpec.parse("dram.stall:nth=2,extra=5000,count=3")
+        assert spec.site == "dram.stall"
+        assert spec.nth == 2
+        assert spec.extra == 5000
+        assert spec.count == 3
+
+    def test_parse_prob_and_window(self):
+        spec = FaultSpec.parse("noc.delay:prob=0.25,window=100-900")
+        assert spec.prob == 0.25
+        assert spec.window == (100, 900)
+
+    def test_default_extra_per_site(self):
+        assert FaultSpec.parse("dram.stall:nth=1").extra == 5000
+        assert FaultSpec.parse("noc.delay:nth=1").extra == 200
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec.parse("l1.melt:nth=1")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec.parse("dram.stall:nth=1,sauce=9")
+
+    def test_trigger_required(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("dram.stall")
+
+    def test_schedule_parse_multiple(self):
+        schedule = FaultSchedule.parse(
+            ["dram.stall:nth=1", "mshr.stuck:nth=4"], seed=7
+        )
+        assert len(schedule.specs) == 2
+        assert schedule.seed == 7
+        assert bool(schedule)
+        assert not bool(FaultSchedule())
+
+
+class TestInjectorTriggers:
+    def test_nth_is_one_based_and_exact(self):
+        injector = FaultSchedule([FaultSpec("dram.stall", nth=3)]).injector()
+        fires = [injector.fire("dram.stall") is not None for _ in range(6)]
+        assert fires == [False, False, True, False, False, False]
+
+    def test_count_widens_to_consecutive_ops(self):
+        injector = FaultSchedule(
+            [FaultSpec("dram.stall", nth=2, count=3)]
+        ).injector()
+        fires = [injector.fire("dram.stall") is not None for _ in range(6)]
+        assert fires == [False, True, True, True, False, False]
+
+    def test_sites_count_independently(self):
+        schedule = FaultSchedule(
+            [FaultSpec("dram.stall", nth=1), FaultSpec("noc.delay", nth=2)]
+        )
+        injector = schedule.injector()
+        assert injector.fire("noc.delay") is None
+        assert injector.fire("dram.stall") is not None
+        assert injector.fire("noc.delay") is not None
+
+    def test_probabilistic_is_deterministic_per_seed(self):
+        def firing_pattern(seed):
+            injector = FaultSchedule(
+                [FaultSpec("noc.delay", prob=0.5, count=10**9)], seed=seed
+            ).injector()
+            return [
+                injector.fire("noc.delay") is not None for _ in range(64)
+            ]
+
+        assert firing_pattern(1) == firing_pattern(1)
+        assert firing_pattern(1) != firing_pattern(2)
+
+    def test_window_restricts_by_cycle(self):
+        spec = FaultSpec("dram.stall", nth=1, window=(100, 200))
+        injector = FaultInjector(FaultSchedule([spec]))
+        assert injector.fire("dram.stall", cycle=50) is None
+        # nth=1 already consumed op 1; use a fresh injector inside window.
+        injector = FaultInjector(FaultSchedule([spec]))
+        assert injector.fire("dram.stall", cycle=150) is not None
+
+    def test_log_records_what_fired(self):
+        injector = FaultSchedule(
+            [FaultSpec("dram.stall", nth=2, extra=123)]
+        ).injector()
+        injector.fire("dram.stall")
+        injector.fire("dram.stall")
+        assert injector.fired == 1
+        assert injector.summary() == {"dram.stall": 1}
+        assert injector.log[0]["extra"] == 123
+
+    def test_fresh_injector_per_attempt_resets_state(self):
+        schedule = FaultSchedule([FaultSpec("dram.stall", nth=1)])
+        first = schedule.injector()
+        assert first.fire("dram.stall") is not None
+        second = schedule.injector()
+        assert second.fire("dram.stall") is not None
+
+
+class TestEndToEndInjection:
+    """Each site deterministically produces its advertised failure mode."""
+
+    def test_mshr_stuck_deadlocks(self):
+        injector = FaultSchedule.parse(["mshr.stuck:nth=3"]).injector()
+        with pytest.raises(DeadlockError):
+            run_spec("hmmer", CFG, instructions=400, faults=injector)
+        assert injector.summary() == {"mshr.stuck": 1}
+
+    def test_noc_drop_times_out_under_budget(self):
+        injector = FaultSchedule.parse(["noc.drop:nth=10"]).injector()
+        with pytest.raises(SimTimeoutError):
+            run_spec(
+                "hmmer", CFG, instructions=400, faults=injector,
+                max_cycles=200_000,
+            )
+
+    def test_kernel_event_drop_deadlocks(self):
+        injector = FaultSchedule.parse(["kernel.event_drop:nth=20"]).injector()
+        with pytest.raises(ReproError):
+            run_spec(
+                "hmmer", CFG, instructions=400, faults=injector,
+                max_cycles=500_000,
+            )
+
+    def test_dram_stall_slows_but_completes(self):
+        clean = run_spec("hmmer", CFG, instructions=400)
+        injector = FaultSchedule.parse(
+            ["dram.stall:nth=1,extra=20000"]
+        ).injector()
+        stalled = run_spec("hmmer", CFG, instructions=400, faults=injector)
+        assert injector.summary() == {"dram.stall": 1}
+        assert stalled.total_cycles > clean.total_cycles
+
+    def test_noc_delay_slows_but_completes(self):
+        clean = run_spec("hmmer", CFG, instructions=400)
+        injector = FaultSchedule.parse(
+            ["noc.delay:nth=1,extra=30000"]
+        ).injector()
+        delayed = run_spec("hmmer", CFG, instructions=400, faults=injector)
+        assert injector.summary() == {"noc.delay": 1}
+        assert delayed.total_cycles > clean.total_cycles
+
+    def test_inv_ack_drop_hangs_a_store(self):
+        # Needs real cross-core sharing: a multithreaded run with enough
+        # instructions that some store hits remotely shared lines.
+        injector = FaultSchedule.parse(["inv.ack_drop:nth=1"]).injector()
+        with pytest.raises(ReproError):
+            run_parsec(
+                "fluidanimate", CFG, instructions=2000, faults=injector,
+                max_cycles=2_000_000,
+            )
+        assert injector.summary().get("inv.ack_drop") == 1
+
+    def test_no_faults_means_bit_identical_runs(self):
+        # The hooks must be invisible when no schedule is armed.
+        a = run_spec("hmmer", CFG, instructions=400)
+        empty = FaultSchedule()
+        b = run_spec("hmmer", CFG, instructions=400,
+                     faults=empty.injector() if empty else None)
+        assert a.cycles == b.cycles
+        assert a.traffic_bytes == b.traffic_bytes
+
+    def test_all_sites_are_documented(self):
+        assert set(FAULT_SITES) == {
+            "noc.delay", "noc.drop", "dram.stall", "mshr.stuck",
+            "inv.ack_drop", "kernel.event_drop",
+        }

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DeadlockError
+from repro.errors import DeadlockError, SimTimeoutError
 from repro.sim.kernel import SimKernel
 
 
@@ -74,6 +74,26 @@ class TestSimKernel:
         with pytest.raises(DeadlockError):
             kernel.run(max_cycles=50)
 
+    def test_max_cycles_raises_timeout_not_plain_deadlock(self):
+        # Budget exhaustion is a SimTimeoutError; a still-progressing run
+        # must be distinguishable from a genuine deadlock.
+        kernel = SimKernel()
+        kernel.register(CountdownComponent(1_000_000))
+        with pytest.raises(SimTimeoutError):
+            kernel.run(max_cycles=50)
+
+    def test_true_deadlock_is_not_a_timeout(self):
+        kernel = SimKernel()
+
+        class Stuck:
+            def tick(self):
+                return "waiting"
+
+        kernel.register(Stuck())
+        with pytest.raises(DeadlockError) as excinfo:
+            kernel.run()
+        assert not isinstance(excinfo.value, SimTimeoutError)
+
     def test_schedule_negative_delay_clamps_to_now(self):
         kernel = SimKernel()
         fired = []
@@ -90,3 +110,127 @@ class TestSimKernel:
         final = kernel.run()
         assert fired == [True]
         assert final >= 500
+
+
+class TestEdgeCases:
+    """Fast-forward/deadlock boundaries the reliability layer leans on."""
+
+    def test_deadlock_grace_boundary_rescued_by_late_event(self):
+        # A component may sit "waiting" with an empty queue for exactly
+        # DEADLOCK_GRACE cycles; an event scheduled inside the grace window
+        # must rescue the run instead of tripping the detector.
+        kernel = SimKernel()
+
+        class LateScheduler:
+            """Waits with an empty queue, schedules its wake-up just in time."""
+
+            def __init__(self):
+                self.stalled = 0
+                self.fired = False
+
+            def _fire(self):
+                self.fired = True
+
+            def tick(self):
+                if self.fired:
+                    return "done"
+                self.stalled += 1
+                if self.stalled == SimKernel.DEADLOCK_GRACE:
+                    kernel.schedule(1, self._fire)
+                return "waiting"
+
+        comp = LateScheduler()
+        kernel.register(comp)
+        final = kernel.run()
+        assert comp.fired
+        assert final <= SimKernel.DEADLOCK_GRACE + 2
+
+    def test_deadlock_fires_just_past_grace(self):
+        kernel = SimKernel()
+
+        class Stuck:
+            def __init__(self):
+                self.stalls = 0
+
+            def tick(self):
+                self.stalls += 1
+                return "waiting"
+
+        comp = Stuck()
+        kernel.register(comp)
+        with pytest.raises(DeadlockError) as excinfo:
+            kernel.run()
+        # Detection happens the cycle after the grace allowance is spent.
+        assert excinfo.value.cycle == SimKernel.DEADLOCK_GRACE
+        assert not isinstance(excinfo.value, SimTimeoutError)
+
+    def test_straggler_events_fire_in_order_after_all_done(self):
+        # Events landing after every component is done (delayed
+        # invalidations, exposure completions) must all drain, in cycle
+        # order, before run() returns.
+        kernel = SimKernel()
+        fired = []
+        kernel.register(CountdownComponent(1))
+        kernel.schedule_at(700, lambda: fired.append(700))
+        kernel.schedule_at(300, lambda: fired.append(300))
+        kernel.schedule_at(500, lambda: fired.append(500))
+        final = kernel.run()
+        assert fired == [300, 500, 700]
+        assert final >= 700
+
+    def test_straggler_event_may_reactivate_component(self):
+        # A drained straggler can hand a component new work; the kernel must
+        # resume ticking it rather than treating "all_done" as final.
+        kernel = SimKernel()
+
+        class Reactivated:
+            def __init__(self):
+                self.phase = "first"
+
+            def _more_work(self):
+                self.phase = "again"
+
+            def tick(self):
+                if self.phase == "first":
+                    self.phase = "idle"
+                    return "active"
+                if self.phase == "again":
+                    self.phase = "finished"
+                    return "active"
+                return "done"
+
+        comp = Reactivated()
+        kernel.register(comp)
+        kernel.schedule_at(100, comp._more_work)
+        kernel.run()
+        assert comp.phase == "finished"
+
+    def test_schedule_at_past_cycle_clamps_to_now(self):
+        # schedule_at with a cycle already in the past must clamp to "now"
+        # rather than corrupting the event queue (run_at would raise on a
+        # missed event).
+        kernel = SimKernel()
+        fired = []
+
+        class Scheduler:
+            def __init__(self):
+                self.done = False
+
+            def tick(self):
+                if kernel.cycle == 3 and not self.done:
+                    self.done = True
+                    kernel.schedule_at(0, lambda: fired.append(kernel.cycle))
+                    return "active"
+                return "done" if self.done else "active"
+
+        kernel.register(Scheduler())
+        kernel.run()
+        assert fired and fired[0] >= 3
+
+    def test_schedule_negative_delay_still_fires(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.register(CountdownComponent(2))
+        kernel.schedule(-100, lambda: fired.append(kernel.cycle))
+        kernel.run()
+        assert fired == [0]
