@@ -100,3 +100,6 @@ class Directory:
 
     def all_entries(self):
         return list(self._entries.values())
+
+    def __len__(self):
+        return len(self._entries)

@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import enum
 
-from ..errors import SimulationError
 from ..mem.cache import CacheArray
 from ..mem.dram import DRAMModel
 from ..mem.mshr import MSHRFile
@@ -177,6 +176,10 @@ class CacheHierarchy:
             MSHRFile(params.core.mshr_entries) for _ in range(params.num_cores)
         ]
         self.llc_sbs = None  # list of LLCSpeculativeBuffer, set by the system
+        #: Optional runtime sanitizer (:mod:`repro.sanitizer`): notified
+        #: around invisible transactions, on every visible coherence state
+        #: transition, and when invalidations are scheduled/delivered.
+        self.monitor = None
         self._cores = [None] * params.num_cores
         self._mshr_waiting = [[] for _ in range(params.num_cores)]
         self._l1_ports = [[0, 0] for _ in range(params.num_cores)]  # [cycle, used]
@@ -226,10 +229,31 @@ class CacheHierarchy:
         self.counters.bump("l2.bank_queue_cycles", start - arrival)
         return start
 
+    # ------------------------------------------------------- sanitizer hooks
+
+    def _note_line(self, line, event, core_id=None):
+        """Tell the sanitizer a visible coherence transition touched a line."""
+        if self.monitor is not None:
+            self.monitor.on_line_event(line, event, core_id=core_id)
+
     # ---------------------------------------------------------------- submit
 
     def submit(self, req):
         """Entry point: process ``req`` starting at the current cycle."""
+        monitor = self.monitor
+        if monitor is not None and req.kind.invisible:
+            # Fingerprint the observer-visible state around the synchronous
+            # processing of a Spec-GetS: any change is a visibility bug.
+            line = self.space.line_of(req.addr)
+            monitor.invisible_enter(req, line)
+            try:
+                self._process(req)
+            finally:
+                monitor.invisible_exit(req, line)
+            return
+        self._process(req)
+
+    def _process(self, req):
         now = self.kernel.cycle
         line = self.space.line_of(req.addr)
         slot = self._l1_slot(req.core_id, now)
@@ -246,6 +270,7 @@ class CacheHierarchy:
                 if entry.state.writable:
                     entry.state = MESIState.MODIFIED
                     self.dirs[self.bank_of(line)].set_owner(line, req.core_id)
+                    self._note_line(line, "store_l1_hit", core_id=req.core_id)
                     ready = slot + self.params.l1d.round_trip_latency
                     self._finish_store(req, ready, "l1", _CATEGORY_BY_KIND[kind])
                     return
@@ -306,7 +331,24 @@ class CacheHierarchy:
     # -------------------------------------------------------- the transaction
 
     def _transaction(self, req, line, slot):
-        """Compute the full remote transaction for a primary request."""
+        """Compute the full remote transaction for a primary request.
+
+        Bounced Spec-GetS retries re-enter here directly (not via submit),
+        so the sanitizer's invisible guard wraps this level too; the depth
+        counter in the monitor keeps the submit -> _transaction nesting to
+        one fingerprint pair.
+        """
+        monitor = self.monitor
+        if monitor is not None and req.kind.invisible:
+            monitor.invisible_enter(req, line)
+            try:
+                self._transaction_steps(req, line, slot)
+            finally:
+                monitor.invisible_exit(req, line)
+            return
+        self._transaction_steps(req, line, slot)
+
+    def _transaction_steps(self, req, line, slot):
         kind = req.kind
         cat = _CATEGORY_BY_KIND[kind]
         bank = self.bank_of(line)
@@ -363,6 +405,7 @@ class CacheHierarchy:
             self._deliver_invalidation(owner, line, t_owner, cat, "coherence")
             dentry.owner = req.core_id
             dentry.sharers.discard(req.core_id)
+            self._note_line(line, "store_ownership_move", core_id=req.core_id)
             self._finish_store(req, ready, "remote_l1", cat)
             return
 
@@ -382,6 +425,7 @@ class CacheHierarchy:
         self.dirs[bank].add_sharer(line, req.core_id)
         if not self.l2[bank].contains(line):
             self._fill_l2(bank, line, t_owner, cat)
+        self._note_line(line, "owner_demoted", core_id=req.core_id)
         self._schedule_visible_fill(req, line, ready, "remote_l1", cat)
 
     # --------------------------------------------------------- path: L2 hit
@@ -402,6 +446,7 @@ class CacheHierarchy:
                 return  # acks lost (fault injection): the store never performs
             self.dirs[bank].set_owner(line, req.core_id)
             self._purge_llc_sbs(line, except_core=None)
+            self._note_line(line, "store_l2_hit", core_id=req.core_id)
             self._finish_store(req, ready, "l2", cat)
             return
 
@@ -459,6 +504,7 @@ class CacheHierarchy:
 
         if kind is RequestKind.STORE:
             self.dirs[bank].set_owner(line, req.core_id)
+            self._note_line(line, "store_dram", core_id=req.core_id)
             self._finish_store(req, ready, "dram", cat)
             return
 
@@ -486,6 +532,7 @@ class CacheHierarchy:
             entry.state = MESIState.MODIFIED
         self._purge_llc_sbs(line, except_core=None)
         self.counters.bump("hierarchy.upgrades")
+        self._note_line(line, "store_upgrade", core_id=req.core_id)
         self._finish_store(req, ready, "upgrade", cat)
 
     # ----------------------------------------------------------- state moves
@@ -505,6 +552,15 @@ class CacheHierarchy:
         for sharer in others:
             deliver_lat = self.noc.send(bank_node, self._core_node(sharer), False, cat)
             deliver_at = t_bank + deliver_lat
+            if self.faults is not None and self.faults.fire("inv.drop") is not None:
+                # The Inv is lost but its ack is spuriously counted: the
+                # directory stops tracking the sharer, which keeps a stale
+                # copy while the writer proceeds to M — a silent SWMR /
+                # directory-agreement break, detectable only by the
+                # sanitizer (unlike inv.ack_drop, which deadlocks visibly).
+                self.counters.bump("faults.invs_dropped")
+                directory.remove_core(line, sharer)
+                continue
             self._deliver_invalidation(sharer, line, deliver_at, cat, "coherence")
             ack_lat = self.noc.send(self._core_node(sharer), bank_node, False, cat)
             worst_ack = max(worst_ack, deliver_at + ack_lat)
@@ -523,12 +579,22 @@ class CacheHierarchy:
         """Schedule the arrival of an Inv at a core's L1."""
 
         def deliver():
+            if self.monitor is not None:
+                self.monitor.on_inv_delivered(core_id, line)
             self.l1s[core_id].invalidate(line)
             core = self._cores[core_id]
             if core is not None:
                 core.on_invalidation(line, reason)
+            self._note_line(line, f"inv_delivered[{reason}]", core_id=core_id)
 
-        self.kernel.schedule_at(at_cycle, deliver)
+        handle = self.kernel.schedule_at(at_cycle, deliver)
+        # Register the in-flight window with the sanitizer so the stale copy
+        # is not flagged before delivery.  An event pre-cancelled by the
+        # kernel.event_drop fault will never fire: skip registering it, so
+        # the pending counter cannot leak (the lost Inv then surfaces as the
+        # coherence violation it really is).
+        if self.monitor is not None and not handle.cancelled:
+            self.monitor.on_inv_scheduled(core_id, line)
 
     def _schedule_visible_fill(self, req, line, ready, level, cat):
         """At ``ready``: install the line in the requester's L1, complete."""
@@ -575,6 +641,7 @@ class CacheHierarchy:
         _entry, victim = l1.insert(line, state)
         if victim is not None:
             self._handle_l1_eviction(core_id, victim, cat)
+        self._note_line(line, "l1_fill", core_id=core_id)
 
     def _handle_l1_eviction(self, core_id, victim, cat):
         vline = victim.line_addr
@@ -592,6 +659,7 @@ class CacheHierarchy:
         core = self._cores[core_id]
         if core is not None:
             core.on_l1_eviction(vline)
+        self._note_line(vline, "l1_eviction", core_id=core_id)
 
     def _fill_l2(self, bank, line, at_cycle, cat):
         """Install a line in an inclusive L2 bank, evicting if needed."""
@@ -600,6 +668,7 @@ class CacheHierarchy:
             return
         _entry, victim = l2.insert(line, MESIState.SHARED)
         if victim is None:
+            self._note_line(line, "l2_fill")
             return
         vline = victim.line_addr
         directory = self.dirs[bank]
@@ -621,6 +690,8 @@ class CacheHierarchy:
         self._purge_llc_sbs(vline, except_core=None)
         self.noc.send(self._bank_node(bank), self._mem_node, True, cat)
         self.counters.bump("coherence.l2_evictions")
+        self._note_line(vline, "l2_eviction")
+        self._note_line(line, "l2_fill")
 
     def _purge_llc_sbs(self, line, except_core):
         if not self.llc_sbs:
@@ -671,6 +742,7 @@ class CacheHierarchy:
             directory.set_owner(line, req.core_id)
             self.image.write(req.addr, req.size, req.store_value)
             self._fill_l1(req.core_id, line, cat, state=MESIState.MODIFIED)
+            self._note_line(line, "store_performed", core_id=req.core_id)
             result = AccessResult(level, None, 0, now)
             self._release_own_mshr(req)
             if req.on_complete is not None:
@@ -738,12 +810,6 @@ class CacheHierarchy:
 
     def check_inclusion(self):
         """Inclusive-hierarchy invariant: every L1 line is tracked in L2."""
-        for core_id, l1 in enumerate(self.l1s):
-            for line in l1.resident_lines():
-                bank = self.bank_of(line)
-                if not self.l2[bank].contains(line):
-                    raise SimulationError(
-                        f"inclusion violated: core {core_id} holds 0x{line:x} "
-                        f"absent from L2 bank {bank}"
-                    )
-        return True
+        from .checker import check_inclusion
+
+        return check_inclusion(self)

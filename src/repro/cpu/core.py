@@ -162,6 +162,9 @@ class Core:
         self.done = False
         self.start_cycle = kernel.cycle
         self.finish_cycle = None
+        #: Optional runtime sanitizer (:mod:`repro.sanitizer`): notified
+        #: around USL issue, on prefetcher training, and at load commit.
+        self.monitor = None
 
         hierarchy.attach_core(core_id, self)
 
@@ -546,6 +549,11 @@ class Core:
 
         safe = self.policy.load_is_safe(self, entry)
         unsafe_speculative = self.policy.uses_invisispec and not safe
+        if unsafe_speculative and self.monitor is not None:
+            # The whole USL issue sequence (TLB probe, classification,
+            # forwarding scan, Spec-GetS submit) must leave the TLB and
+            # prefetcher untouched until the visibility point.
+            self.monitor.open_usl_window(self, entry.seq)
 
         vpn = self.space.page_of(addr)
         tlb_hit = self.tlb.lookup(vpn, update_state=not unsafe_speculative)
@@ -555,6 +563,8 @@ class Core:
                 lq_entry.vstate = STATE_DEFERRED
                 lq_entry.issued = True
                 self.counters.bump("invisispec.tlb_deferred")
+                if self.monitor is not None:
+                    self.monitor.close_usl_window(self, entry.seq, "usl_deferred")
                 return
             self.tlb.fill(vpn)
             self.kernel.schedule(
@@ -580,7 +590,7 @@ class Core:
 
         if not unsafe_speculative:
             lq_entry.vstate = STATE_NORMAL
-            self._train_prefetcher(op.pc, addr)
+            self._train_prefetcher(op.pc, addr, lq_entry=lq_entry)
             if forwarded:
                 self._finish_load_local(entry, lq_entry, now)
                 return
@@ -595,6 +605,11 @@ class Core:
             else self.visibility.classify(lq_entry)
         )
         self.counters.bump("invisispec.usls")
+        if self.monitor is not None:
+            # Closed before the forwarding cascade below: a forwarded value
+            # can wake a dependent store whose own (visible) TLB access is
+            # legitimate.
+            self.monitor.close_usl_window(self, entry.seq, "usl_issued")
 
         if forwarded:
             offset = self.space.offset_in_line(addr)
@@ -744,14 +759,18 @@ class Core:
 
     # -------------------------------------------------------- hw prefetcher
 
-    def _train_prefetcher(self, pc, addr):
+    def _train_prefetcher(self, pc, addr, lq_entry=None):
         """Train the stride prefetcher on a *visible* access and issue the
         prefetches it proposes as ordinary cache fills.
 
         Under InvisiSpec only visible accesses reach this point: USLs train
         the prefetcher at their visibility point instead (Section VI-B), so
-        a squashed transient load can never leave prefetch footprints.
+        a squashed transient load can never leave prefetch footprints.  The
+        sanitizer audits exactly that via ``lq_entry`` (when the caller is
+        a load): training by a pre-visibility USL is a violation.
         """
+        if self.monitor is not None:
+            self.monitor.on_prefetcher_train(self, pc, addr, lq_entry)
         if self.prefetcher is None:
             return
         for prefetch_addr in self.prefetcher.train(pc, addr):
@@ -884,6 +903,12 @@ class Core:
                     break
                 if lq_entry.vstate == STATE_EXPOSURE and not lq_entry.visibility_issued:
                     break  # exposure must at least be on the wire
+                if (
+                    self.monitor is not None
+                    and kind is OpKind.LOAD
+                    and lq_entry.performed
+                ):
+                    self.monitor.on_load_commit(self, lq_entry, head.value)
                 retired_lq = self.lq.retire_head()
                 if retired_lq is not lq_entry:
                     raise SimulationError("LQ head does not match retiring load")

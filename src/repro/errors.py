@@ -71,3 +71,83 @@ class SimTimeoutError(DeadlockError, TransientError):
 
 class FaultInjectionError(SimulationError, TransientError):
     """An injected fault made the run unusable (reliability testing)."""
+
+
+class SanitizerError(SimulationError):
+    """Base class for runtime-sanitizer failures (:mod:`repro.sanitizer`).
+
+    Deliberately *not* a :class:`TransientError`: a sanitizer finding is a
+    genuine invariant violation, and re-running with a bumped seed would
+    only hide it.  The reliability engine's retry policy additionally
+    refuses to retry this class even when a custom ``retry_on`` tuple
+    would otherwise match.
+    """
+
+
+class InvariantViolation(SanitizerError):
+    """A monitored invariant failed while the machine was running.
+
+    The message always names the offending line address, core and
+    triggering event (when applicable) so a violation is actionable
+    without re-running under a debugger.  Subclasses classify the
+    invariant family; ``invariant`` is the machine-readable tag used in
+    reports and journals.
+    """
+
+    invariant = "invariant"
+
+    def __init__(self, message, cycle=None, core_id=None, line_addr=None,
+                 event=None, trace=()):
+        parts = [message]
+        if line_addr is not None:
+            parts.append(f"line=0x{line_addr:x}")
+        if core_id is not None:
+            parts.append(f"core={core_id}")
+        if event:
+            parts.append(f"event={event}")
+        if cycle is not None:
+            parts.append(f"cycle={cycle}")
+        super().__init__(" ".join(parts))
+        self.reason = message
+        self.cycle = cycle
+        self.core_id = core_id
+        self.line_addr = line_addr
+        self.event = event
+        self.trace = tuple(trace)
+
+    def to_dict(self):
+        """JSON-serializable record for reports and run journals."""
+        return {
+            "invariant": self.invariant,
+            "error_class": type(self).__name__,
+            "message": str(self),
+            "cycle": self.cycle,
+            "core": self.core_id,
+            "line": f"0x{self.line_addr:x}" if self.line_addr is not None else None,
+            "event": self.event,
+            "trace": list(self.trace),
+        }
+
+
+class VisibilityViolation(InvariantViolation):
+    """A USL left a trace in visible cache/TLB/prefetcher state."""
+
+    invariant = "visibility"
+
+
+class CoherenceViolation(InvariantViolation):
+    """SWMR, directory agreement or inclusion failed on a transition."""
+
+    invariant = "coherence"
+
+
+class StructuralViolation(InvariantViolation):
+    """A structure leaked or exceeded its bound (MSHR/SB/LQ/SQ/ROB/WB)."""
+
+    invariant = "structural"
+
+
+class ConsistencyViolation(InvariantViolation):
+    """A committed load value disagrees with the golden memory model."""
+
+    invariant = "consistency"

@@ -169,6 +169,17 @@ def main(argv=None):
         default=0,
         help="RNG seed for probabilistic fault specs",
     )
+    reliability.add_argument(
+        "--sanitize",
+        nargs="?",
+        const="strict",
+        choices=("strict", "record"),
+        default=None,
+        help="run every cell under the runtime invariant sanitizer "
+        "(see docs/SANITIZER.md): 'strict' fails fast on the first "
+        "violation, 'record' finishes the run and journals the report; "
+        "bare --sanitize means strict",
+    )
     args = parser.parse_args(argv)
 
     schedule = None
@@ -191,6 +202,8 @@ def main(argv=None):
 
     if args.out is not None:
         kwargs["out"] = args.out
+    if args.sanitize is not None:
+        kwargs["sanitize"] = args.sanitize
 
     total_failures = 0
     for name in names:
@@ -201,7 +214,7 @@ def main(argv=None):
         if "engine" in supported:
             engine = build_engine(args, name, schedule)
             call_kwargs["engine"] = engine
-        for optional in ("apps", "include_rc", "instructions", "out"):
+        for optional in ("apps", "include_rc", "instructions", "out", "sanitize"):
             if optional in call_kwargs and optional not in supported:
                 del call_kwargs[optional]
         result = runner(**call_kwargs)

@@ -127,6 +127,7 @@ def sweep(
     seed=0,
     schemes=ALL_SCHEMES,
     engine=None,
+    sanitize=None,
 ):
     """Run each app under each scheme; returns {app: {scheme: RunResult}}.
 
@@ -136,6 +137,11 @@ def sweep(
     on ``--resume`` the engine serves completed cells from the journal
     without re-simulating.  Without an engine, behavior is the classic
     fail-fast direct run.
+
+    ``sanitize`` turns on the runtime invariant sanitizer for every cell:
+    ``"strict"`` raises at the first violation (with an engine, the cell
+    fails without retry), ``"record"`` lets cells finish but lands their
+    violation report in the journal and fails the cell.
     """
     runner = run_spec if suite == "spec" else run_parsec
     results = {}
@@ -144,6 +150,8 @@ def sweep(
         for scheme in schemes:
             config = ProcessorConfig(scheme=scheme, consistency=consistency)
             kwargs = {} if instructions is None else {"instructions": instructions}
+            if sanitize is not None:
+                kwargs["sanitize"] = sanitize
             if engine is None:
                 per_scheme[scheme] = runner(app, config, seed=seed, **kwargs)
                 continue

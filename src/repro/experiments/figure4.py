@@ -31,7 +31,7 @@ def _stall_fraction(result):
 
 
 def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True,
-        engine=None):
+        engine=None, sanitize=None):
     """Regenerate Figure 4.  Returns an :class:`ExperimentResult` whose rows
     are ``[app, Base, Fe-Sp, IS-Sp, Fe-Fu, IS-Fu, IS-Sp stall, IS-Fu stall]``.
 
@@ -40,7 +40,7 @@ def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True,
     """
     apps = default_apps("spec", apps, quick)
     tso = sweep("spec", apps, ConsistencyModel.TSO, instructions, seed,
-                engine=engine)
+                engine=engine, sanitize=sanitize)
 
     headers = ["app"] + [s.value for s in ALL_SCHEMES] + [
         "IS-Sp valstall",
@@ -69,7 +69,7 @@ def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True,
     extras = {"tso": tso}
     if include_rc:
         rc = sweep("spec", apps, ConsistencyModel.RC, instructions, seed,
-                   engine=engine)
+                   engine=engine, sanitize=sanitize)
         rc_norms = {scheme: [] for scheme in ALL_SCHEMES}
         for app in apps:
             norm = normalized(rc[app], lambda r: r.cycles)

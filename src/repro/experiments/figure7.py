@@ -30,11 +30,11 @@ def _consistency_squashes_per_k(result, include_evictions):
 
 
 def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True,
-        engine=None):
+        engine=None, sanitize=None):
     """Regenerate Figure 7."""
     apps = default_apps("parsec", apps, quick)
     tso = sweep("parsec", apps, ConsistencyModel.TSO, instructions, seed,
-                engine=engine)
+                engine=engine, sanitize=sanitize)
 
     headers = ["app"] + [s.value for s in ALL_SCHEMES] + [
         "Base consist-squash/1k",
@@ -73,7 +73,7 @@ def run(apps=None, instructions=None, seed=0, quick=False, include_rc=True,
     extras = {"tso": tso}
     if include_rc:
         rc = sweep("parsec", apps, ConsistencyModel.RC, instructions, seed,
-                   engine=engine)
+                   engine=engine, sanitize=sanitize)
         rc_norms = {scheme: [] for scheme in ALL_SCHEMES}
         for app in apps:
             norm = normalized(rc[app], lambda r: r.cycles)

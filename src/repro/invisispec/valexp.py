@@ -77,7 +77,7 @@ class VisibilityEngine:
         # Apply the deferred D-TLB state update (Section VI-E3), and train
         # the hardware prefetcher now that the access is visible (VI-B).
         core.tlb.touch(core.space.page_of(entry.addr))
-        core._train_prefetcher(entry.rob.op.pc, entry.addr)
+        core._train_prefetcher(entry.rob.op.pc, entry.addr, lq_entry=entry)
         self.counters.bump(
             "invisispec.validations" if is_validation else "invisispec.exposures"
         )

@@ -48,6 +48,7 @@ class CacheArray:
             make_replacement_policy(params.replacement, self.ways, seed=seed + i)
             for i in range(self.num_sets)
         ]
+        self._count = 0  # resident lines, maintained by insert/invalidate
         self.stat_hits = 0
         self.stat_misses = 0
         self.stat_evictions = 0
@@ -91,6 +92,8 @@ class CacheArray:
             self.stat_evictions += 1
         entry = CacheLineEntry(line_addr, state, way)
         cset[line_addr] = entry
+        if victim is None:
+            self._count += 1
         self._repl[idx].touch(way)
         return entry, victim
 
@@ -105,6 +108,7 @@ class CacheArray:
         idx = self.set_index(line_addr)
         entry = self._sets[idx].pop(line_addr, None)
         if entry is not None:
+            self._count -= 1
             self._free_ways[idx].append(entry.way)
             self._repl[idx].reset(entry.way)
         return entry
@@ -126,4 +130,19 @@ class CacheArray:
 
     @property
     def occupancy(self):
-        return sum(len(cset) for cset in self._sets)
+        return self._count
+
+    def set_digest(self, line_addr):
+        """Hashable fingerprint of the set ``line_addr`` maps to.
+
+        Captures the tags, coherence states, way assignments *and* the
+        replacement-policy state of the set — everything an invisible
+        (Spec-GetS) access is forbidden to change.  Used by the runtime
+        sanitizer to prove a USL left no footprint.
+        """
+        idx = self.set_index(line_addr)
+        entries = tuple(sorted(
+            (addr, entry.state.name, entry.way)
+            for addr, entry in self._sets[idx].items()
+        ))
+        return entries, self._repl[idx].state_digest()

@@ -34,6 +34,10 @@ class LRUPolicy:
         order.remove(way)
         order.insert(0, way)
 
+    def state_digest(self):
+        """Hashable snapshot of the recency order (sanitizer fingerprints)."""
+        return tuple(self._order)
+
 
 class RandomPolicy:
     """Random victim selection with a deterministic seeded stream."""
@@ -52,6 +56,11 @@ class RandomPolicy:
 
     def reset(self, way):
         pass
+
+    def state_digest(self):
+        # Random replacement keeps no access history: touch() is a no-op,
+        # so there is no per-access state for a fingerprint to protect.
+        return None
 
 
 class TreePLRUPolicy:
@@ -107,6 +116,10 @@ class TreePLRUPolicy:
                 self._bits[node] = 1
                 node = 2 * node + 2
                 lo = mid
+
+    def state_digest(self):
+        """Hashable snapshot of the tree bits (sanitizer fingerprints)."""
+        return tuple(self._bits)
 
 
 def make_replacement_policy(name, ways, seed=0):

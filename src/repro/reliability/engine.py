@@ -28,7 +28,13 @@ from __future__ import annotations
 import fnmatch
 import time
 
-from ..errors import DeadlockError, ReproError, SimTimeoutError, TransientError
+from ..errors import (
+    DeadlockError,
+    ReproError,
+    SanitizerError,
+    SimTimeoutError,
+    TransientError,
+)
 
 #: Seed increment between retry attempts.  A largish prime, so bumped seeds
 #: never collide with the small consecutive seeds used by seed sweeps.
@@ -51,6 +57,11 @@ class RetryPolicy:
         self.budget_growth = budget_growth
 
     def is_retryable(self, error):
+        # An invariant violation is evidence of a simulator bug, not a
+        # seed-dependent transient: retrying with a bumped seed would just
+        # hide it.  Never retryable, whatever ``retry_on`` says.
+        if isinstance(error, SanitizerError):
+            return False
         return isinstance(error, self.retry_on)
 
     def seed_for(self, base_seed, attempt):
@@ -312,6 +323,36 @@ class RunEngine:
                 )
                 if faults is not None:
                     attempt_record["faults"] = faults.summary()
+                # A record-mode sanitizer lets the run finish but stamps its
+                # report on the result: violations turn the cell into a
+                # failure (counted against --max-failures), with the full
+                # report preserved in the journal.  Not retryable — an
+                # invariant break is a bug, not a transient.
+                sanitizer_report = getattr(result, "sanitizer_report", None)
+                if sanitizer_report is not None:
+                    attempt_record["sanitizer"] = sanitizer_report
+                violations = (
+                    sanitizer_report["violations"] if sanitizer_report else ()
+                )
+                if violations:
+                    attempt_record["status"] = "failed"
+                    first = violations[0]
+                    attempt_record["error_class"] = first.get(
+                        "error_class", "InvariantViolation"
+                    )
+                    attempt_record["error_message"] = first.get("message", "")
+                    attempts.append(attempt_record)
+                    outcome = CellOutcome(
+                        cell_id,
+                        "failed",
+                        error_class=attempt_record["error_class"],
+                        error_message=(
+                            f"{len(violations)} invariant violation(s); "
+                            f"first: {attempt_record['error_message']}"
+                        ),
+                        attempts=attempts,
+                    )
+                    break
                 attempts.append(attempt_record)
                 outcome = CellOutcome(
                     cell_id, "ok", result=result, attempts=attempts

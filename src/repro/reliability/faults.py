@@ -20,6 +20,12 @@ Site                   Effect when triggered
                        pinned; the requesting core hangs (``DeadlockError``).
 ``inv.ack_drop``       The invalidation acks of a store never return; the
                        store never performs (``DeadlockError``).
+``inv.drop``           One sharer's invalidation is lost but its ack is
+                       spuriously counted: the sharer keeps a stale copy
+                       while the store proceeds — a *silent* coherence
+                       break (SWMR / directory disagreement) that only the
+                       runtime sanitizer (:mod:`repro.sanitizer`) reports;
+                       without it the run completes with wrong behavior.
 ``kernel.event_drop``  A scheduled kernel event is silently lost.
 =====================  =====================================================
 
@@ -51,6 +57,7 @@ FAULT_SITES = (
     "dram.stall",
     "mshr.stuck",
     "inv.ack_drop",
+    "inv.drop",
     "kernel.event_drop",
 )
 

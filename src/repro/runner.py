@@ -57,6 +57,7 @@ def run_spec(
     max_cycles=None,
     watchdog=None,
     faults=None,
+    sanitize=None,
 ):
     """Run one SPEC application under one processor configuration.
 
@@ -67,6 +68,9 @@ def run_spec(
     ``max_cycles``, ``watchdog`` and ``faults`` are the reliability hooks
     (cycle budget, wall-clock guard, fault injector) used by
     :class:`~repro.reliability.RunEngine`; all default to off.
+    ``sanitize`` enables the runtime invariant sanitizer
+    (:mod:`repro.sanitizer`): ``"strict"`` raises on the first violation,
+    ``"record"`` collects violations into ``result.sanitizer_report``.
     """
     profile = SPEC_PROFILES[name]
     if params is None:
@@ -83,6 +87,7 @@ def run_spec(
         seed=seed,
         faults=faults,
         watchdog=watchdog,
+        sanitizer=sanitize,
     )
     if pretrain_ops:
         _pretrain_predictor(system.cores[0], profile, seed, 0, pretrain_ops)
@@ -100,6 +105,7 @@ def run_parsec(
     max_cycles=None,
     watchdog=None,
     faults=None,
+    sanitize=None,
 ):
     """Run one PARSEC application on 8 cores under one configuration."""
     profile = PARSEC_PROFILES[name]
@@ -117,6 +123,7 @@ def run_parsec(
         seed=seed,
         faults=faults,
         watchdog=watchdog,
+        sanitizer=sanitize,
     )
     if pretrain_ops:
         for core_id, core in enumerate(system.cores):

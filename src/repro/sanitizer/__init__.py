@@ -1,0 +1,34 @@
+"""Runtime invariant sanitizer (see ``docs/SANITIZER.md``).
+
+An opt-in monitor that hooks the sim kernel, the cache hierarchy, the
+LSQ/ROB/SB structures and the memory image, and checks InvisiSpec's
+correctness claims *while the machine runs* rather than only at quiesce:
+
+* **visibility** — a USL leaves no footprint in visible cache, directory,
+  replacement, MSHR, TLB or prefetcher state before its visibility point;
+* **coherence** — SWMR, directory agreement and inclusion, re-checked on
+  every state transition with in-flight-message awareness;
+* **structural** — occupancy bounds and leak detection for the MSHRs,
+  SB/LLC-SB, LQ/SQ/ROB and write buffers;
+* **consistency** — committed load values replayed against a golden
+  value-history model of memory.
+
+Usage::
+
+    from repro.sanitizer import Sanitizer
+    system = System(..., sanitizer=Sanitizer("strict"))
+
+or, end to end::
+
+    python -m repro.experiments figure4 --quick --sanitize=strict
+"""
+
+from .golden import GoldenMemoryModel
+from .monitor import SANITIZER_MODES, Sanitizer, make_sanitizer
+
+__all__ = [
+    "GoldenMemoryModel",
+    "SANITIZER_MODES",
+    "Sanitizer",
+    "make_sanitizer",
+]

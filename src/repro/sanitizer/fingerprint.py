@@ -1,0 +1,81 @@
+"""Visible-state fingerprints for the visibility invariant.
+
+A USL's Spec-GetS (Section VI-E1) must leave *no trace* in state another
+observer could measure: L1/L2 tags and replacement metadata, directory
+entries, MSHR allocations visible to other cores, the requesting core's
+TLB recency/accessed/dirty bits, and the stride-prefetcher table.  The
+sanitizer snapshots that state right before an invisible transaction is
+processed and compares right after; any diff is a visibility violation.
+
+The hierarchy fingerprint is *line-scoped* — it digests only the cache
+sets the request's line maps to, plus global occupancy counts — so the
+comparison is O(associativity), not O(cache size).  Deliberately excluded
+(documented contention/bandwidth channels the paper accepts, not state):
+
+* NoC/DRAM/bank/port queue state: a Spec-GetS consumes real bandwidth.
+* The requester's own MSHR: a USL is allowed to allocate/merge there.
+* The requester's SB and LLC-SB: filling them is the whole point.
+* Statistics counters.
+"""
+
+from __future__ import annotations
+
+
+def visible_fingerprint(hierarchy, line, requester):
+    """Digest of the observer-visible hierarchy state around ``line``."""
+    fp = {}
+    for core_id, l1 in enumerate(hierarchy.l1s):
+        fp[f"l1[{core_id}].set"] = l1.set_digest(line)
+        fp[f"l1[{core_id}].lines"] = l1.occupancy
+    bank = hierarchy.bank_of(line)
+    fp[f"l2[{bank}].set"] = hierarchy.l2[bank].set_digest(line)
+    for b, l2 in enumerate(hierarchy.l2):
+        fp[f"l2[{b}].lines"] = l2.occupancy
+    for b, directory in enumerate(hierarchy.dirs):
+        fp[f"dir[{b}].entries"] = len(directory)
+    dentry = hierarchy.dirs[bank].entry(line)
+    fp["dir.line"] = (
+        None
+        if dentry is None
+        else (dentry.owner, tuple(sorted(dentry.sharers)),
+              dentry.wb_pending_until)
+    )
+    for core_id, mshr in enumerate(hierarchy.mshrs):
+        if core_id == requester:
+            continue
+        fp[f"mshr[{core_id}]"] = (len(mshr), mshr.lookup(line) is not None)
+    if hierarchy.llc_sbs is not None:
+        for core_id, llc_sb in enumerate(hierarchy.llc_sbs):
+            if core_id == requester:
+                continue
+            fp[f"llc_sb[{core_id}]"] = tuple(sorted(llc_sb.valid_lines()))
+    fp["image.line_version"] = hierarchy.image.line_version(line)
+    return fp
+
+
+def diff_fingerprints(before, after):
+    """Human-readable descriptions of every component that changed."""
+    diffs = []
+    for key, old in before.items():
+        new = after.get(key)
+        if new != old:
+            diffs.append(f"{key}: {old!r} -> {new!r}")
+    return diffs
+
+
+def tlb_digest(tlb):
+    """Observer-visible TLB state: contents, LRU order, accessed/dirty."""
+    return tuple(
+        (vpn, entry.accessed, entry.dirty)
+        for vpn, entry in tlb._map.items()
+    )
+
+
+def prefetcher_digest(prefetcher):
+    """Observer-visible stride-table state; ``None`` when no prefetcher."""
+    if prefetcher is None:
+        return None
+    return tuple(
+        (pc, entry.last_addr, entry.stride, entry.confidence)
+        for pc, entry in prefetcher._table.items()
+    )

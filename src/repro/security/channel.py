@@ -26,7 +26,7 @@ _probe_seq = itertools.count(1 << 40)
 class AttackContext:
     """A live simulated machine for phased attack experiments."""
 
-    def __init__(self, config, params=None, num_cores=1, seed=0):
+    def __init__(self, config, params=None, num_cores=1, seed=0, sanitize=None):
         if params is None:
             params = (
                 SystemParams.for_spec()
@@ -39,8 +39,10 @@ class AttackContext:
         self.config = config
         self.traces = [InteractiveTrace() for _ in range(params.num_cores)]
         self.system = System(
-            params=params, config=config, traces=self.traces, seed=seed
+            params=params, config=config, traces=self.traces, seed=seed,
+            sanitizer=sanitize,
         )
+        self.sanitizer = self.system.sanitizer
         self.kernel = self.system.kernel
         self.hierarchy = self.system.hierarchy
         self.image = self.system.image

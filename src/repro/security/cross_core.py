@@ -43,7 +43,7 @@ def _victim_ops(index, in_bounds):
     return [bound_load, branch], {branch.uid: [access, transmit]}
 
 
-def run_cross_core_attack(config, secret=37, seed=0):
+def run_cross_core_attack(config, secret=37, seed=0, sanitize=None):
     """Victim on core 0, receiver probing from core 1.
 
     Returns ``(latencies, recovered_value)``; latencies are the receiver's
@@ -52,7 +52,7 @@ def run_cross_core_attack(config, secret=37, seed=0):
     from ..params import SystemParams
 
     context = AttackContext(
-        config, params=SystemParams(num_cores=2), seed=seed
+        config, params=SystemParams(num_cores=2), seed=seed, sanitize=sanitize
     )
     context.write_memory(ADDR_SECRET, secret % NUM_VALUES)
     context.write_memory(ADDR_LIMIT, 10)

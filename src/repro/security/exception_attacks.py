@@ -55,14 +55,15 @@ def _attack_ops(secret_addr, array_base):
     return [delay_load, fault], {fault.uid: [access, transmit]}
 
 
-def run_exception_attack(config, variant="meltdown", secret=199, seed=0):
+def run_exception_attack(config, variant="meltdown", secret=199, seed=0,
+                         sanitize=None):
     """Run one Table I exception attack; returns (latencies, recovered)."""
     if variant not in VARIANTS:
         raise ValueError(
             f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}"
         )
     secret_addr, array_base, _desc = VARIANTS[variant]
-    context = AttackContext(config, num_cores=1, seed=seed)
+    context = AttackContext(config, num_cores=1, seed=seed, sanitize=sanitize)
     context.write_memory(secret_addr, secret & 0xFF)
     # The privileged state is warm (the victim context used it recently) —
     # the precondition every one of these attacks shares; for L1TF it is

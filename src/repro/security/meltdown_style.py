@@ -46,9 +46,9 @@ def _attack_ops():
     return [delay_load, fault], {fault.uid: [access, transmit]}
 
 
-def run_meltdown_style_attack(config, secret=199, seed=0):
+def run_meltdown_style_attack(config, secret=199, seed=0, sanitize=None):
     """Run the attack; returns ``(latencies, recovered_value)``."""
-    context = AttackContext(config, num_cores=1, seed=seed)
+    context = AttackContext(config, num_cores=1, seed=seed, sanitize=sanitize)
     context.write_memory(ADDR_SECRET, secret & 0xFF)
     # The kernel recently used its data, so the privileged line is warm —
     # the standard Meltdown setting; the transient access then completes

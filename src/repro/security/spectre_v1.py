@@ -38,8 +38,10 @@ LINE = 64
 class SpectreV1Attack:
     """The end-to-end attack on one simulated core."""
 
-    def __init__(self, config, seed=0):
-        self.context = AttackContext(config, num_cores=1, seed=seed)
+    def __init__(self, config, seed=0, sanitize=None):
+        self.context = AttackContext(
+            config, num_cores=1, seed=seed, sanitize=sanitize
+        )
         self.core_id = 0
         self.receiver = FlushReloadReceiver(
             self.context,
@@ -124,13 +126,13 @@ class SpectreV1Attack:
         return None
 
 
-def run_spectre_v1(config, secret=84, trials=3, seed=0):
+def run_spectre_v1(config, secret=84, trials=3, seed=0, sanitize=None):
     """Run the full PoC; returns ``(median_latencies, recovered_secret)``.
 
     ``median_latencies[v]`` is the median reload latency of B's line *v*
     across trials — the y-values of Figure 5.
     """
-    attack = SpectreV1Attack(config, seed=seed)
+    attack = SpectreV1Attack(config, seed=seed, sanitize=sanitize)
     attack.plant_secret(secret)
     attack.train()
     all_latencies = []

@@ -49,9 +49,9 @@ def _attack_ops():
     return [ptr_load, overwrite, stale_read, transmit]
 
 
-def run_ssb_attack(config, secret=113, seed=0):
+def run_ssb_attack(config, secret=113, seed=0, sanitize=None):
     """Run the SSB attack; returns ``(latencies, recovered_value)``."""
-    context = AttackContext(config, num_cores=1, seed=seed)
+    context = AttackContext(config, num_cores=1, seed=seed, sanitize=sanitize)
     context.write_memory(ADDR_P, secret & 0xFF)  # stale secret in the buffer
     context.write_memory(ADDR_PTR, ADDR_P.to_bytes(8, "little"))
     # The buffer was just in use (that is why it holds a stale secret), so

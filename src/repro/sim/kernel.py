@@ -45,6 +45,10 @@ class SimKernel:
         self._components = []
         self.watchdog = None
         self.faults = None
+        #: Optional runtime sanitizer (:mod:`repro.sanitizer`); receives
+        #: ``on_cycle`` after each cycle's events fire and ``on_quiesce``
+        #: right before a successful run() returns.
+        self.monitor = None
         # Last cycle whose events have already fired this iteration.  A
         # schedule for that cycle or earlier (e.g. schedule_at with a stale
         # timestamp from the tick phase) clamps to the next cycle instead of
@@ -100,6 +104,8 @@ class SimKernel:
 
             self.events.run_at(self.cycle)
             self._fired_through = self.cycle
+            if self.monitor is not None:
+                self.monitor.on_cycle(self.cycle)
 
             any_active = False
             all_done = True
@@ -117,6 +123,8 @@ class SimKernel:
                 # declaring the run over.
                 next_event = self.events.next_cycle()
                 if next_event is None:
+                    if self.monitor is not None:
+                        self.monitor.on_quiesce(self.cycle)
                     return self.cycle
                 self.cycle = max(next_event, self.cycle + 1)
                 continue

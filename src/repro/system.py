@@ -100,6 +100,7 @@ class System:
         tracelog=None,
         faults=None,
         watchdog=None,
+        sanitizer=None,
     ):
         if not isinstance(params, SystemParams):
             raise ConfigError(f"params must be SystemParams, got {params!r}")
@@ -160,6 +161,13 @@ class System:
             self.kernel.register(core)
         if config.is_invisispec and config.llc_sb_enabled:
             self.hierarchy.set_llc_sbs([core.llc_sb for core in self.cores])
+        # Optional runtime invariant sanitizer (repro.sanitizer): accepts a
+        # Sanitizer instance or a mode string ("strict" / "record").
+        from .sanitizer import make_sanitizer
+
+        self.sanitizer = make_sanitizer(sanitizer)
+        if self.sanitizer is not None:
+            self.sanitizer.install(self)
 
     def _core_warmed_up(self, _core_id):
         """Snapshot counters once every core finished its warmup prefix."""
@@ -181,10 +189,13 @@ class System:
         """
         cycles = self.kernel.run(max_cycles=max_cycles)
         self._harvest_stats()
-        return RunResult(
+        result = RunResult(
             cycles, self.counters, self.cores, self.hierarchy,
             warmup_snapshot=self._warmup_snapshot,
         )
+        if self.sanitizer is not None:
+            self.sanitizer.finalize(result)
+        return result
 
     def _harvest_stats(self):
         counters = self.counters

@@ -16,7 +16,13 @@ from repro import (
     Scheme,
     SystemParams,
 )
-from repro.coherence.checker import check_all, check_directory_agreement, check_swmr
+from repro.coherence.checker import (
+    check_all,
+    check_directory_agreement,
+    check_inclusion,
+    check_swmr,
+    line_coherence_problems,
+)
 from repro.coherence.mesi import MESIState
 from repro.cpu.isa import MicroOp, OpKind
 from repro.cpu.trace import ProgramTrace
@@ -81,3 +87,29 @@ class TestViolationsDetected:
         hierarchy.l1s[0].insert(rogue_line, MESIState.SHARED)
         with pytest.raises(ProtocolError):
             check_directory_agreement(hierarchy)
+
+    def test_inclusion_detects_l1_line_missing_from_l2(self):
+        system = racing_system()
+        hierarchy = system.hierarchy
+        line = 0x7600_0000
+        holder = next(
+            l1 for l1 in hierarchy.l1s if l1.contains(line)
+        )
+        bank = hierarchy.bank_of(line)
+        hierarchy.l2[bank].invalidate(line)
+        with pytest.raises(ProtocolError, match="inclusion"):
+            check_inclusion(hierarchy)
+        assert holder.contains(line)  # the L1 copy is what makes it a bug
+
+    def test_line_problems_reports_kind_and_core(self):
+        system = racing_system()
+        hierarchy = system.hierarchy
+        rogue_line = 0x7777_0000
+        hierarchy.l1s[0].insert(rogue_line, MESIState.SHARED)
+        problems = line_coherence_problems(hierarchy, rogue_line)
+        kinds = {kind for kind, _msg, _core in problems}
+        assert "directory" in kinds or "inclusion" in kinds
+        # A skip set silences cores with in-flight invalidations.
+        assert line_coherence_problems(
+            hierarchy, rogue_line, skip_cores=frozenset({0})
+        ) == []

@@ -185,5 +185,5 @@ class TestEndToEndInjection:
     def test_all_sites_are_documented(self):
         assert set(FAULT_SITES) == {
             "noc.delay", "noc.drop", "dram.stall", "mshr.stuck",
-            "inv.ack_drop", "kernel.event_drop",
+            "inv.ack_drop", "inv.drop", "kernel.event_drop",
         }

@@ -1,0 +1,108 @@
+"""Record mode and the reliability-engine integration.
+
+A record-mode sanitizer lets the run finish, stamps the full violation
+report on the result, and the engine turns that into a failed cell —
+journaled, never retried, counted against ``--max-failures``.
+"""
+
+import os
+
+import pytest
+
+from repro.configs import ProcessorConfig, Scheme
+from repro.errors import ConfigError, SanitizerError, VisibilityViolation
+from repro.reliability import (
+    FaultSchedule,
+    RetryPolicy,
+    RunEngine,
+    RunJournal,
+)
+from repro.runner import run_parsec, run_spec
+from repro.sanitizer import Sanitizer, make_sanitizer
+
+CFG = ProcessorConfig(scheme=Scheme.BASE)
+DROP_INV = FaultSchedule.parse(["inv.drop:nth=1"])
+
+
+def drop_inv_cell(seed, max_cycles, watchdog, faults):
+    return run_parsec(
+        "fluidanimate", CFG, instructions=800, seed=seed, sanitize="record",
+        faults=faults, max_cycles=max_cycles, watchdog=watchdog,
+    )
+
+
+class TestRecordMode:
+    def test_run_finishes_and_report_collects(self):
+        result = run_parsec(
+            "fluidanimate", CFG, instructions=800, sanitize="record",
+            faults=DROP_INV.injector(),
+        )
+        report = result.sanitizer_report
+        assert report["mode"] == "record"
+        assert report["violation_count"] >= 1
+        first = report["violations"][0]
+        assert first["invariant"] == "coherence"
+        assert first["line"] is not None
+        assert first["trace"]  # event window survives serialization
+
+    def test_clean_run_reports_empty(self):
+        result = run_spec("mcf", CFG, instructions=1000, sanitize="record")
+        assert result.sanitizer_report["violations"] == []
+
+
+class TestEngineIntegration:
+    def test_violation_fails_cell_and_lands_in_journal(self, tmp_path):
+        journal = RunJournal(os.path.join(tmp_path, "j.json"), experiment="t")
+        engine = RunEngine(
+            journal=journal,
+            policy=RetryPolicy(max_attempts=3),
+            fault_schedule=DROP_INV,
+        )
+        outcome = engine.run_cell("t:drop", drop_inv_cell, base_seed=0)
+        assert outcome.status == "failed"
+        assert outcome.error_class == "CoherenceViolation"
+        assert "invariant violation" in outcome.error_message
+        # Not retried: an invariant break is a bug, not a transient.
+        assert len(outcome.attempts) == 1
+        record = journal.get("t:drop")
+        assert record["status"] == "failed"
+        violations = record["attempts"][0]["sanitizer"]["violations"]
+        assert violations and violations[0]["invariant"] == "coherence"
+        # Counts toward the failure budget.
+        assert len(engine.failures) == 1
+        assert engine.budget_exceeded
+
+    def test_strict_violation_is_not_retried_either(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.is_retryable(VisibilityViolation("x"))
+        assert not policy.is_retryable(SanitizerError("x"))
+
+    def test_clean_cell_stays_ok(self, tmp_path):
+        journal = RunJournal(os.path.join(tmp_path, "j.json"), experiment="t")
+        engine = RunEngine(journal=journal)
+
+        def clean_cell(seed, max_cycles, watchdog, faults):
+            return run_spec(
+                "mcf", CFG, instructions=1000, seed=seed, sanitize="record",
+                max_cycles=max_cycles, watchdog=watchdog, faults=faults,
+            )
+
+        outcome = engine.run_cell("t:clean", clean_cell, base_seed=0)
+        assert outcome.status == "ok"
+        record = journal.get("t:clean")
+        assert record["attempts"][0]["sanitizer"]["violation_count"] == 0
+
+
+class TestMakeSanitizer:
+    def test_coercions(self):
+        assert make_sanitizer(None) is None
+        assert make_sanitizer("strict").mode == "strict"
+        assert make_sanitizer("record").mode == "record"
+        assert make_sanitizer("fail_fast").mode == "strict"
+        assert make_sanitizer(True).mode == "strict"
+        existing = Sanitizer(mode="record")
+        assert make_sanitizer(existing) is existing
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            make_sanitizer("chatty")

@@ -1,0 +1,109 @@
+"""The sanitizer catches seeded bugs that end-to-end results would miss.
+
+Two regression classes from the paper's own threat analysis:
+
+* a speculative load that leaks into observer-visible cache state
+  (re-enabling the pre-InvisiSpec fill path for USLs) — the visibility
+  theorem's negation;
+* a dropped invalidation whose ack is still counted — a silent SWMR /
+  directory-agreement break that completes with wrong behavior instead of
+  deadlocking.
+"""
+
+import pytest
+
+from repro.configs import ConsistencyModel, ProcessorConfig, Scheme
+from repro.coherence.hierarchy import CacheHierarchy
+from repro.errors import (
+    CoherenceViolation,
+    InvariantViolation,
+    SanitizerError,
+    VisibilityViolation,
+)
+from repro.reliability.faults import FaultSchedule
+from repro.runner import run_parsec, run_spec
+
+
+@pytest.fixture
+def leaky_usl_fills(monkeypatch):
+    """Re-enable the insecure baseline fill path for invisible requests:
+    a Spec-GetS additionally lands its line in the L2, as it would on a
+    processor without the speculative buffer."""
+    orig = CacheHierarchy._memory_path
+
+    def leaky(self, req, line, bank, t_dir, cat):
+        if req.kind.invisible:
+            self._fill_l2(bank, line, self.kernel.cycle, cat)
+        return orig(self, req, line, bank, t_dir, cat)
+
+    monkeypatch.setattr(CacheHierarchy, "_memory_path", leaky)
+
+
+class TestVisibilityRegression:
+    @pytest.mark.parametrize("scheme", (Scheme.IS_SPECTRE, Scheme.IS_FUTURE))
+    def test_usl_fill_into_l2_is_caught(self, leaky_usl_fills, scheme):
+        config = ProcessorConfig(scheme=scheme)
+        with pytest.raises(VisibilityViolation) as excinfo:
+            run_spec("mcf", config, instructions=2000, sanitize="strict")
+        violation = excinfo.value
+        # The report names the offending line, core, and state diff.
+        assert violation.invariant == "visibility"
+        assert violation.line_addr is not None
+        assert violation.core_id is not None
+        assert "l2" in str(violation)
+        assert violation.trace  # event window around the violation
+
+    def test_violation_is_classified(self, leaky_usl_fills):
+        config = ProcessorConfig(scheme=Scheme.IS_FUTURE)
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_spec("mcf", config, instructions=2000, sanitize="strict")
+        assert isinstance(excinfo.value, SanitizerError)
+        record = excinfo.value.to_dict()
+        assert record["invariant"] == "visibility"
+        assert record["error_class"] == "VisibilityViolation"
+        assert record["cycle"] is not None
+
+    def test_without_sanitizer_the_bug_is_silent(self, leaky_usl_fills):
+        """The control: the seeded leak does not perturb results enough
+        for any existing detector to notice — the run just completes."""
+        config = ProcessorConfig(scheme=Scheme.IS_FUTURE)
+        result = run_spec("mcf", config, instructions=2000)
+        assert result.instructions > 0
+
+
+class TestDroppedInvalidation:
+    SCHEDULE = ["inv.drop:nth=1"]
+
+    def test_swmr_break_is_caught(self):
+        config = ProcessorConfig(scheme=Scheme.BASE)
+        with pytest.raises(CoherenceViolation) as excinfo:
+            run_parsec(
+                "fluidanimate", config, instructions=800, sanitize="strict",
+                faults=FaultSchedule.parse(self.SCHEDULE).injector(),
+            )
+        violation = excinfo.value
+        assert violation.invariant == "coherence"
+        assert violation.line_addr is not None
+        # The message names both sides of the disagreement.
+        assert "0x" in str(violation)
+
+    def test_without_sanitizer_the_run_completes_silently(self):
+        """inv.drop, unlike inv.ack_drop, is a *silent* wrong-behavior
+        fault: no deadlock, no timeout — exactly the class of bug only a
+        runtime invariant monitor can surface."""
+        config = ProcessorConfig(scheme=Scheme.BASE)
+        result = run_parsec(
+            "fluidanimate", config, instructions=800,
+            faults=FaultSchedule.parse(self.SCHEDULE).injector(),
+        )
+        assert result.instructions > 0
+
+    def test_under_invisispec_too(self):
+        config = ProcessorConfig(
+            scheme=Scheme.IS_FUTURE, consistency=ConsistencyModel.TSO
+        )
+        with pytest.raises(CoherenceViolation):
+            run_parsec(
+                "fluidanimate", config, instructions=800, sanitize="strict",
+                faults=FaultSchedule.parse(self.SCHEDULE).injector(),
+            )
