@@ -4,6 +4,14 @@ from .directory import Directory, DirectoryEntry
 from .hierarchy import CacheHierarchy, MemRequest, RequestKind
 from .mesi import MESIState
 from .messages import MessageType
+from .protocol import (
+    DirOutcome,
+    L1Event,
+    L1_TRANSITIONS,
+    VISIBLE_EFFECTS,
+    apply_l1_event,
+    route_request,
+)
 
 __all__ = [
     "Directory",
@@ -13,4 +21,10 @@ __all__ = [
     "RequestKind",
     "MESIState",
     "MessageType",
+    "DirOutcome",
+    "L1Event",
+    "L1_TRANSITIONS",
+    "VISIBLE_EFFECTS",
+    "apply_l1_event",
+    "route_request",
 ]

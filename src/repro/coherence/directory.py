@@ -89,14 +89,21 @@ class Directory:
         return entry
 
     def sharers_other_than(self, line_addr, core_id):
+        """Every other core the directory tracks for the line.
+
+        Returned as a *sorted tuple*: callers iterate it to send
+        invalidations, and message order feeds the NoC's accounting and
+        ack timing, so set-iteration order must never leak into cycles
+        (``reprolint``'s ``unordered-iteration`` rule).
+        """
         entry = self.entry(line_addr)
         if entry is None:
-            return set()
+            return ()
         others = set(entry.sharers)
         others.discard(core_id)
         if entry.owner is not None and entry.owner != core_id:
             others.add(entry.owner)
-        return others
+        return tuple(sorted(others))
 
     def all_entries(self):
         return list(self._entries.values())

@@ -35,37 +35,21 @@ when Spec-GetS bounces happen).
 
 from __future__ import annotations
 
-import enum
-
 from ..mem.cache import CacheArray
 from ..mem.dram import DRAMModel
 from ..mem.mshr import MSHRFile
 from ..network.noc import NoC, TrafficCategory
 from .directory import Directory
 from .mesi import MESIState
+from .protocol import DirOutcome, L1Event, apply_l1_event, route_request
+from .requests import AccessResult, MemRequest, RequestKind
 
-
-class RequestKind(enum.Enum):
-    LOAD = "load"
-    SPEC_LOAD = "spec_load"
-    VALIDATE = "validate"
-    EXPOSE = "expose"
-    STORE = "store"
-    PREFETCH = "prefetch"
-    SPEC_PREFETCH = "spec_prefetch"
-
-    @property
-    def invisible(self):
-        return self in (RequestKind.SPEC_LOAD, RequestKind.SPEC_PREFETCH)
-
-    @property
-    def visible_read(self):
-        return self in (
-            RequestKind.LOAD,
-            RequestKind.VALIDATE,
-            RequestKind.EXPOSE,
-            RequestKind.PREFETCH,
-        )
+__all__ = [
+    "AccessResult",
+    "CacheHierarchy",
+    "MemRequest",
+    "RequestKind",
+]
 
 
 _CATEGORY_BY_KIND = {
@@ -77,61 +61,6 @@ _CATEGORY_BY_KIND = {
     RequestKind.VALIDATE: TrafficCategory.EXPOSE_VALIDATE,
     RequestKind.EXPOSE: TrafficCategory.EXPOSE_VALIDATE,
 }
-
-
-class MemRequest:
-    """One memory transaction submitted by a core."""
-
-    __slots__ = (
-        "core_id",
-        "addr",
-        "size",
-        "kind",
-        "seq",
-        "lq_index",
-        "epoch",
-        "on_complete",
-        "store_value",
-        "bounces",
-        "accounted",
-    )
-
-    def __init__(
-        self,
-        core_id,
-        addr,
-        size,
-        kind,
-        seq=0,
-        lq_index=0,
-        epoch=0,
-        on_complete=None,
-        store_value=0,
-    ):
-        self.core_id = core_id
-        self.addr = addr
-        self.size = size
-        self.kind = kind
-        self.seq = seq
-        self.lq_index = lq_index
-        self.epoch = epoch
-        self.on_complete = on_complete
-        self.store_value = store_value
-        self.bounces = 0
-        self.accounted = False
-
-
-class AccessResult:
-    """Completion record handed to ``MemRequest.on_complete``."""
-
-    __slots__ = ("level", "data", "version", "ready_cycle", "bounces")
-
-    def __init__(self, level, data, version, ready_cycle, bounces=0):
-        self.level = level  # 'l1' | 'l2' | 'remote_l1' | 'dram' | 'llc_sb' | 'wb'
-        self.data = data  # tuple of byte values, or None for stores
-        self.version = version
-        self.ready_cycle = ready_cycle
-        self.bounces = bounces
 
 
 #: Part of the L2 round trip charged before the directory/tag lookup.
@@ -265,17 +194,21 @@ class CacheHierarchy:
             self.counters.bump(f"hierarchy.requests.{kind.value}")
 
         entry = l1.lookup(line, touch=not kind.invisible)
-        if entry is not None:
+        l1_state = entry.state if entry is not None else MESIState.INVALID
+        # Only the L1-local routing outcomes are decided here; the remote
+        # facts (owner, L2 residency, write-back windows) are resolved at
+        # the home bank inside _transaction_steps with the same table.
+        outcome = route_request(kind, l1_state, False, False, False)
+        if outcome is DirOutcome.STORE_UPGRADE:
+            self._upgrade(req, line, slot)
+            return
+        if outcome is DirOutcome.L1_HIT:
             if kind is RequestKind.STORE:
-                if entry.state.writable:
-                    entry.state = MESIState.MODIFIED
-                    self.dirs[self.bank_of(line)].set_owner(line, req.core_id)
-                    self._note_line(line, "store_l1_hit", core_id=req.core_id)
-                    ready = slot + self.params.l1d.round_trip_latency
-                    self._finish_store(req, ready, "l1", _CATEGORY_BY_KIND[kind])
-                    return
-                # Hit in S: ownership upgrade required.
-                self._upgrade(req, line, slot)
+                entry.state = apply_l1_event(entry.state, L1Event.STORE_HIT)
+                self.dirs[self.bank_of(line)].set_owner(line, req.core_id)
+                self._note_line(line, "store_l1_hit", core_id=req.core_id)
+                ready = slot + self.params.l1d.round_trip_latency
+                self._finish_store(req, ready, "l1", _CATEGORY_BY_KIND[kind])
                 return
             l1.stat_hits += 1
             self.counters.bump(f"hierarchy.l1_hits.{kind.value}")
@@ -364,23 +297,41 @@ class CacheHierarchy:
         dentry = directory.entry(line)
         owner = dentry.owner if dentry else None
 
-        if owner is not None and owner != req.core_id:
-            self._remote_owner_path(req, line, slot, bank, dentry, t_dir, cat)
-        elif self.l2[bank].contains(line):
+        outcome = route_request(
+            kind,
+            MESIState.INVALID,  # the local L1 already missed
+            owner is not None and owner != req.core_id,
+            self.l2[bank].contains(line),
+            dentry.writeback_in_flight(t_dir) if dentry is not None else False,
+        )
+        if outcome in (
+            DirOutcome.SPEC_BOUNCE,
+            DirOutcome.SPEC_FORWARD,
+            DirOutcome.OWNER_FORWARD,
+            DirOutcome.OWNER_INVALIDATE,
+        ):
+            self._remote_owner_path(
+                req, line, slot, bank, dentry, t_dir, cat, outcome
+            )
+        elif outcome in (
+            DirOutcome.L2_READ,
+            DirOutcome.L2_STORE,
+            DirOutcome.SPEC_L2_READ,
+        ):
             self._l2_hit_path(req, line, bank, t_bank, cat)
         else:
             self._memory_path(req, line, bank, t_dir, cat)
 
     # -------------------------------------------------- path: remote L1 owner
 
-    def _remote_owner_path(self, req, line, slot, bank, dentry, t_dir, cat):
+    def _remote_owner_path(self, req, line, slot, bank, dentry, t_dir, cat, outcome):
         kind = req.kind
         owner = dentry.owner
         bank_node = self._bank_node(bank)
         owner_node = self._core_node(owner)
         core_node = self._core_node(req.core_id)
 
-        if kind.invisible and dentry.writeback_in_flight(t_dir):
+        if outcome is DirOutcome.SPEC_BOUNCE:
             # The owner is losing the line: bounce the Spec-GetS.
             self.noc.send(bank_node, owner_node, False, cat)  # forward
             nack_lat = self.noc.send(owner_node, core_node, False, cat)
@@ -420,7 +371,7 @@ class CacheHierarchy:
         if owner_entry is not None:
             if owner_entry.state.dirty:
                 self.noc.send(owner_node, bank_node, True, cat)  # writeback
-            owner_entry.state = MESIState.SHARED
+            owner_entry.state = apply_l1_event(owner_entry.state, L1Event.DEMOTE)
         self.dirs[bank].demote_owner(line)
         self.dirs[bank].add_sharer(line, req.core_id)
         if not self.l2[bank].contains(line):
@@ -529,7 +480,7 @@ class CacheHierarchy:
         self.dirs[bank].set_owner(line, req.core_id)
         entry = self.l1s[req.core_id].lookup(line, touch=False)
         if entry is not None:
-            entry.state = MESIState.MODIFIED
+            entry.state = apply_l1_event(entry.state, L1Event.UPGRADE)
         self._purge_llc_sbs(line, except_core=None)
         self.counters.bump("hierarchy.upgrades")
         self._note_line(line, "store_upgrade", core_id=req.core_id)
@@ -611,7 +562,15 @@ class CacheHierarchy:
         existing = l1.lookup(line, touch=False)
         if existing is not None:
             if state is not None:
-                existing.state = state
+                # A store performing into a still-resident copy: a plain
+                # writable hit, or an ownership re-assertion if a remote
+                # read demoted the copy to S while the store was in flight.
+                event = (
+                    L1Event.UPGRADE
+                    if existing.state is MESIState.SHARED
+                    else L1Event.FILL_MODIFIED
+                )
+                existing.state = apply_l1_event(existing.state, event)
             return
         if state is None:
             bank = self.bank_of(line)
@@ -633,11 +592,12 @@ class CacheHierarchy:
             # find the core tracked.  A sole copy is granted E and tracked
             # as the owner, so a later remote read demotes it.
             if others:
-                state = MESIState.SHARED
+                event = L1Event.FILL_SHARED
                 self.dirs[bank].add_sharer(line, core_id)
             else:
-                state = MESIState.EXCLUSIVE
+                event = L1Event.FILL_EXCLUSIVE
                 self.dirs[bank].set_owner(line, core_id)
+            state = apply_l1_event(MESIState.INVALID, event)
         _entry, victim = l1.insert(line, state)
         if victim is not None:
             self._handle_l1_eviction(core_id, victim, cat)
@@ -675,10 +635,11 @@ class CacheHierarchy:
         dentry = directory.entry(vline)
         if dentry is not None:
             # Inclusive hierarchy: evicting from L2 recalls all L1 copies.
+            # Sorted walk: recall-message order is cycle-affecting.
             holders = set(dentry.sharers)
             if dentry.owner is not None:
                 holders.add(dentry.owner)
-            for core_id in holders:
+            for core_id in sorted(holders):
                 lat = self.noc.send(
                     self._bank_node(bank), self._core_node(core_id), False, cat
                 )

@@ -1,0 +1,90 @@
+"""Transaction vocabulary: request kinds, requests, completion records.
+
+Extracted from :mod:`repro.coherence.hierarchy` so the declarative
+protocol tables (:mod:`repro.coherence.protocol`) and the offline model
+checker can name request kinds without importing the full timed
+hierarchy.  ``hierarchy`` re-exports everything here, so existing
+imports keep working.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RequestKind(enum.Enum):
+    LOAD = "load"
+    SPEC_LOAD = "spec_load"
+    VALIDATE = "validate"
+    EXPOSE = "expose"
+    STORE = "store"
+    PREFETCH = "prefetch"
+    SPEC_PREFETCH = "spec_prefetch"
+
+    @property
+    def invisible(self):
+        return self in (RequestKind.SPEC_LOAD, RequestKind.SPEC_PREFETCH)
+
+    @property
+    def visible_read(self):
+        return self in (
+            RequestKind.LOAD,
+            RequestKind.VALIDATE,
+            RequestKind.EXPOSE,
+            RequestKind.PREFETCH,
+        )
+
+
+class MemRequest:
+    """One memory transaction submitted by a core."""
+
+    __slots__ = (
+        "core_id",
+        "addr",
+        "size",
+        "kind",
+        "seq",
+        "lq_index",
+        "epoch",
+        "on_complete",
+        "store_value",
+        "bounces",
+        "accounted",
+    )
+
+    def __init__(
+        self,
+        core_id,
+        addr,
+        size,
+        kind,
+        seq=0,
+        lq_index=0,
+        epoch=0,
+        on_complete=None,
+        store_value=0,
+    ):
+        self.core_id = core_id
+        self.addr = addr
+        self.size = size
+        self.kind = kind
+        self.seq = seq
+        self.lq_index = lq_index
+        self.epoch = epoch
+        self.on_complete = on_complete
+        self.store_value = store_value
+        self.bounces = 0
+        self.accounted = False
+
+
+class AccessResult:
+    """Completion record handed to ``MemRequest.on_complete``."""
+
+    __slots__ = ("level", "data", "version", "ready_cycle", "bounces")
+
+    def __init__(self, level, data, version, ready_cycle, bounces=0):
+        self.level = level  # 'l1' | 'l2' | 'remote_l1' | 'dram' | 'llc_sb' | 'wb'
+        self.data = data  # tuple of byte values, or None for stores
+        self.version = version
+        self.ready_cycle = ready_cycle
+        self.bounces = bounces

@@ -26,6 +26,7 @@ from collections import deque
 from ..coherence.hierarchy import MemRequest, RequestKind
 from ..consistency import make_consistency_policy
 from ..errors import SimulationError
+from ..invisispec.lifecycle import advance_vstate
 from ..invisispec.llc_sb import LLCSpeculativeBuffer
 from ..invisispec.policy import make_scheme_policy
 from ..invisispec.sb import SpeculativeBuffer
@@ -560,7 +561,7 @@ class Core:
         if not tlb_hit:
             if unsafe_speculative:
                 # Section VI-E3: the walk is deferred to the visibility point.
-                lq_entry.vstate = STATE_DEFERRED
+                advance_vstate(lq_entry, STATE_DEFERRED)
                 lq_entry.issued = True
                 self.counters.bump("invisispec.tlb_deferred")
                 if self.monitor is not None:
@@ -589,7 +590,7 @@ class Core:
         forwarded = self._try_store_forward(entry, lq_entry, addr, size)
 
         if not unsafe_speculative:
-            lq_entry.vstate = STATE_NORMAL
+            advance_vstate(lq_entry, STATE_NORMAL)
             self._train_prefetcher(op.pc, addr, lq_entry=lq_entry)
             if forwarded:
                 self._finish_load_local(entry, lq_entry, now)
@@ -599,10 +600,9 @@ class Core:
             return
 
         # Unsafe speculative load (USL).
-        lq_entry.vstate = (
-            STATE_EXPOSURE
-            if is_prefetch
-            else self.visibility.classify(lq_entry)
+        advance_vstate(
+            lq_entry,
+            STATE_EXPOSURE if is_prefetch else self.visibility.classify(lq_entry),
         )
         self.counters.bump("invisispec.usls")
         if self.monitor is not None:
@@ -797,7 +797,7 @@ class Core:
             if not self.policy.visible_now(self, lq_entry):
                 break
             entry = lq_entry.rob
-            lq_entry.vstate = STATE_NORMAL
+            advance_vstate(lq_entry, STATE_NORMAL)
             vpn = self.space.page_of(lq_entry.addr)
             self.tlb.fill(vpn)
             self.counters.bump("invisispec.tlb_walks_at_visibility")
@@ -1169,4 +1169,4 @@ class Core:
 
     @property
     def ipc(self):
-        return self.retired_instructions / max(self.cycles, 1)
+        return self.retired_instructions / max(self.cycles, 1)  # reprolint: disable=float-cycles -- IPC is a reported metric; nothing cycle-affecting consumes this float

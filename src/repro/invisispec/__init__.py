@@ -12,6 +12,7 @@
   Section V-C2.
 """
 
+from .lifecycle import PRE_VISIBILITY_STATES, VSTATE_TRANSITIONS, advance_vstate
 from .llc_sb import LLCSpeculativeBuffer
 from .policy import make_scheme_policy
 from .sb import SBEntry, SpeculativeBuffer
@@ -20,7 +21,10 @@ from .valexp import VisibilityEngine
 __all__ = [
     "LLCSpeculativeBuffer",
     "make_scheme_policy",
+    "PRE_VISIBILITY_STATES",
     "SBEntry",
     "SpeculativeBuffer",
     "VisibilityEngine",
+    "VSTATE_TRANSITIONS",
+    "advance_vstate",
 ]

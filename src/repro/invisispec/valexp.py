@@ -16,8 +16,9 @@ Implements Sections V-C and V-D:
 
 from __future__ import annotations
 
-from ..coherence.hierarchy import MemRequest, RequestKind
+from ..coherence.requests import MemRequest, RequestKind
 from ..stats.histogram import LatencyHistogram
+from .lifecycle import advance_vstate
 from ..cpu.lsq import (
     STATE_COMPLETE,
     STATE_DEFERRED,
@@ -124,7 +125,7 @@ class VisibilityEngine:
         else:
             entry.validation_inflight = False
             entry.visibility_done = True
-            entry.vstate = STATE_COMPLETE
+            advance_vstate(entry, STATE_COMPLETE)
             self.counters.bump(f"invisispec.exposure_level.{result.level}")
 
     def _finish_validation(self, entry, result):
@@ -137,7 +138,7 @@ class VisibilityEngine:
         if expected is not None and tuple(result.data) == tuple(expected):
             entry.validation_inflight = False
             entry.visibility_done = True
-            entry.vstate = STATE_COMPLETE
+            advance_vstate(entry, STATE_COMPLETE)
             self._early_squash_same_line(entry)
             return
         self.counters.bump("invisispec.validation_failures")

@@ -81,4 +81,5 @@ class MSHRFile:
         self._entries.pop(line_addr, None)
 
     def outstanding_lines(self):
-        return list(self._entries.keys())
+        """Outstanding line addresses, sorted so scans are order-stable."""
+        return sorted(self._entries.keys())

@@ -1,0 +1,21 @@
+"""Offline verification layer: protocol model checker + reprolint.
+
+Two engines, one CLI (``python -m repro.staticcheck``):
+
+* :mod:`model` — a Murphi-style explicit-state model checker for the
+  MESI + InvisiSpec protocol.  It enumerates every reachable
+  interleaving of small configurations (2-3 cores x 1-2 lines) and
+  checks SWMR, directory/sharer agreement, L2 inclusion, transaction
+  progress, and the InvisiSpec invisibility property against the same
+  declarative tables (:mod:`repro.coherence.protocol`) that drive the
+  live simulator.
+* :mod:`mutations` — a registry of seeded single-edit protocol bugs the
+  checker must catch, each with a minimal counterexample trace.
+* :mod:`replay` — replays a counterexample trace step by step through a
+  :class:`repro.sim.kernel.SimKernel` as a regression test.
+* :mod:`lint` — ``reprolint``, the AST-based simulation-hygiene linter.
+"""
+
+from .model import CheckResult, ModelChecker, Violation
+
+__all__ = ["CheckResult", "ModelChecker", "Violation"]

@@ -1,0 +1,213 @@
+"""CLI for the offline verification layer.
+
+::
+
+    python -m repro.staticcheck model --cores 3 --lines 2
+    python -m repro.staticcheck model --all-mutations --replay
+    python -m repro.staticcheck model --mutation upgrade_drops_one_inv
+    python -m repro.staticcheck lint src/repro --format json
+    python -m repro.staticcheck lint --list-rules
+
+Exit codes: 0 verified/clean, 1 violation, missed mutation, incomplete
+exploration, or lint finding; 2 usage errors (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .lint import rule_catalog, run_lint
+from .lint.report import render_json, render_text
+from .model import MUTATION_NAMES, ModelChecker
+from .mutations import MUTATIONS, check_mutation
+
+
+def _print_violation(violation, indent="  "):
+    print(f"{indent}property : {violation.prop}")
+    print(f"{indent}detail   : {violation.detail}")
+    print(f"{indent}trace ({len(violation.trace)} steps):")
+    for step in violation.trace:
+        print(f"{indent}  {step}")
+
+
+def _replay_outcome(trace, cores, lines):
+    """Replay a counterexample on the live simulator; returns a verdict
+    string ('clean' when the real code survives the interleaving)."""
+    from .replay import ReplayError, replay_trace
+
+    try:
+        replayer = replay_trace(trace, cores=cores, lines=lines)
+    except ReplayError as exc:
+        return f"DIVERGED: {exc}"
+    return f"clean ({replayer.steps_replayed} stimulus steps)"
+
+
+def _cmd_model_base(args):
+    checker = ModelChecker(
+        cores=args.cores,
+        lines=args.lines,
+        max_states=args.max_states,
+    )
+    result = checker.run(max_seconds=args.max_seconds)
+    payload = {
+        "cores": result.cores,
+        "lines": result.lines,
+        "states": result.states,
+        "transitions": result.transitions,
+        "elapsed_s": round(result.elapsed, 3),
+        "complete": result.complete,
+        "ok": result.ok,
+    }
+    if args.json:
+        if result.violation is not None:
+            payload["violation"] = {
+                "property": result.violation.prop,
+                "detail": result.violation.detail,
+                "trace": result.violation.trace,
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"model: {result.cores} cores x {result.lines} lines: "
+            f"{result.states} states, {result.transitions} transitions "
+            f"in {result.elapsed:.2f}s"
+        )
+        if result.ok and result.complete:
+            print(
+                "model: exhaustive - SWMR, directory agreement, inclusion, "
+                "progress and invisibility hold on every reachable state"
+            )
+        elif result.ok:
+            print("model: INCOMPLETE (state or time cap hit, no violation seen)")
+        else:
+            print("model: VIOLATION")
+            _print_violation(result.violation)
+    return 0 if (result.ok and result.complete) else 1
+
+
+def _cmd_model_mutation(args, names):
+    failures = 0
+    expected = {m.name: m.expected_property for m in MUTATIONS}
+    for name in names:
+        result = check_mutation(
+            name,
+            cores=args.cores,
+            lines=args.lines,
+            max_seconds=args.max_seconds,
+        )
+        if result.violation is None:
+            print(
+                f"mutation {name}: MISSED "
+                f"({result.states} states, {result.elapsed:.2f}s)"
+            )
+            failures += 1
+            continue
+        prop_ok = result.violation.prop == expected[name]
+        verdict = "caught" if prop_ok else (
+            f"caught via {result.violation.prop} "
+            f"(expected {expected[name]})"
+        )
+        print(
+            f"mutation {name}: {verdict} "
+            f"[{result.violation.prop}, {len(result.violation.trace)}-step "
+            f"trace, {result.elapsed:.2f}s]"
+        )
+        if not prop_ok:
+            failures += 1
+        if args.verbose:
+            _print_violation(result.violation)
+        if args.replay:
+            outcome = _replay_outcome(
+                result.violation.trace, args.cores, args.lines
+            )
+            print(f"  live-simulator replay: {outcome}")
+            if outcome.startswith("DIVERGED"):
+                failures += 1
+    total = len(names)
+    print(f"mutations: {total - failures}/{total} verified")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_model(args):
+    if args.mutation is not None:
+        return _cmd_model_mutation(args, [args.mutation])
+    if args.all_mutations:
+        return _cmd_model_mutation(args, list(MUTATION_NAMES))
+    return _cmd_model_base(args)
+
+
+def _cmd_lint(args):
+    if args.list_rules:
+        for name, (description, scopes) in sorted(rule_catalog().items()):
+            print(f"{name} [{', '.join(scopes)}]")
+            print(f"    {description}")
+        return 0
+    if not args.paths:
+        print("lint: no paths given (try: python -m repro.staticcheck "
+              "lint src/repro)", file=sys.stderr)
+        return 2
+    findings, nfiles = run_lint(args.paths)
+    if args.format == "json":
+        print(render_json(findings, nfiles))
+    else:
+        print(render_text(findings, nfiles))
+    return 1 if findings else 0
+
+
+def make_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="offline verification: protocol model checker + reprolint",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    model = sub.add_parser(
+        "model", help="exhaustive MESI/InvisiSpec protocol model check"
+    )
+    model.add_argument("--cores", type=int, default=2)
+    model.add_argument("--lines", type=int, default=1)
+    model.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="wall-clock budget for the search (default: none)",
+    )
+    model.add_argument(
+        "--max-states", type=int, default=None,
+        help="state-count cap (marks the run incomplete when hit)",
+    )
+    group = model.add_mutually_exclusive_group()
+    group.add_argument(
+        "--mutation", choices=sorted(MUTATION_NAMES), default=None,
+        help="check one seeded protocol bug instead of the base protocol",
+    )
+    group.add_argument(
+        "--all-mutations", action="store_true",
+        help="verify every seeded mutation is caught",
+    )
+    model.add_argument(
+        "--replay", action="store_true",
+        help="replay each counterexample trace on the live simulator",
+    )
+    model.add_argument("--verbose", action="store_true",
+                       help="print counterexample traces")
+    model.add_argument("--json", action="store_true",
+                       help="JSON output (base check only)")
+    model.set_defaults(func=_cmd_model)
+
+    lint = sub.add_parser("lint", help="reprolint simulation-hygiene linter")
+    lint.add_argument("paths", nargs="*", help="files or directories")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.set_defaults(func=_cmd_lint)
+    return parser
+
+
+def main(argv=None):
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

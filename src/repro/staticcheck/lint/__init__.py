@@ -1,0 +1,27 @@
+"""reprolint: the simulation-hygiene linter (engine + rule catalog)."""
+
+from .engine import (
+    Finding,
+    LintRule,
+    classify_scope,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+)
+from .rules import ALL_RULES, rule_catalog
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintRule",
+    "classify_scope",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "rule_catalog",
+]
+
+
+def run_lint(paths, rules=ALL_RULES):
+    """Lint ``paths`` with the full catalog; returns (findings, nfiles)."""
+    return lint_paths(paths, rules)

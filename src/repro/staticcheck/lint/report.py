@@ -1,0 +1,37 @@
+"""reprolint reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings, nfiles):
+    """GCC-style ``path:line:col: rule: message`` lines + a summary."""
+    lines = [repr(f) if False else _line(f) for f in findings]
+    if findings:
+        lines.append("")
+    lines.append(
+        f"reprolint: {len(findings)} finding(s) in {nfiles} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def _line(finding):
+    return (
+        f"{finding.path}:{finding.line}:{finding.col}: "
+        f"{finding.rule}: {finding.message}"
+    )
+
+
+def render_json(findings, nfiles):
+    return json.dumps(
+        {
+            "files": nfiles,
+            "findings": [f.as_dict() for f in findings],
+            "count": len(findings),
+        },
+        indent=2,
+        sort_keys=True,
+    )

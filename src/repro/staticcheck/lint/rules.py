@@ -1,0 +1,320 @@
+"""The reprolint rule catalog (see docs/STATIC_ANALYSIS.md).
+
+Each rule is a small AST visitor.  The catalog targets the failure
+modes that silently break cycle-accurate reproducibility:
+
+==========================  ==========================================
+rule                        catches
+==========================  ==========================================
+``wallclock-in-sim``        wall-clock reads inside simulated code
+``unseeded-random``         the process-global RNG / seedless Random()
+``unordered-iteration``     iterating a set (hash order) un-sorted
+``float-cycles``            float arithmetic on cycle counters
+``pure-protocol``           side effects in the protocol table modules
+``kernel-api-bypass``       event scheduling around SimKernel's API
+==========================  ==========================================
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .engine import LintRule
+
+__all__ = ["ALL_RULES", "rule_catalog"]
+
+
+def _dotted(node):
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class WallClockRule(LintRule):
+    name = "wallclock-in-sim"
+    description = (
+        "simulated code must derive all timing from kernel.cycle; "
+        "wall-clock reads make runs machine-dependent"
+    )
+    scopes = frozenset({"sim", "pure"})
+
+    _CLOCK_CALLS = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.process_time",
+            "datetime.now",
+            "datetime.utcnow",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "date.today",
+            "datetime.date.today",
+        }
+    )
+
+    def visit_Call(self, node):
+        dotted = _dotted(node.func)
+        if dotted in self._CLOCK_CALLS:
+            self.report(
+                node,
+                f"wall-clock read {dotted}() in simulated code; use "
+                "kernel.cycle (simulated time) instead",
+            )
+        self.generic_visit(node)
+
+
+class UnseededRandomRule(LintRule):
+    name = "unseeded-random"
+    description = (
+        "all randomness must flow from an explicit seed so runs are "
+        "reproducible bit-for-bit"
+    )
+    scopes = frozenset({"sim", "host", "pure"})
+
+    def visit_Call(self, node):
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            if dotted == "random.Random" or dotted.endswith(".Random"):
+                if not node.args and not node.keywords:
+                    self.report(
+                        node,
+                        "Random() without a seed falls back to OS entropy; "
+                        "pass an explicit seed",
+                    )
+            elif dotted.startswith("random."):
+                self.report(
+                    node,
+                    f"{dotted}() uses the process-global RNG; construct a "
+                    "seeded random.Random(seed) instead",
+                )
+            elif dotted.startswith(("np.random.", "numpy.random.")):
+                self.report(
+                    node,
+                    f"{dotted}() uses numpy's global RNG; use a seeded "
+                    "Generator (np.random.default_rng(seed))",
+                )
+        self.generic_visit(node)
+
+
+class UnorderedIterationRule(LintRule):
+    name = "unordered-iteration"
+    description = (
+        "set iteration order follows the hash seed; walking a set in "
+        "cycle-affecting code must go through sorted()"
+    )
+    scopes = frozenset({"sim"})
+
+    #: Attributes known (repo-wide) to be set-typed.
+    _SET_ATTRS = frozenset({"sharers"})
+
+    def _is_set_expr(self, node):
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.Attribute) and node.attr in self._SET_ATTRS:
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # set algebra: a | b, a - b, ... is a set if either side is
+            return self._is_set_expr(node.left) or self._is_set_expr(
+                node.right
+            )
+        return False
+
+    def _check_iter(self, iter_node):
+        if self._is_set_expr(iter_node):
+            self.report(
+                iter_node,
+                "iterating a set directly; wrap in sorted(...) so the "
+                "walk order cannot depend on PYTHONHASHSEED",
+            )
+
+    def visit_For(self, node):
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node):
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        # list(a_set) / tuple(a_set) freeze the hash order into a sequence
+        dotted = _dotted(node.func)
+        if dotted in ("list", "tuple") and node.args:
+            if self._is_set_expr(node.args[0]):
+                self.report(
+                    node,
+                    f"{dotted}() over a set freezes hash order into a "
+                    "sequence; use sorted(...)",
+                )
+        self.generic_visit(node)
+
+
+class FloatCyclesRule(LintRule):
+    name = "float-cycles"
+    description = (
+        "cycle counters are integers; true division or float() on them "
+        "drifts and breaks bit-identical stats"
+    )
+    scopes = frozenset({"sim"})
+
+    _HINTS = ("cycle", "cycles")
+
+    def _mentions_cycles(self, node):
+        for sub in ast.walk(node):
+            ident = None
+            if isinstance(sub, ast.Name):
+                ident = sub.id
+            elif isinstance(sub, ast.Attribute):
+                ident = sub.attr
+            if ident is not None and any(
+                h in ident.lower() for h in self._HINTS
+            ):
+                return True
+        return False
+
+    def visit_BinOp(self, node):
+        if isinstance(node.op, ast.Div) and (
+            self._mentions_cycles(node.left)
+            or self._mentions_cycles(node.right)
+        ):
+            self.report(
+                node,
+                "true division on a cycle quantity produces a float; use "
+                "// (or move the ratio to host-side analysis)",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+            and node.args
+            and self._mentions_cycles(node.args[0])
+        ):
+            self.report(
+                node, "float() on a cycle quantity; keep cycle math integral"
+            )
+        self.generic_visit(node)
+
+
+class PureProtocolRule(LintRule):
+    name = "pure-protocol"
+    description = (
+        "the declarative protocol tables are shared with the model "
+        "checker and must stay side-effect-free: no stats, no I/O, no "
+        "kernel access"
+    )
+    scopes = frozenset({"pure"})
+
+    _BANNED_NAMES = frozenset({"counters", "stats", "kernel"})
+    _BANNED_CALLS = frozenset({"print", "open"})
+
+    def visit_Attribute(self, node):
+        if isinstance(node.value, ast.Name) and node.value.id in self._BANNED_NAMES:
+            self.report(
+                node,
+                f"reference to '{node.value.id}' in a pure protocol table "
+                "module; tables must not touch stats or the kernel",
+            )
+        if node.attr == "bump":
+            self.report(
+                node, "stats mutation (.bump) in a pure protocol table module"
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        if isinstance(node.func, ast.Name) and node.func.id in self._BANNED_CALLS:
+            self.report(
+                node,
+                f"{node.func.id}() in a pure protocol table module",
+            )
+        self.generic_visit(node)
+
+    def visit_Import(self, node):
+        for alias in node.names:
+            if "stats" in alias.name.split("."):
+                self.report(
+                    node, f"import of {alias.name} in a pure protocol module"
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        if node.module and "stats" in node.module.split("."):
+            self.report(
+                node, f"import from {node.module} in a pure protocol module"
+            )
+        self.generic_visit(node)
+
+
+class KernelApiBypassRule(LintRule):
+    name = "kernel-api-bypass"
+    description = (
+        "events must be scheduled through SimKernel.schedule/schedule_at "
+        "(fault hooks, past-cycle clamping); direct EventQueue access "
+        "bypasses both"
+    )
+    scopes = frozenset({"sim"})
+
+    #: Files that *are* the kernel/event API.
+    _EXEMPT = (("sim", "kernel.py"), ("sim", "events.py"))
+
+    def __init__(self, path, scope):
+        super().__init__(path, scope)
+        parts = Path(path).parts
+        self._exempt = any(parts[-2:] == e for e in self._EXEMPT)
+
+    def visit_Call(self, node):
+        if not self._exempt:
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("schedule", "run_at")
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "events"
+            ):
+                self.report(
+                    node,
+                    "scheduling directly on an EventQueue; go through "
+                    "kernel.schedule()/schedule_at()",
+                )
+            if isinstance(func, ast.Name) and func.id == "EventQueue":
+                self.report(
+                    node,
+                    "EventQueue constructed outside repro.sim; the kernel "
+                    "owns the event queue",
+                )
+        self.generic_visit(node)
+
+
+ALL_RULES = (
+    WallClockRule,
+    UnseededRandomRule,
+    UnorderedIterationRule,
+    FloatCyclesRule,
+    PureProtocolRule,
+    KernelApiBypassRule,
+)
+
+
+def rule_catalog():
+    """``{name: (description, scopes)}`` for docs and ``--list-rules``."""
+    return {
+        rule.name: (rule.description, tuple(sorted(rule.scopes)))
+        for rule in ALL_RULES
+    }

@@ -1,0 +1,1050 @@
+"""Explicit-state model checker for the MESI + InvisiSpec protocol.
+
+This is the offline half of the verification story (the runtime
+sanitizer, docs/SANITIZER.md, is the online half): a Murphi-style
+checker that exhaustively enumerates every reachable interleaving of a
+small configuration (2-3 cores x 1-2 cache lines, bounded in-flight
+messages) and checks safety properties on every state and transition.
+
+Abstract transition system
+--------------------------
+
+The abstraction mirrors the *atomicity structure* of the live
+simulator (``repro.coherence.hierarchy``): directory processing is
+atomic with the request (the code runs ``_process`` /
+``_transaction_steps`` synchronously at submit), while invalidation
+deliveries, data fills, store performs, and Spec-GetS nacks are
+asynchronous events.  Routing decisions are *not* re-implemented here:
+every rule calls :func:`repro.coherence.protocol.route_request` and
+:func:`repro.coherence.protocol.apply_l1_event`, so the checker and
+the simulator share one set of tables.  The speculative transaction
+phases are the abstract image of the USL lifecycle
+(:mod:`repro.invisispec.lifecycle`): a ``spec`` transaction in phase
+``filled`` sits at a pre-visibility vstate (E/V), and the
+``visible``/``complete`` rules are the E/V -> C edge.
+
+State components (all hashable tuples):
+
+* ``l1[core][line]``   -- one of ``"MESI"``.
+* ``l2[line]``         -- L2 residency (bool).
+* ``dirs[line]``       -- ``(owner, sharers, wb)``; ``owner`` is -1 for
+  none, ``sharers`` a sorted tuple, ``wb`` the write-back-window flag.
+* ``llc[core][line]``  -- per-core LLC-SB entry: 0 absent, 1 fresh,
+  2 stale.  The stale bit is *auxiliary checker state*: a performing
+  store always marks other cores' entries stale; whether it also
+  *purges* them is a protocol action (and is what the
+  ``purge_llc_sb_disabled`` mutation removes).
+* ``txns[core]``       -- at most one outstanding transaction per core
+  (the bound that keeps the space finite): ``None``,
+  ``("load", l)``, ``("valexp", l)``, ``("store", l, acks)`` or
+  ``("spec", l, phase)`` with phase in ``fwd | data | datam | nack |
+  filled``.
+* ``invs``             -- sorted tuple of in-flight invalidations
+  ``(dst, line, kind, origin)``; ``kind`` is ``"ack"`` (counted toward
+  a store's ack set) or ``"cln"`` (fire-and-forget cleanup/recall).
+
+Checked properties
+------------------
+
+State invariants (every reachable state):
+
+* **SWMR** -- if any core holds a *live* writable copy (live = no
+  invalidation in flight to it), no other core holds a live readable
+  copy.
+* **directory agreement** -- every live readable copy is tracked by
+  the directory; every tracked core either holds the line, has an
+  invalidation in flight, or has a non-speculative transaction in
+  flight for it; a named owner never holds the line in S.
+* **L2 inclusion** -- every live readable L1 copy is L2-resident.
+* **progress / deadlock-freedom** -- every store transaction's
+  outstanding ack count equals its in-flight ack invalidations (so the
+  perform guard is eventually satisfiable), and every non-quiescent
+  state has at least one successor.
+
+Transition properties:
+
+* **invisibility** -- every speculative rule (tagged ``spec``) leaves
+  the observer-visible projection (l1, l2, directory, and *other*
+  cores' LLC-SBs) unchanged; this is the executable form of the
+  all-empty Spec-GetS rows of
+  :data:`repro.coherence.protocol.VISIBLE_EFFECTS`.
+* **perform-acks** -- a store may perform only with zero of its ack
+  invalidations still in flight (write serialization).
+* **fresh-validate** -- a validation/exposure never consumes a stale
+  LLC-SB entry (Section VI-C's purge-on-visible-access requirement).
+
+Two deliberate refinements over the live code, both in the fill path:
+a data fill that arrives after the directory named *another* owner is
+dropped (the code does this too), and a fill that arrives after its
+line was recalled out of the L2 is also dropped, while a store perform
+re-establishes L2 residency (write-allocate).  Without these, the
+*unmodified* protocol has a reachable inclusion race between an
+in-flight fill and a capacity recall -- a model-checking find that is
+documented in docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from itertools import permutations as _permutations
+
+from ..coherence.mesi import MESIState
+from ..coherence.protocol import (
+    DirOutcome,
+    apply_l1_event,
+    L1Event,
+    outcome_is_invisible,
+    route_request,
+)
+from ..coherence.requests import RequestKind
+
+_CHAR_TO_STATE = {
+    "M": MESIState.MODIFIED,
+    "E": MESIState.EXCLUSIVE,
+    "S": MESIState.SHARED,
+    "I": MESIState.INVALID,
+}
+_STATE_TO_CHAR = {v: k for k, v in _CHAR_TO_STATE.items()}
+
+#: LLC-SB entry states.
+_SB_ABSENT, _SB_FRESH, _SB_STALE = 0, 1, 2
+
+#: Names of all seeded protocol mutations the checker knows how to
+#: apply.  Kept here (rather than in :mod:`mutations`) so rule code and
+#: registry can never drift apart.
+MUTATION_NAMES = (
+    "spec_mem_fills_l1",
+    "spec_mem_fills_l2",
+    "spec_mem_registers_sharer",
+    "spec_l2_hit_registers_sharer",
+    "spec_bounce_registers_sharer",
+    "store_hit_treats_shared_writable",
+    "fill_exclusive_despite_sharers",
+    "owner_forward_skips_demote",
+    "upgrade_drops_one_inv",
+    "l2_store_ack_undercount",
+    "perform_before_final_ack",
+    "perform_skips_sharer_reassert",
+    "l1_evict_keeps_directory_entry",
+    "l2_evict_skips_recall",
+    "purge_llc_sb_disabled",
+)
+
+
+class Violation:
+    """One property violation plus the shortest trace reaching it."""
+
+    __slots__ = ("prop", "detail", "trace")
+
+    def __init__(self, prop, detail, trace=None):
+        self.prop = prop
+        self.detail = detail
+        self.trace = trace or []
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Violation({self.prop}: {self.detail}, {len(self.trace)} steps)"
+
+
+class CheckResult:
+    """Outcome of one exhaustive run."""
+
+    __slots__ = (
+        "cores",
+        "lines",
+        "mutation",
+        "states",
+        "transitions",
+        "violation",
+        "elapsed",
+        "complete",
+    )
+
+    def __init__(self, cores, lines, mutation, states, transitions, violation, elapsed, complete):
+        self.cores = cores
+        self.lines = lines
+        self.mutation = mutation
+        self.states = states
+        self.transitions = transitions
+        self.violation = violation
+        self.elapsed = elapsed
+        #: True when the whole reachable space was enumerated (no
+        #: violation, no state/time cap hit).
+        self.complete = complete
+
+    @property
+    def ok(self):
+        return self.violation is None
+
+
+class ModelChecker:
+    """BFS over the abstract protocol; see the module docstring."""
+
+    def __init__(
+        self,
+        cores=2,
+        lines=1,
+        mutation=None,
+        max_inflight=4,
+        max_states=None,
+        max_txns=2,
+        max_spec=1,
+    ):
+        if cores < 2:
+            raise ValueError("need at least 2 cores to say anything about coherence")
+        if mutation is not None and mutation not in MUTATION_NAMES:
+            raise ValueError(f"unknown mutation {mutation!r}; see MUTATION_NAMES")
+        self.cores = cores
+        self.lines = lines
+        self.mutation = mutation
+        #: Exploration bounds (the "bounded in-flight messages" knobs;
+        #: see docs/STATIC_ANALYSIS.md for what each one prunes).
+        self.max_inflight = max_inflight
+        self.max_states = max_states
+        self.max_txns = max_txns if max_txns is not None else cores
+        self.max_spec = max_spec if max_spec is not None else cores
+        self._core_perms = list(_permutations(range(cores)))
+        self._line_perms = list(_permutations(range(lines)))
+
+    # ------------------------------------------------------------------
+    # state helpers
+
+    def initial_state(self):
+        n, m = self.cores, self.lines
+        l1 = tuple(tuple("I" for _ in range(m)) for _ in range(n))
+        l2 = tuple(False for _ in range(m))
+        dirs = tuple((-1, (), False) for _ in range(m))
+        llc = tuple(tuple(_SB_ABSENT for _ in range(m)) for _ in range(n))
+        txns = tuple(None for _ in range(n))
+        return (l1, l2, dirs, llc, txns, ())
+
+    @staticmethod
+    def _thaw(state):
+        l1, l2, dirs, llc, txns, invs = state
+        return (
+            [list(row) for row in l1],
+            list(l2),
+            [list(d) for d in dirs],
+            [list(row) for row in llc],
+            list(txns),
+            list(invs),
+        )
+
+    @staticmethod
+    def _freeze(w):
+        l1, l2, dirs, llc, txns, invs = w
+        # sharer tuples are maintained sorted by every mutator, so no
+        # re-sort here (this is the hottest function in the search)
+        return (
+            tuple(map(tuple, l1)),
+            tuple(l2),
+            tuple(map(tuple, dirs)),
+            tuple(map(tuple, llc)),
+            tuple(txns),
+            tuple(sorted(invs)),
+        )
+
+    # directory helpers on a thawed state -------------------------------
+
+    @staticmethod
+    def _tracked(w, line):
+        owner, sharers, _wb = w[2][line]
+        cores = set(sharers)
+        if owner >= 0:
+            cores.add(owner)
+        return cores
+
+    @staticmethod
+    def _add_sharer(w, line, core):
+        owner, sharers, wb = w[2][line]
+        if owner == core:
+            return
+        w[2][line] = [owner, tuple(sorted(set(sharers) | {core})), wb]
+
+    @staticmethod
+    def _set_owner(w, line, core):
+        _owner, sharers, wb = w[2][line]
+        w[2][line] = [core, tuple(s for s in sharers if s != core), wb]
+
+    @staticmethod
+    def _demote_owner(w, line):
+        owner, sharers, wb = w[2][line]
+        w[2][line] = [-1, tuple(sorted(set(sharers) | {owner})), wb]
+
+    @staticmethod
+    def _remove_core(w, line, core):
+        owner, sharers, wb = w[2][line]
+        if owner == core:
+            owner = -1
+        w[2][line] = [owner, tuple(s for s in sharers if s != core), wb]
+
+    def _send_inv(self, w, dst, line, kind, origin):
+        w[5].append((dst, line, kind, origin))
+
+    def _purge_llc(self, w, line):
+        """Protocol action: a visible access purges matching LLC-SB
+        entries in every core (Section VI-C)."""
+        if self.mutation == "purge_llc_sb_disabled":
+            return
+        for c in range(self.cores):
+            w[3][c][line] = _SB_ABSENT
+
+    def _mark_stale_llc(self, w, line, writer):
+        """Auxiliary bookkeeping (always on): a performing store makes
+        every surviving LLC-SB copy of the line stale."""
+        for c in range(self.cores):
+            if c != writer and w[3][c][line] == _SB_FRESH:
+                w[3][c][line] = _SB_STALE
+
+    def _route(self, state, kind, core, line):
+        l1, l2, dirs, _llc, _txns, _invs = state
+        owner, _sharers, wb = dirs[line]
+        return route_request(
+            kind,
+            _CHAR_TO_STATE[l1[core][line]],
+            owner >= 0 and owner != core,
+            l2[line],
+            wb,
+        )
+
+    @staticmethod
+    def _l1_apply(w, core, line, event):
+        cur = _CHAR_TO_STATE[w[0][core][line]]
+        w[0][core][line] = _STATE_TO_CHAR[apply_l1_event(cur, event)]
+
+    def _perform_fill_event(self, w, core, line):
+        """The L1 event for a store performing into ``core``'s slot,
+        selected by the resident state exactly as ``_fill_l1`` does."""
+        cur = w[0][core][line]
+        return L1Event.UPGRADE if cur == "S" else (
+            L1Event.STORE_HIT if cur in "ME" else L1Event.FILL_MODIFIED
+        )
+
+    # ------------------------------------------------------------------
+    # successor generation
+
+    def successors(self, state):
+        """All enabled transitions of ``state`` as a list of
+        ``(label, tags, next_state, step_violation)`` tuples.
+
+        ``tags`` is a frozenset; rules tagged ``"spec"`` must satisfy
+        the invisibility projection (checked by the caller so that
+        mutations which break it are *detected*, not crashed on).
+        """
+        out = []
+        l1, l2, dirs, llc, txns, invs = state
+        mut = self.mutation
+
+        def emit(label, w, tags=frozenset(), viol=None):
+            out.append((label, tags, self._freeze(w), viol))
+
+        active = [t for t in txns if t is not None]
+        spec_active = sum(1 for t in active if t[0] == "spec")
+        may_issue = len(active) < self.max_txns
+        # Line-local focus reduction: no rule reads or writes more than
+        # one line, and every checked property is per-line, so
+        # interleavings of work on distinct lines add no new per-line
+        # behaviour.  While any line has in-flight work (a transaction,
+        # an invalidation, or an open write-back window) all rules on
+        # other lines are frozen; the cross-line state product
+        # collapses to one excursion at a time over settled residue.
+        unsettled = {t[1] for t in active}
+        unsettled.update(ml for (_d, ml, _k, _o) in invs)
+        unsettled.update(l for l in range(self.lines) if dirs[l][2])
+        focus = unsettled or None
+
+        def focused(l):
+            return focus is None or l in focus
+
+        for c in range(self.cores):
+            txn = txns[c]
+            if txn is None:
+                if not may_issue:
+                    continue
+                for l in range(self.lines):
+                    if not focused(l):
+                        continue
+                    self._gen_issue_load(state, c, l, emit)
+                    self._gen_issue_store(state, c, l, emit)
+                    if spec_active < self.max_spec:
+                        self._gen_issue_spec(state, c, l, emit)
+                continue
+            kind = txn[0]
+            if kind == "store":
+                self._gen_perform_store(state, c, emit)
+            elif kind in ("load", "valexp"):
+                self._gen_deliver_fill(state, c, emit)
+            elif kind == "spec":
+                self._gen_spec_steps(state, c, emit)
+
+        # asynchronous message deliveries / background transitions
+        for msg in sorted(set(invs)):
+            self._gen_deliver_inv(state, msg, emit)
+        for c in range(self.cores):
+            for l in range(self.lines):
+                if l1[c][l] != "I" and focused(l):
+                    self._gen_l1_evict(state, c, l, emit)
+        for l in range(self.lines):
+            if dirs[l][2]:
+                w = self._thaw(state)
+                w[2][l][2] = False
+                emit(f"wb_land l{l}", w)
+            if l2[l] and focused(l):
+                self._gen_l2_evict(state, l, emit)
+        return out
+
+    # --- issue rules ---------------------------------------------------
+
+    def _gen_issue_load(self, state, c, l, emit):
+        if state[0][c][l] != "I":
+            return  # readable copy: an L1 hit is the identity
+        outcome = self._route(state, RequestKind.LOAD, c, l)
+        w = self._thaw(state)
+        if outcome is DirOutcome.OWNER_FORWARD:
+            owner = state[2][l][0]
+            if state[0][owner][l] in "ME":
+                if self.mutation != "owner_forward_skips_demote":
+                    self._l1_apply(w, owner, l, L1Event.DEMOTE)
+            self._demote_owner(w, l)
+            self._add_sharer(w, l, c)
+        elif outcome is DirOutcome.L2_READ:
+            self._add_sharer(w, l, c)
+        elif outcome is DirOutcome.MEM_READ:
+            w[1][l] = True
+            self._add_sharer(w, l, c)
+            self._purge_llc(w, l)
+        else:  # pragma: no cover - routing table guarantees
+            raise AssertionError(f"load routed to {outcome}")
+        w[4][c] = ("load", l)
+        emit(f"issue_load c{c} l{l} via {outcome.value}", w)
+
+    def _gen_issue_store(self, state, c, l, emit):
+        outcome = self._route(state, RequestKind.STORE, c, l)
+        if (
+            self.mutation == "store_hit_treats_shared_writable"
+            and outcome is DirOutcome.STORE_UPGRADE
+        ):
+            # the seeded bug: S is treated as writable, so the store
+            # performs locally without invalidating the other sharers
+            outcome = DirOutcome.L1_HIT
+        w = self._thaw(state)
+        if outcome is DirOutcome.L1_HIT:
+            # writable copy: the store performs atomically (there can be
+            # no other live copies, so the ack set is empty).  Like
+            # perform_store, the now-dirty copy absorbs any pending
+            # recall and its write-back re-establishes L2 residency.
+            #
+            # Write-serialization property, checked at entry: a store
+            # that performs without an ack wait must not coexist with a
+            # live readable copy elsewhere.  With a genuinely writable
+            # copy this is implied by SWMR; a protocol that wrongly
+            # treats S as writable (store_hit_treats_shared_writable)
+            # lands here with live sharers still standing.  A store by a
+            # core whose own copy has a recall in flight is exempt: that
+            # is the evict-recall race, resolved by the absorb below.
+            viol = None
+            if self._live(state, c, l):
+                stale_readers = [
+                    h for h in range(self.cores)
+                    if h != c
+                    and state[0][h][l] != "I"
+                    and self._live(state, h, l)
+                ]
+                if stale_readers:
+                    viol = Violation(
+                        "swmr",
+                        f"store by core {c} to line {l} performed locally "
+                        f"(no ack wait) while cores {stale_readers} held "
+                        "live readable copies",
+                    )
+            w[5][:] = [
+                m for m in w[5]
+                if not (m[0] == c and m[1] == l and m[2] == "cln")
+            ]
+            self._l1_apply(w, c, l, self._perform_fill_event(w, c, l))
+            for t in sorted(self._tracked(w, l) - {c}):
+                self._send_inv(w, t, l, "cln", -1)
+                self._remove_core(w, l, t)
+            self._set_owner(w, l, c)
+            if not w[1][l]:
+                w[1][l] = True
+            self._mark_stale_llc(w, l, c)
+            self._purge_llc_others_on_perform(w, l, c)
+            emit(f"issue_store c{c} l{l} via {outcome.value}", w, viol=viol)
+            return
+        if outcome is DirOutcome.STORE_UPGRADE:
+            targets = [t for t in self._tracked(w, l) if t != c]
+            targets.sort()
+            if self.mutation == "upgrade_drops_one_inv" and targets:
+                targets = targets[:-1]  # the dropped invalidation edge
+            for t in targets:
+                self._send_inv(w, t, l, "ack", c)
+                self._remove_core(w, l, t)
+            self._l1_apply(w, c, l, L1Event.UPGRADE)
+            self._set_owner(w, l, c)
+            self._purge_llc(w, l)
+            w[4][c] = ("store", l, len(targets))
+        elif outcome is DirOutcome.OWNER_INVALIDATE:
+            owner = state[2][l][0]
+            self._send_inv(w, owner, l, "ack", c)
+            self._set_owner(w, l, c)
+            w[4][c] = ("store", l, 1)
+        elif outcome is DirOutcome.L2_STORE:
+            targets = sorted(self._tracked(w, l) - {c})
+            for t in targets:
+                self._send_inv(w, t, l, "ack", c)
+                self._remove_core(w, l, t)
+            self._set_owner(w, l, c)
+            self._purge_llc(w, l)
+            acks = len(targets)
+            if self.mutation == "l2_store_ack_undercount" and acks:
+                acks -= 1  # the ack count that ignores one sharer
+            w[4][c] = ("store", l, acks)
+        elif outcome is DirOutcome.MEM_STORE:
+            w[1][l] = True
+            self._set_owner(w, l, c)
+            self._purge_llc(w, l)
+            w[4][c] = ("store", l, 0)
+        else:  # pragma: no cover
+            raise AssertionError(f"store routed to {outcome}")
+        if len(w[5]) > self.max_inflight:
+            return  # in-flight message bound: prune, don't drop sends
+        emit(f"issue_store c{c} l{l} via {outcome.value}", w)
+
+    def _spec_route(self, state, w, c, l):
+        """Shared Spec-GetS routing for first issue and nack retry.
+        Returns the label suffix; mutates ``w`` (invisibly, unless a
+        seeded mutation says otherwise)."""
+        outcome = self._route(state, RequestKind.SPEC_LOAD, c, l)
+        assert outcome_is_invisible(outcome), outcome
+        if outcome is DirOutcome.SPEC_BOUNCE:
+            if self.mutation == "spec_bounce_registers_sharer":
+                self._add_sharer(w, l, c)
+            w[4][c] = ("spec", l, "nack")
+        elif outcome is DirOutcome.SPEC_FORWARD:
+            w[4][c] = ("spec", l, "fwd")
+        elif outcome is DirOutcome.SPEC_L2_READ:
+            if self.mutation == "spec_l2_hit_registers_sharer":
+                self._add_sharer(w, l, c)
+            w[4][c] = ("spec", l, "data")
+        elif outcome is DirOutcome.SPEC_MEM_READ:
+            if self.mutation == "spec_mem_fills_l2":
+                w[1][l] = True
+            if self.mutation == "spec_mem_registers_sharer":
+                self._add_sharer(w, l, c)
+            w[4][c] = ("spec", l, "datam")
+        else:  # pragma: no cover
+            raise AssertionError(f"spec load routed to {outcome}")
+        return outcome.value
+
+    def _gen_issue_spec(self, state, c, l, emit):
+        if state[0][c][l] != "I":
+            return  # SPEC_PROBE on a readable copy is the identity
+        w = self._thaw(state)
+        via = self._spec_route(state, w, c, l)
+        emit(f"issue_spec c{c} l{l} via {via}", w, tags=frozenset({"spec"}))
+
+    # --- transaction-advancing rules ----------------------------------
+
+    def _purge_llc_others_on_perform(self, w, l, writer):
+        if self.mutation == "purge_llc_sb_disabled":
+            return
+        for d in range(self.cores):
+            if d != writer:
+                w[3][d][l] = _SB_ABSENT
+
+    def _gen_perform_store(self, state, c, emit):
+        _kind, l, acks = state[4][c]
+        limit = 1 if self.mutation == "perform_before_final_ack" else 0
+        if acks > limit:
+            return
+        outstanding = sum(
+            1 for (_d, ml, kind, origin) in state[5]
+            if ml == l and kind == "ack" and origin == c
+        )
+        viol = None
+        if outstanding:
+            viol = Violation(
+                "perform-acks",
+                f"store by core {c} to line {l} performed with "
+                f"{outstanding} invalidation ack(s) still in flight",
+            )
+        w = self._thaw(state)
+        # a cleanup/recall invalidation sent at the pre-perform copy is
+        # absorbed by the MSHR when the store's data arrives (in the
+        # timed simulator the recall always lands first; the untimed
+        # model must absorb it or it would destroy the performed copy)
+        w[5][:] = [
+            m for m in w[5] if not (m[0] == c and m[1] == l and m[2] == "cln")
+        ]
+        if self.mutation != "perform_skips_sharer_reassert":
+            # re-invalidate sharers that registered during the window
+            for t in sorted(self._tracked(w, l) - {c}):
+                self._send_inv(w, t, l, "cln", -1)
+                self._remove_core(w, l, t)
+        self._set_owner(w, l, c)
+        self._l1_apply(w, c, l, self._perform_fill_event(w, c, l))
+        if not w[1][l]:
+            # the line was recalled out of L2 mid-flight; the store's
+            # data re-establishes residency (write-allocate)
+            w[1][l] = True
+        self._mark_stale_llc(w, l, c)
+        self._purge_llc_others_on_perform(w, l, c)
+        w[4][c] = None
+        if len(w[5]) > self.max_inflight:
+            return
+        emit(f"perform_store c{c} l{l}", w, viol=viol)
+
+    def _gen_deliver_fill(self, state, c, emit):
+        kind, l = state[4][c]
+        owner = state[2][l][0]
+        w = self._thaw(state)
+        w[4][c] = None
+        if kind == "valexp":
+            # whatever happens to the fill, the USL completes here and
+            # its LLC-SB entry (if any survived) is dead
+            w[3][c][l] = _SB_ABSENT
+        if owner >= 0 and owner != c:
+            # a writer claimed the line while our data was in flight
+            emit(f"deliver_fill c{c} l{l} dropped_by_writer ({kind})", w)
+            return
+        pending = [m for m in w[5] if m[0] == c and m[1] == l]
+        if not state[1][l] or pending:
+            # the line was recalled out of L2, or an invalidation
+            # reached the MSHR before the data: the invalidation wins
+            # and the fill is squashed.  A recall is absorbed by the
+            # MSHR; an ack-counted invalidation stays in flight so the
+            # writer's ack arrives.
+            for m in pending:
+                if m[2] == "cln":
+                    w[5].remove(m)
+            self._remove_core(w, l, c)
+            emit(f"deliver_fill c{c} l{l} dropped_by_recall ({kind})", w)
+            return
+        others = self._tracked(w, l) - {c}
+        if others and self.mutation != "fill_exclusive_despite_sharers":
+            self._l1_apply(w, c, l, L1Event.FILL_SHARED)
+            self._add_sharer(w, l, c)
+        else:
+            self._l1_apply(w, c, l, L1Event.FILL_EXCLUSIVE)
+            self._set_owner(w, l, c)
+        emit(f"deliver_fill c{c} l{l} installed ({kind})", w)
+
+    def _gen_spec_steps(self, state, c, emit):
+        _kind, l, phase = state[4][c]
+        spec = frozenset({"spec"})
+        if phase == "fwd":
+            owner = state[2][l][0]
+            w = self._thaw(state)
+            if owner >= 0 and owner != c and state[0][owner][l] in "MES":
+                w[4][c] = ("spec", l, "filled")
+                emit(f"deliver_spec c{c} l{l} forwarded", w, tags=spec)
+            else:
+                # ownership moved mid-flight: the forward nacks
+                w[4][c] = ("spec", l, "nack")
+                emit(f"deliver_spec c{c} l{l} forward_nacked", w, tags=spec)
+        elif phase in ("data", "datam"):
+            w = self._thaw(state)
+            if phase == "datam":
+                w[3][c][l] = _SB_FRESH  # LLC-SB insert (own, invisible)
+            if self.mutation == "spec_mem_fills_l1":
+                self._l1_apply(w, c, l, L1Event.FILL_SHARED)
+            w[4][c] = ("spec", l, "filled")
+            emit(f"deliver_spec c{c} l{l} data", w, tags=spec)
+        elif phase == "nack":
+            w = self._thaw(state)
+            via = self._spec_route(state, w, c, l)
+            emit(f"spec_retry c{c} l{l} via {via}", w, tags=spec)
+        elif phase == "filled":
+            # the core's choice: squash, or reach the visibility point
+            w = self._thaw(state)
+            w[4][c] = None
+            w[3][c][l] = _SB_ABSENT  # epoch bump orphans the entry
+            emit(f"spec_squash c{c} l{l}", w, tags=spec)
+            self._gen_spec_visible(state, c, l, emit)
+
+    def _gen_spec_visible(self, state, c, l, emit):
+        """The USL reaches its visibility point: issue the
+        validation/exposure, a *visible* read (lifecycle edge E/V -> C
+        begins here)."""
+        outcome = self._route(state, RequestKind.VALIDATE, c, l)
+        w = self._thaw(state)
+        viol = None
+        if outcome is DirOutcome.OWNER_FORWARD:
+            owner = state[2][l][0]
+            if state[0][owner][l] in "ME":
+                self._l1_apply(w, owner, l, L1Event.DEMOTE)
+            self._demote_owner(w, l)
+            self._add_sharer(w, l, c)
+        elif outcome is DirOutcome.L2_READ:
+            self._add_sharer(w, l, c)
+        elif outcome is DirOutcome.MEM_READ:
+            entry = state[3][c][l]
+            if entry == _SB_STALE:
+                viol = Violation(
+                    "fresh-validate",
+                    f"validation by core {c} of line {l} consumed a stale "
+                    "LLC-SB entry (a store performed after the speculative "
+                    "read and the purge never happened)",
+                )
+            w[1][l] = True
+            self._add_sharer(w, l, c)
+            self._purge_llc(w, l)
+        else:  # pragma: no cover
+            raise AssertionError(f"validation routed to {outcome}")
+        w[4][c] = ("valexp", l)
+        emit(f"spec_visible c{c} l{l} via {outcome.value}", w, viol=viol)
+
+    # --- background rules ---------------------------------------------
+
+    def _gen_deliver_inv(self, state, msg, emit):
+        dst, l, kind, origin = msg
+        w = self._thaw(state)
+        w[5].remove(msg)
+        if w[0][dst][l] != "I":
+            self._l1_apply(w, dst, l, L1Event.INVALIDATE)
+        if kind == "ack":
+            txn = w[4][origin]
+            if txn is not None and txn[0] == "store" and txn[1] == l:
+                # an ack beyond the recorded count (reachable only under
+                # l2_store_ack_undercount) is dropped, as the buggy
+                # counter would drop it
+                w[4][origin] = ("store", l, max(0, txn[2] - 1))
+            # else: the origin already performed (only reachable under
+            # the perform_before_final_ack mutation); the late ack is
+            # simply dropped, as the buggy protocol would.
+        emit(f"deliver_inv c{dst} l{l} {kind} from {origin}", w)
+
+    def _gen_l1_evict(self, state, c, l, emit):
+        was = state[0][c][l]
+        w = self._thaw(state)
+        self._l1_apply(w, c, l, L1Event.EVICT)
+        if self.mutation != "l1_evict_keeps_directory_entry":
+            self._remove_core(w, l, c)
+        if was == "M":
+            w[2][l][2] = True  # dirty write-back window opens
+        emit(f"l1_evict c{c} l{l} was {was}", w)
+
+    def _gen_l2_evict(self, state, l, emit):
+        w = self._thaw(state)
+        if self.mutation != "l2_evict_skips_recall":
+            for t in sorted(self._tracked(w, l)):
+                self._send_inv(w, t, l, "cln", -1)
+        w[2][l] = [-1, (), False]
+        w[1][l] = False
+        if len(w[5]) > self.max_inflight:
+            return
+        emit(f"l2_evict l{l}", w)
+
+    # ------------------------------------------------------------------
+    # invariants
+
+    def _live(self, state, c, l):
+        """A copy is *live* when no invalidation is in flight to it."""
+        return not any(dst == c and ml == l for (dst, ml, _k, _o) in state[5])
+
+    def check_invariants(self, state):
+        """State-level invariants; returns a Violation or None."""
+        l1, l2, dirs, _llc, txns, invs = state
+        for l in range(self.lines):
+            live_readable = [
+                c for c in range(self.cores)
+                if l1[c][l] != "I" and self._live(state, c, l)
+            ]
+            live_writable = [c for c in live_readable if l1[c][l] in "ME"]
+            # SWMR
+            if live_writable and len(live_readable) > 1:
+                return Violation(
+                    "swmr",
+                    f"line {l}: core {live_writable[0]} holds a live "
+                    f"{l1[live_writable[0]][l]} copy while cores "
+                    f"{[c for c in live_readable if c != live_writable[0]]} "
+                    "also hold live readable copies",
+                )
+            # inclusion (checked before directory agreement: when a
+            # dropped recall leaves both a live L1 copy and no L2 line,
+            # the root cause is the broken inclusion property)
+            if live_readable and not l2[l]:
+                return Violation(
+                    "inclusion",
+                    f"line {l}: cores {live_readable} hold live L1 copies "
+                    "but the line is not L2-resident",
+                )
+            owner, sharers, _wb = dirs[l]
+            tracked = set(sharers) | ({owner} if owner >= 0 else set())
+            # directory agreement, both directions
+            for c in live_readable:
+                if c not in tracked:
+                    return Violation(
+                        "dir-agreement",
+                        f"line {l}: core {c} holds a live {l1[c][l]} copy "
+                        "the directory does not track",
+                    )
+            store_in_flight = any(
+                txns[c] is not None
+                and txns[c][0] == "store"
+                and txns[c][1] == l
+                for c in range(self.cores)
+            )
+            for t in sorted(tracked):
+                if l1[t][l] != "I":
+                    continue
+                has_inv = any(
+                    dst == t and ml == l for (dst, ml, _k, _o) in invs
+                )
+                txn = txns[t]
+                has_txn = (
+                    txn is not None and txn[0] != "spec" and txn[1] == l
+                )
+                if store_in_flight:
+                    # a mid-window writer re-asserts the directory when
+                    # it performs (set_owner plus the sharer sweep), so
+                    # stale owner/sharer fields are legal while any
+                    # store for the line is outstanding
+                    continue
+                if not has_inv and not has_txn:
+                    return Violation(
+                        "dir-agreement",
+                        f"line {l}: directory tracks core {t} which holds "
+                        "nothing and has no transaction or invalidation "
+                        "in flight",
+                    )
+            if owner >= 0 and l1[owner][l] == "S":
+                return Violation(
+                    "dir-agreement",
+                    f"line {l}: directory owner {owner} holds the line in S",
+                )
+        # progress: every store's remaining acks must be deliverable
+        for c in range(self.cores):
+            txn = txns[c]
+            if txn is not None and txn[0] == "store":
+                _k, l, acks = txn
+                inflight = sum(
+                    1 for (_d, ml, kind, origin) in invs
+                    if ml == l and kind == "ack" and origin == c
+                )
+                if acks > inflight:
+                    return Violation(
+                        "progress",
+                        f"store by core {c} to line {l} waits for {acks} "
+                        f"ack(s) but only {inflight} invalidation(s) are in "
+                        "flight: the perform guard can never be satisfied",
+                    )
+        return None
+
+    @staticmethod
+    def _quiescent(state):
+        return all(t is None for t in state[4]) and not state[5]
+
+    @staticmethod
+    def _visible_projection(state, actor):
+        """Everything an observer other than ``actor`` could measure:
+        L1 states, L2 residency, directory metadata, and every *other*
+        core's LLC-SB."""
+        l1, l2, dirs, llc, _txns, _invs = state
+        masked = tuple(
+            row if c != actor else None for c, row in enumerate(llc)
+        )
+        return (l1, l2, dirs, masked)
+
+    @staticmethod
+    def _rule_actor(label):
+        for token in label.split():
+            if token.startswith("c") and token[1:].isdigit():
+                return int(token[1:])
+        return -1
+
+    # ------------------------------------------------------------------
+    # symmetry reduction
+
+    def canonicalize(self, state):
+        """Smallest state under all core/line renamings.  Cores and
+        lines are fully symmetric in the rule set, so the BFS only
+        needs one representative per orbit (up to ``cores! * lines!``
+        fewer states).  Counterexample traces stay valid because each
+        recorded label applies to the canonical parent; the replayer
+        re-canonicalizes after every step."""
+        l1, l2, dirs, llc, txns, invs = state
+        ncores, nlines = self.cores, self.lines
+        best = None
+        best_key = None
+        for p in self._core_perms:
+            for q in self._line_perms:
+                # staged lexicographic comparison: build the L1
+                # component first and bail out if it already loses --
+                # most candidates are eliminated without touching the
+                # rest of the state
+                l1n = [None] * ncores
+                for old in range(ncores):
+                    row = l1[old]
+                    nrow = [None] * nlines
+                    for ol in range(nlines):
+                        nrow[q[ol]] = row[ol]
+                    l1n[p[old]] = tuple(nrow)
+                l1t = tuple(l1n)
+                if best_key is not None and l1t > best_key[0]:
+                    continue
+                llcn = [None] * ncores
+                txnn = [None] * ncores
+                for old in range(ncores):
+                    lrow = llc[old]
+                    nlrow = [None] * nlines
+                    for ol in range(nlines):
+                        nlrow[q[ol]] = lrow[ol]
+                    llcn[p[old]] = tuple(nlrow)
+                    t = txns[old]
+                    if t is not None:
+                        if len(t) == 2:
+                            t = (t[0], q[t[1]])
+                        else:
+                            t = (t[0], q[t[1]], t[2])
+                    txnn[p[old]] = t
+                l2n = [None] * nlines
+                dirn = [None] * nlines
+                for ol in range(nlines):
+                    l2n[q[ol]] = l2[ol]
+                    owner, sharers, wb = dirs[ol]
+                    dirn[q[ol]] = (
+                        p[owner] if owner >= 0 else -1,
+                        tuple(sorted([p[s] for s in sharers])),
+                        wb,
+                    )
+                cand = (
+                    l1t,
+                    tuple(l2n),
+                    tuple(dirn),
+                    tuple(llcn),
+                    tuple(txnn),
+                    tuple(
+                        sorted(
+                            [
+                                (p[d], q[ml], k, p[og] if og >= 0 else -1)
+                                for (d, ml, k, og) in invs
+                            ]
+                        )
+                    ),
+                )
+                # None txn slots are not orderable against tuples, so
+                # compare via a key that maps them to ()
+                key = cand[:4] + (
+                    tuple(t if t is not None else () for t in txnn),
+                    cand[5],
+                )
+                if best is None or key < best_key:
+                    best, best_key = cand, key
+        return best
+
+    # ------------------------------------------------------------------
+    # search
+
+    def run(self, max_seconds=None):
+        """Breadth-first enumeration of the reachable space.  Stops at
+        the first violation (whose trace is then shortest-possible)."""
+        start = time.monotonic()
+        init = self.initial_state()
+        viol = self.check_invariants(init)
+        if viol is not None:
+            return self._result(1, 0, viol, start, complete=False)
+
+        index = {init: 0}
+        # hash-compacted dedup of raw (pre-canonicalization) states; a
+        # 64-bit collision could hide a path, with probability ~n^2/2^64
+        # (Murphi's hash-compaction tradeoff)
+        raw_seen = {hash(init)}
+        states = [init]
+        parents = [(-1, None)]
+        frontier = deque([0])
+        transitions = 0
+
+        while frontier:
+            if self.max_states and len(states) > self.max_states:
+                return self._result(len(states), transitions, None, start, complete=False)
+            if max_seconds is not None and time.monotonic() - start > max_seconds:
+                return self._result(len(states), transitions, None, start, complete=False)
+            idx = frontier.popleft()
+            st = states[idx]
+            succs = self.successors(st)
+            if not succs and not self._quiescent(st):
+                viol = Violation(
+                    "progress", "non-quiescent state has no successor (deadlock)"
+                )
+                viol.trace = self._trace(parents, states, idx)
+                return self._result(len(states), transitions, viol, start, complete=False)
+            for label, tags, ns, step_viol in succs:
+                transitions += 1
+                if step_viol is None and "spec" in tags:
+                    actor = self._rule_actor(label)
+                    before = self._visible_projection(st, actor)
+                    after = self._visible_projection(ns, actor)
+                    if before != after:
+                        step_viol = Violation(
+                            "invisibility",
+                            f"speculative rule '{label}' changed "
+                            "observer-visible state before the visibility "
+                            "point",
+                        )
+                if step_viol is not None:
+                    step_viol.trace = self._trace(parents, states, idx) + [label]
+                    return self._result(
+                        len(states), transitions, step_viol, start, complete=False
+                    )
+                h = hash(ns)
+                if h in raw_seen:
+                    continue
+                raw_seen.add(h)
+                ns = self.canonicalize(ns)
+                if ns in index:
+                    continue
+                viol = self.check_invariants(ns)
+                index[ns] = len(states)
+                states.append(ns)
+                parents.append((idx, label))
+                if viol is not None:
+                    viol.trace = self._trace(parents, states, len(states) - 1)
+                    return self._result(
+                        len(states), transitions, viol, start, complete=False
+                    )
+                frontier.append(len(states) - 1)
+        return self._result(len(states), transitions, None, start, complete=True)
+
+    def _result(self, nstates, ntrans, viol, start, complete):
+        return CheckResult(
+            self.cores,
+            self.lines,
+            self.mutation,
+            nstates,
+            ntrans,
+            viol,
+            time.monotonic() - start,
+            complete,
+        )
+
+    @staticmethod
+    def _trace(parents, states, idx):
+        labels = []
+        while idx > 0:
+            idx, label = parents[idx][0], parents[idx][1]
+            labels.append(label)
+        labels.reverse()
+        return labels
+
+    # ------------------------------------------------------------------
+    # trace replay support
+
+    def apply_label(self, state, label):
+        """Apply the successor named ``label`` to ``state``; used by the
+        counterexample replayer.  Returns ``(next_state,
+        step_violation)`` and raises KeyError when the rule is not
+        enabled (a corrupt or stale trace)."""
+        for got, tags, ns, viol in self.successors(state):
+            if got == label:
+                if viol is None and "spec" in tags:
+                    actor = self._rule_actor(label)
+                    if self._visible_projection(state, actor) != self._visible_projection(ns, actor):
+                        viol = Violation(
+                            "invisibility",
+                            f"speculative rule '{label}' changed "
+                            "observer-visible state before the visibility point",
+                        )
+                return ns, viol
+        raise KeyError(f"rule {label!r} is not enabled in this state")

@@ -1,0 +1,126 @@
+"""Registry of seeded single-edit protocol mutations.
+
+Each mutation is one deliberate bug planted in the abstract protocol
+(:mod:`repro.staticcheck.model` consults ``ModelChecker.mutation`` at
+the exact rule site the edit would land in the real code).  The model
+checker must catch every one of them with a counterexample trace; the
+traces are replayed through the simulation kernel as regression tests
+(tests/coherence/test_model_traces.py).
+
+``expected_property`` names the invariant the checker is expected to
+report.  A mutation being caught by a *different* (also valid)
+property is still a detection, but the expectation is asserted in
+tests so that a silent weakening of one invariant cannot hide behind
+another.
+"""
+
+from __future__ import annotations
+
+from .model import ModelChecker, MUTATION_NAMES
+
+
+class Mutation:
+    __slots__ = ("name", "description", "expected_property")
+
+    def __init__(self, name, description, expected_property):
+        self.name = name
+        self.description = description
+        self.expected_property = expected_property
+
+
+MUTATIONS = [
+    Mutation(
+        "spec_mem_fills_l1",
+        "a Spec-GetS memory read installs the line in the requester's L1",
+        "invisibility",
+    ),
+    Mutation(
+        "spec_mem_fills_l2",
+        "a Spec-GetS memory read fills the L2 bank",
+        "invisibility",
+    ),
+    Mutation(
+        "spec_mem_registers_sharer",
+        "a Spec-GetS memory read registers the requester in the directory",
+        "invisibility",
+    ),
+    Mutation(
+        "spec_l2_hit_registers_sharer",
+        "a Spec-GetS L2 hit adds the requester to the sharer list",
+        "invisibility",
+    ),
+    Mutation(
+        "spec_bounce_registers_sharer",
+        "a nacked Spec-GetS still registers the requester as a sharer",
+        "invisibility",
+    ),
+    Mutation(
+        "store_hit_treats_shared_writable",
+        "a store treats an S copy as writable and skips the upgrade",
+        "swmr",
+    ),
+    Mutation(
+        "fill_exclusive_despite_sharers",
+        "a read fill grants E even though other sharers are tracked",
+        "swmr",
+    ),
+    Mutation(
+        "owner_forward_skips_demote",
+        "a forwarded visible read leaves the owner's copy in M/E",
+        "swmr",
+    ),
+    Mutation(
+        "upgrade_drops_one_inv",
+        "the S->M upgrade drops the invalidation to the last sharer",
+        "swmr",
+    ),
+    Mutation(
+        "l2_store_ack_undercount",
+        "an L2-hit store's invalidation ack count ignores one sharer, so "
+        "the store can perform before that sharer's copy is dead",
+        "perform-acks",
+    ),
+    Mutation(
+        "perform_before_final_ack",
+        "a store performs while one invalidation ack is still outstanding",
+        "perform-acks",
+    ),
+    Mutation(
+        "perform_skips_sharer_reassert",
+        "a performing store does not re-invalidate sharers that appeared "
+        "during its window",
+        "swmr",
+    ),
+    Mutation(
+        "l1_evict_keeps_directory_entry",
+        "an L1 eviction never informs the directory",
+        "dir-agreement",
+    ),
+    Mutation(
+        "l2_evict_skips_recall",
+        "an L2 eviction drops the line without recalling the L1 copies",
+        "inclusion",
+    ),
+    Mutation(
+        "purge_llc_sb_disabled",
+        "visible accesses no longer purge matching LLC-SB entries "
+        "(a speculative L2 fill stays consumable after a store)",
+        "fresh-validate",
+    ),
+]
+
+assert {m.name for m in MUTATIONS} == set(MUTATION_NAMES)
+
+
+def check_mutation(name, cores=2, lines=1, max_seconds=120):
+    """Run the checker against one mutation; returns the CheckResult
+    (``result.ok`` False means the bug was caught, as it must be)."""
+    return ModelChecker(cores=cores, lines=lines, mutation=name).run(
+        max_seconds=max_seconds
+    )
+
+
+def check_all(cores=2, lines=1, max_seconds=120):
+    """Yield ``(Mutation, CheckResult)`` for every registered mutation."""
+    for mut in MUTATIONS:
+        yield mut, check_mutation(mut.name, cores, lines, max_seconds)

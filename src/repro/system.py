@@ -62,7 +62,7 @@ class RunResult:
 
     @property
     def ipc(self):
-        return self.instructions / max(self.cycles, 1)
+        return self.instructions / max(self.cycles, 1)  # reprolint: disable=float-cycles -- IPC is a reported metric; nothing cycle-affecting consumes this float
 
     @property
     def traffic_bytes(self):

@@ -60,9 +60,12 @@ class TestDirectory:
         directory = Directory(0)
         directory.add_sharer(0x1000, 1)
         directory.set_owner(0x1000, 2)
-        assert directory.sharers_other_than(0x1000, 1) == {2}
-        assert directory.sharers_other_than(0x1000, 2) == {1}
-        assert directory.sharers_other_than(0x1000, 3) == {1, 2}
+        # Sorted tuples: iteration order feeds invalidation-message order,
+        # which is cycle-affecting, so it must be deterministic.
+        assert directory.sharers_other_than(0x1000, 1) == (2,)
+        assert directory.sharers_other_than(0x1000, 2) == (1,)
+        assert directory.sharers_other_than(0x1000, 3) == (1, 2)
+        assert directory.sharers_other_than(0x2000, 0) == ()
 
     def test_writeback_window(self):
         directory = Directory(0)

@@ -1,0 +1,64 @@
+"""Bit-identical stats across interpreters with different hash seeds.
+
+The reprolint ``unordered-iteration`` rule exists because set iteration
+order follows PYTHONHASHSEED; this test is the dynamic proof that the
+simulator has no such dependence left.  A small Figure-4 cell (one SPEC
+app under IS-Spectre/TSO) runs in two *fresh interpreter processes*
+with different, explicit PYTHONHASHSEED values; every counter and the
+cycle count must match exactly — not approximately.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_CELL_SCRIPT = """
+import json, sys
+from repro.configs import ConsistencyModel, ProcessorConfig, Scheme
+from repro.runner import run_spec
+
+result = run_spec(
+    "mcf",
+    ProcessorConfig(scheme=Scheme.IS_SPECTRE, consistency=ConsistencyModel.TSO),
+    instructions=1500,
+    seed=7,
+)
+fingerprint = {
+    "cycles": result.cycles,
+    "instructions": result.instructions,
+    "traffic": result.traffic_breakdown,
+    "counters": dict(sorted(result.counters.as_dict().items())),
+}
+json.dump(fingerprint, sys.stdout, sort_keys=True)
+"""
+
+
+def _run_cell(hashseed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hashseed)
+    env["PYTHONPATH"] = _SRC
+    proc = subprocess.run(
+        [sys.executable, "-c", _CELL_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+@pytest.mark.slow
+def test_stats_identical_across_hash_seeds():
+    a = _run_cell(1)
+    b = _run_cell(424242)
+    assert a["cycles"] == b["cycles"]
+    assert a["counters"] == b["counters"]
+    assert a["traffic"] == b["traffic"]
+    assert a == b

@@ -1,0 +1,252 @@
+"""reprolint: rule firing, scope gating, and suppression accounting."""
+
+import json
+
+import pytest
+
+from repro.staticcheck.lint import (
+    ALL_RULES,
+    classify_scope,
+    lint_file,
+    run_lint,
+    rule_catalog,
+)
+from repro.staticcheck.lint.report import render_json, render_text
+
+
+def lint_source(source, path="src/repro/sim/fake.py"):
+    return lint_file(path, ALL_RULES, source=source)
+
+
+def rules_hit(source, path="src/repro/sim/fake.py"):
+    return {f.rule for f in lint_source(source, path)}
+
+
+class TestScopeClassification:
+    def test_sim_packages(self):
+        assert classify_scope("src/repro/coherence/hierarchy.py") == "sim"
+        assert classify_scope("src/repro/cpu/core.py") == "sim"
+        assert classify_scope("src/repro/system.py") == "sim"
+
+    def test_host_packages(self):
+        assert classify_scope("src/repro/experiments/engine.py") == "host"
+        assert classify_scope("src/repro/reliability/faults.py") == "host"
+        assert classify_scope("src/repro/staticcheck/model.py") == "host"
+
+    def test_pure_modules(self):
+        assert classify_scope("src/repro/coherence/protocol.py") == "pure"
+        assert classify_scope("src/repro/invisispec/lifecycle.py") == "pure"
+
+    def test_unknown_defaults_to_sim(self):
+        assert classify_scope("src/repro/newpkg/thing.py") == "sim"
+
+
+class TestWallClock:
+    def test_flags_time_calls_in_sim_scope(self):
+        src = "import time\ndef f():\n    return time.monotonic()\n"
+        assert "wallclock-in-sim" in rules_hit(src)
+
+    def test_allows_wall_clock_in_host_scope(self):
+        src = "import time\ndef f():\n    return time.monotonic()\n"
+        hits = rules_hit(src, path="src/repro/experiments/fake.py")
+        assert "wallclock-in-sim" not in hits
+
+
+class TestUnseededRandom:
+    def test_flags_global_rng(self):
+        assert "unseeded-random" in rules_hit(
+            "import random\nx = random.randint(0, 4)\n"
+        )
+
+    def test_flags_seedless_random_instance(self):
+        assert "unseeded-random" in rules_hit(
+            "import random\nrng = random.Random()\n"
+        )
+
+    def test_allows_seeded_random_instance(self):
+        assert "unseeded-random" not in rules_hit(
+            "import random\nrng = random.Random(42)\n"
+        )
+
+    def test_applies_in_host_scope_too(self):
+        hits = rules_hit(
+            "import random\nx = random.random()\n",
+            path="src/repro/experiments/fake.py",
+        )
+        assert "unseeded-random" in hits
+
+
+class TestUnorderedIteration:
+    def test_flags_for_over_set_call(self):
+        assert "unordered-iteration" in rules_hit(
+            "for x in set(items):\n    go(x)\n"
+        )
+
+    def test_flags_comprehension_over_set_literal(self):
+        assert "unordered-iteration" in rules_hit(
+            "out = [x for x in {1, 2, 3}]\n"
+        )
+
+    def test_flags_known_set_attribute(self):
+        assert "unordered-iteration" in rules_hit(
+            "for c in entry.sharers:\n    go(c)\n"
+        )
+
+    def test_flags_set_algebra(self):
+        assert "unordered-iteration" in rules_hit(
+            "for c in tracked - {core}:\n    go(c)\n"
+        )
+
+    def test_flags_list_of_set(self):
+        assert "unordered-iteration" in rules_hit("order = list(set(xs))\n")
+
+    def test_allows_sorted_walk(self):
+        assert "unordered-iteration" not in rules_hit(
+            "for c in sorted(entry.sharers):\n    go(c)\n"
+        )
+
+
+class TestFloatCycles:
+    def test_flags_cycle_division(self):
+        assert "float-cycles" in rules_hit("rate = hits / total_cycles\n")
+
+    def test_flags_float_conversion(self):
+        assert "float-cycles" in rules_hit("x = float(self.cycle)\n")
+
+    def test_allows_floor_division(self):
+        assert "float-cycles" not in rules_hit("n = cycles // epoch_len\n")
+
+    def test_allows_non_cycle_division(self):
+        assert "float-cycles" not in rules_hit("ratio = hits / misses\n")
+
+
+class TestPureProtocol:
+    PURE = "src/repro/coherence/protocol.py"
+
+    def test_flags_stats_reference(self):
+        hits = rules_hit("def f(counters):\n    counters.bump('x')\n",
+                         path=self.PURE)
+        assert "pure-protocol" in hits
+
+    def test_flags_stats_import(self):
+        hits = rules_hit("from ..stats.counters import Counters\n",
+                         path=self.PURE)
+        assert "pure-protocol" in hits
+
+    def test_rule_inactive_outside_pure_modules(self):
+        hits = rules_hit("def f(counters):\n    counters.bump('x')\n")
+        assert "pure-protocol" not in hits
+
+
+class TestKernelApiBypass:
+    def test_flags_direct_event_queue_scheduling(self):
+        assert "kernel-api-bypass" in rules_hit(
+            "self.kernel.events.schedule(5, cb)\n"
+        )
+
+    def test_kernel_module_is_exempt(self):
+        hits = rules_hit(
+            "self.events.schedule(5, cb)\n",
+            path="src/repro/sim/kernel.py",
+        )
+        assert "kernel-api-bypass" not in hits
+
+    def test_kernel_schedule_is_fine(self):
+        assert "kernel-api-bypass" not in rules_hit(
+            "self.kernel.schedule(5, cb)\n"
+        )
+
+
+class TestSuppressions:
+    def test_justified_suppression_silences_finding(self):
+        src = (
+            "for x in set(items):  "
+            "# reprolint: disable=unordered-iteration -- order irrelevant, "
+            "results are summed\n"
+            "    total += x\n"
+        )
+        assert rules_hit(src) == set()
+
+    def test_suppression_without_justification_is_reported(self):
+        src = (
+            "for x in set(items):  # reprolint: disable=unordered-iteration\n"
+            "    total += x\n"
+        )
+        hits = rules_hit(src)
+        assert "bad-suppression" in hits
+        # and the underlying finding is NOT silenced
+        assert "unordered-iteration" in hits
+
+    def test_unused_suppression_is_reported(self):
+        src = (
+            "x = 1  # reprolint: disable=float-cycles -- stale waiver\n"
+        )
+        assert "unused-suppression" in rules_hit(src)
+
+    def test_suppression_only_covers_named_rule(self):
+        src = (
+            "for x in set(items):  "
+            "# reprolint: disable=float-cycles -- wrong rule name\n"
+            "    total += x\n"
+        )
+        hits = rules_hit(src)
+        assert "unordered-iteration" in hits
+
+
+class TestReportersAndTree:
+    def test_repo_tree_is_clean(self):
+        findings, nfiles = run_lint(["src/repro"])
+        assert nfiles > 80
+        assert findings == [], [repr(f) for f in findings]
+
+    def test_syntax_error_is_a_finding(self):
+        findings = lint_source("def broken(:\n")
+        assert [f.rule for f in findings] == ["syntax-error"]
+
+    def test_json_reporter_round_trips(self):
+        findings = lint_source("x = hits / total_cycles\n")
+        payload = json.loads(render_json(findings, 1))
+        assert payload["count"] == len(findings) == 1
+        assert payload["findings"][0]["rule"] == "float-cycles"
+
+    def test_text_reporter_mentions_location(self):
+        findings = lint_source("x = hits / total_cycles\n")
+        text = render_text(findings, 1)
+        assert "float-cycles" in text
+        assert ":1:" in text
+
+    def test_rule_catalog_is_complete(self):
+        catalog = rule_catalog()
+        assert len(catalog) == len(ALL_RULES) >= 6
+        for description, scopes in catalog.values():
+            assert description
+            assert scopes
+
+
+class TestCLI:
+    def test_lint_cli_exit_codes(self, tmp_path, capsys):
+        from repro.staticcheck.__main__ import main
+
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        dirty = tmp_path / "repro" / "sim" / "dirty.py"
+        dirty.parent.mkdir(parents=True)
+        dirty.write_text("import time\nt = time.time()\n")
+        assert main(["lint", str(dirty)]) == 1
+        capsys.readouterr()
+
+    def test_model_cli_json(self, capsys):
+        from repro.staticcheck.__main__ import main
+
+        assert main(["model", "--cores", "2", "--lines", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] and payload["complete"]
+        assert payload["states"] > 1_000
+
+    def test_model_cli_single_mutation(self, capsys):
+        from repro.staticcheck.__main__ import main
+
+        assert main(["model", "--mutation", "upgrade_drops_one_inv"]) == 0
+        out = capsys.readouterr().out
+        assert "caught" in out
