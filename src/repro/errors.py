@@ -49,6 +49,14 @@ class DeadlockError(SimulationError):
         self.cycle = cycle
         self.detail = detail
 
+    def __reduce__(self):
+        # ``args`` holds the formatted message, not the constructor
+        # signature, so the default exception pickling would re-call
+        # ``__init__(message)`` and crash on the missing ``detail``.  The
+        # reliability supervisor ships errors across a process pipe, so
+        # every class in this hierarchy must round-trip.
+        return (type(self), (self.cycle, self.detail))
+
 
 class SimTimeoutError(DeadlockError, TransientError):
     """A cycle or wall-clock budget elapsed before the run finished.
@@ -71,6 +79,30 @@ class SimTimeoutError(DeadlockError, TransientError):
 
 class FaultInjectionError(SimulationError, TransientError):
     """An injected fault made the run unusable (reliability testing)."""
+
+
+class WorkerCrashError(TransientError):
+    """A sweep worker process died while running a cell.
+
+    Raised (always supervisor-side — the worker is gone) when a worker is
+    killed by a signal, exits non-zero, misses its heartbeat deadline, or
+    exceeds the RSS ceiling.  Transient: the cell is re-dispatched with a
+    bumped seed, and only a cell that kills its worker twice is quarantined
+    (see :mod:`repro.reliability.supervisor`).
+    """
+
+    def __init__(self, kind, detail, worker_id=None, cell_id=None):
+        super().__init__(f"worker crash ({kind}): {detail}")
+        self.kind = kind
+        self.detail = detail
+        self.worker_id = worker_id
+        self.cell_id = cell_id
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.kind, self.detail, self.worker_id, self.cell_id),
+        )
 
 
 class SanitizerError(SimulationError):
@@ -114,6 +146,16 @@ class InvariantViolation(SanitizerError):
         self.line_addr = line_addr
         self.event = event
         self.trace = tuple(trace)
+
+    def __reduce__(self):
+        # Reconstruct from the raw reason plus context fields; the default
+        # exception pickling would rebuild from the already-formatted
+        # message and drop every attribute (see DeadlockError.__reduce__).
+        return (
+            type(self),
+            (self.reason, self.cycle, self.core_id, self.line_addr,
+             self.event, self.trace),
+        )
 
     def to_dict(self):
         """JSON-serializable record for reports and run journals."""

@@ -19,6 +19,9 @@ Reliability (see ``docs/RELIABILITY.md``)::
     python -m repro.experiments figure4 --quick \
         --fault mshr.stuck:nth=3 --fault-cells 'spec:mcf:IS-Sp:*'
 
+    # fan the sweep out over 4 supervised worker processes
+    python -m repro.experiments figure4 --quick --jobs 4 --max-rss 2G
+
 The process exits non-zero only when the number of failed cells exceeds
 ``--max-failures`` (default 0: any failure that survives retries fails the
 invocation, after the full experiment has still been rendered).
@@ -31,12 +34,29 @@ import os
 import sys
 
 from ..errors import ConfigError
-from ..reliability import FaultSchedule, RetryPolicy, RunEngine, RunJournal
+from ..reliability import (
+    FaultSchedule,
+    RetryPolicy,
+    RunEngine,
+    RunJournal,
+    Supervisor,
+)
 from . import ALL_EXPERIMENTS
 
 #: Generous per-cell cycle budget: an order of magnitude above the slowest
 #: legitimate full-suite cell, so only runaway runs and injected drops trip.
 DEFAULT_MAX_CYCLES = 50_000_000
+
+_SIZE_SUFFIXES = {"K": 2**10, "M": 2**20, "G": 2**30}
+
+
+def parse_size(text):
+    """``512M`` / ``2G`` / ``1048576`` -> bytes."""
+    text = text.strip()
+    suffix = text[-1:].upper()
+    if suffix in _SIZE_SUFFIXES:
+        return int(float(text[:-1]) * _SIZE_SUFFIXES[suffix])
+    return int(text)
 
 
 def build_engine(args, experiment, schedule):
@@ -47,6 +67,13 @@ def build_engine(args, experiment, schedule):
             os.path.join(args.journal_dir, f"{experiment}.json"),
             experiment=experiment,
         )
+    supervisor = None
+    if args.jobs > 1:
+        supervisor = Supervisor(
+            jobs=args.jobs,
+            max_rss=args.max_rss,
+            heartbeat_timeout=args.heartbeat,
+        )
     return RunEngine(
         journal=journal,
         policy=RetryPolicy(max_attempts=args.retries + 1),
@@ -56,6 +83,7 @@ def build_engine(args, experiment, schedule):
         fault_schedule=schedule,
         fault_cells=args.fault_cells,
         failure_budget=args.max_failures,
+        supervisor=supervisor,
     )
 
 
@@ -170,6 +198,33 @@ def main(argv=None):
         help="RNG seed for probabilistic fault specs",
     )
     reliability.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run cells on N crash-isolated worker processes under the "
+        "sweep supervisor (default: 1 = in-process serial); results, "
+        "journals and figures are identical either way",
+    )
+    reliability.add_argument(
+        "--max-rss",
+        type=parse_size,
+        default=None,
+        metavar="BYTES",
+        help="per-worker memory ceiling (suffixes K/M/G), enforced via "
+        "RLIMIT_AS in the worker and RSS polling in the supervisor; "
+        "only meaningful with --jobs > 1",
+    )
+    reliability.add_argument(
+        "--heartbeat",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="worker liveness deadline: a busy worker that reports no "
+        "simulated progress for this long is killed and its cell "
+        "retried (default: 60)",
+    )
+    reliability.add_argument(
         "--sanitize",
         nargs="?",
         const="strict",
@@ -217,7 +272,19 @@ def main(argv=None):
         for optional in ("apps", "include_rc", "instructions", "out", "sanitize"):
             if optional in call_kwargs and optional not in supported:
                 del call_kwargs[optional]
-        result = runner(**call_kwargs)
+        try:
+            result = runner(**call_kwargs)
+        except KeyboardInterrupt:
+            # A supervised parallel sweep drained on SIGINT/SIGTERM (or the
+            # user interrupted a serial one).  Completed cells are already
+            # journaled; resume from there.
+            done = len(engine.outcomes) if engine is not None else 0
+            print(
+                f"\n[reliability] interrupted: {done} cell(s) journaled; "
+                f"re-run with --resume to continue",
+                file=sys.stderr,
+            )
+            return 130
         print(result if isinstance(result, str) else result.text)
         if engine is not None and engine.failures:
             total_failures += len(engine.failures)
@@ -226,8 +293,11 @@ def main(argv=None):
                 f"(rendered as gaps):"
             )
             for outcome in engine.failures:
+                label = (
+                    " [quarantined]" if outcome.status == "poisoned" else ""
+                )
                 print(
-                    f"  {outcome.cell_id}: {outcome.error_class}: "
+                    f"  {outcome.cell_id}{label}: {outcome.error_class}: "
                     f"{outcome.error_message}"
                 )
         print()

@@ -16,7 +16,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..configs import ALL_SCHEMES, ConsistencyModel, ProcessorConfig, Scheme
-from ..reliability import CellFailure, cell_id_for, is_ok
+from ..reliability import CellSpec, is_ok
 from ..runner import run_parsec, run_spec
 from ..stats.report import format_grouped_bars, format_table
 from ..workloads import parsec_names, spec_names
@@ -144,33 +144,42 @@ def sweep(
     violation report in the journal and fails the cell.
     """
     runner = run_spec if suite == "spec" else run_parsec
-    results = {}
-    for app in apps:
-        per_scheme = {}
-        for scheme in schemes:
-            config = ProcessorConfig(scheme=scheme, consistency=consistency)
-            kwargs = {} if instructions is None else {"instructions": instructions}
-            if sanitize is not None:
-                kwargs["sanitize"] = sanitize
-            if engine is None:
-                per_scheme[scheme] = runner(app, config, seed=seed, **kwargs)
-                continue
-            cell_id = cell_id_for(suite, app, scheme, consistency, seed)
-
-            def cell_fn(
-                seed, max_cycles, watchdog, faults,
-                _app=app, _config=config, _kwargs=kwargs,
-            ):
-                return runner(
-                    _app, _config, seed=seed, max_cycles=max_cycles,
-                    watchdog=watchdog, faults=faults, **_kwargs,
+    if engine is None:
+        results = {}
+        for app in apps:
+            per_scheme = {}
+            for scheme in schemes:
+                config = ProcessorConfig(
+                    scheme=scheme, consistency=consistency
                 )
+                kwargs = (
+                    {} if instructions is None
+                    else {"instructions": instructions}
+                )
+                if sanitize is not None:
+                    kwargs["sanitize"] = sanitize
+                per_scheme[scheme] = runner(app, config, seed=seed, **kwargs)
+            results[app] = per_scheme
+        return results
 
-            outcome = engine.run_cell(cell_id, cell_fn, base_seed=seed)
-            per_scheme[scheme] = (
-                outcome.result if outcome.ok else outcome.failure()
-            )
-        results[app] = per_scheme
+    # Engine path: describe the whole sweep as pickle-safe CellSpecs and
+    # dispatch the batch in one call, so ``--jobs N`` can fan the cells out
+    # over the supervisor's worker pool.  Cell order (and thus dispatch
+    # order, seeds, and journal contents) is identical to the serial loop.
+    specs = [
+        CellSpec(
+            suite, app, scheme, consistency,
+            seed=seed, instructions=instructions, sanitize=sanitize,
+        )
+        for app in apps
+        for scheme in schemes
+    ]
+    outcomes = engine.run_specs(specs)
+    results = {app: {} for app in apps}
+    for spec, outcome in zip(specs, outcomes):
+        results[spec.app][spec.scheme] = (
+            outcome.result if outcome.ok else outcome.failure()
+        )
     return results
 
 

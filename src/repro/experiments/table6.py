@@ -12,7 +12,7 @@ Per application (and suite average), for IS-Spectre and IS-Future:
 from __future__ import annotations
 
 from ..configs import ConsistencyModel, ProcessorConfig, Scheme
-from ..reliability import cell_id_for, is_ok
+from ..reliability import CellSpec, is_ok
 from ..runner import run_parsec, run_spec
 from .common import GAP, ExperimentResult, arithmetic_mean, default_apps
 
@@ -97,33 +97,42 @@ def run(
     """
     rows = []
     per_app = {}
+    spec_list = default_apps("spec", spec_apps, quick)
+    parsec_list = default_apps("parsec", parsec_apps, quick)
 
-    def run_cell(suite, app, config, runner):
-        kwargs = {} if instructions is None else {"instructions": instructions}
-        if engine is None:
-            return runner(app, config, seed=seed, **kwargs)
-        cell_id = cell_id_for(
-            suite, app, config.scheme, config.consistency, seed
-        )
-
-        def cell_fn(seed, max_cycles, watchdog, faults):
-            return runner(
-                app, config, seed=seed, max_cycles=max_cycles,
-                watchdog=watchdog, faults=faults, **kwargs,
+    # All cells of the table, batched through the engine in one call so
+    # ``--jobs N`` can fan them out over the supervisor's worker pool.
+    results = {}
+    if engine is not None:
+        cells = [
+            CellSpec(
+                suite, app, scheme, ConsistencyModel.TSO,
+                seed=seed, instructions=instructions,
+            )
+            for suite, apps in (("spec", spec_list), ("parsec", parsec_list))
+            for app in apps
+            for scheme in (Scheme.IS_SPECTRE, Scheme.IS_FUTURE)
+        ]
+        for spec, outcome in zip(cells, engine.run_specs(cells)):
+            results[(spec.suite, spec.app, spec.scheme)] = (
+                outcome.result if outcome.ok else outcome.failure()
             )
 
-        outcome = engine.run_cell(cell_id, cell_fn, base_seed=seed)
-        return outcome.result if outcome.ok else outcome.failure()
+    def run_cell(suite, app, scheme, runner):
+        if engine is not None:
+            return results[(suite, app, scheme)]
+        config = ProcessorConfig(
+            scheme=scheme, consistency=ConsistencyModel.TSO
+        )
+        kwargs = {} if instructions is None else {"instructions": instructions}
+        return runner(app, config, seed=seed, **kwargs)
 
     def add_rows(suite, apps, runner):
         stats = {}
         for app in apps:
             app_stats = {}
             for scheme in (Scheme.IS_SPECTRE, Scheme.IS_FUTURE):
-                config = ProcessorConfig(
-                    scheme=scheme, consistency=ConsistencyModel.TSO
-                )
-                result = run_cell(suite.lower(), app, config, runner)
+                result = run_cell(suite.lower(), app, scheme, runner)
                 app_stats[scheme] = (
                     characterize(result) if is_ok(result) else None
                 )
@@ -156,8 +165,8 @@ def run(
             )
         per_app.update(stats)
 
-    add_rows("SPEC", default_apps("spec", spec_apps, quick), run_spec)
-    add_rows("PARSEC", default_apps("parsec", parsec_apps, quick), run_parsec)
+    add_rows("SPEC", spec_list, run_spec)
+    add_rows("PARSEC", parsec_list, run_parsec)
 
     headers = ["app (scheme)"] + [label for _, label in _COLUMNS]
     notes = (

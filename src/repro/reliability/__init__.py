@@ -9,10 +9,15 @@ Three pieces:
   cell outcomes so interrupted sweeps resume instead of restarting;
 * :mod:`~repro.reliability.faults` — seeded, deterministic fault injection
   into the NoC, DRAM, coherence and kernel layers, used to exercise the
-  simulator's failure detectors and this layer's recovery paths.
+  simulator's failure detectors and this layer's recovery paths;
+* :mod:`~repro.reliability.supervisor` / :mod:`~repro.reliability.worker`
+  — the :class:`Supervisor` fans a batch of :class:`CellSpec` cells out
+  over a crash-isolated worker pool (``--jobs``): heartbeat liveness,
+  RSS ceilings, quarantine of cells that kill their workers, and a
+  graceful SIGINT/SIGTERM drain, all feeding the same journal.
 
 See ``docs/RELIABILITY.md`` for the journal format, resume semantics,
-retry policy, and the fault-schedule language.
+retry policy, the fault-schedule language, and parallel execution.
 """
 
 from .engine import (
@@ -34,21 +39,29 @@ from .faults import (
     FaultSpec,
 )
 from .journal import RunJournal
+from .supervisor import QUARANTINE_CRASHES, Supervisor
+from .worker import AttemptRequest, AttemptResult, CellSpec, run_attempt
 
 __all__ = [
+    "AttemptRequest",
+    "AttemptResult",
     "CellFailure",
     "CellOutcome",
     "CellResult",
+    "CellSpec",
     "DROPPED_MESSAGE_DELAY",
     "FAULT_SITES",
     "FaultInjector",
     "FaultSchedule",
     "FaultSpec",
+    "QUARANTINE_CRASHES",
     "RetryPolicy",
     "RunEngine",
     "RunJournal",
+    "Supervisor",
     "WallClockGuard",
     "capture_metrics",
     "cell_id_for",
     "is_ok",
+    "run_attempt",
 ]

@@ -172,7 +172,7 @@ class CellOutcome:
 
     __slots__ = (
         "cell_id",
-        "status",  # 'ok' | 'cached' | 'failed'
+        "status",  # 'ok' | 'cached' | 'failed' | 'poisoned' | 'skipped'
         "result",
         "error_class",
         "error_message",
@@ -214,6 +214,7 @@ class RunEngine:
         fault_schedule=None,
         fault_cells="*",
         failure_budget=0,
+        supervisor=None,
     ):
         self.journal = journal
         self.policy = policy or RetryPolicy()
@@ -223,6 +224,10 @@ class RunEngine:
         self.fault_schedule = fault_schedule
         self.fault_cells = fault_cells
         self.failure_budget = failure_budget
+        #: Optional :class:`~repro.reliability.supervisor.Supervisor`;
+        #: when set (``--jobs`` > 1), :meth:`run_specs` dispatches cells to
+        #: its worker pool instead of running them in-process.
+        self.supervisor = supervisor
         self.outcomes = []
 
     # ------------------------------------------------------------ accounting
@@ -241,12 +246,40 @@ class RunEngine:
 
     # ------------------------------------------------------------- execution
 
-    def _faults_for(self, cell_id):
+    def schedule_for(self, cell_id):
+        """The fault schedule applying to ``cell_id``, or None.
+
+        Used directly by the parallel supervisor, which ships the (shared,
+        stateless) schedule to a worker and lets the worker build its own
+        per-attempt injector.
+        """
         if not self.fault_schedule:
             return None
         if not fnmatch.fnmatch(cell_id, self.fault_cells):
             return None
-        return self.fault_schedule.injector()
+        return self.fault_schedule
+
+    def _faults_for(self, cell_id):
+        schedule = self.schedule_for(cell_id)
+        return schedule.injector() if schedule is not None else None
+
+    def prior_attempts(self, cell_id):
+        """Journaled attempt count to continue the seed-bump sequence from.
+
+        A cell whose journal record is not ``ok`` (failed, poisoned) has
+        already consumed attempts — possibly in a previous session or in a
+        worker that crashed — so new attempts must keep walking the
+        deterministic ``seed + k * seed_step`` sequence instead of
+        restarting at attempt 0 and re-running seeds that already failed.
+        Completed cells reset to 0: a deliberate fresh re-run (no
+        ``--resume``) should measure the requested seed, not a bumped one.
+        """
+        if self.journal is None:
+            return 0
+        record = self.journal.get(cell_id)
+        if record is None or record.get("status") == "ok":
+            return 0
+        return len(record.get("attempts", ()))
 
     def run_cell(self, cell_id, fn, base_seed=0):
         """Execute one cell; ``fn(seed, max_cycles, watchdog, faults)``.
@@ -270,9 +303,12 @@ class RunEngine:
 
         attempts = []
         outcome = None
+        attempt_base = self.prior_attempts(cell_id)
         for attempt in range(self.policy.max_attempts):
-            seed = self.policy.seed_for(base_seed, attempt)
-            max_cycles = self.policy.budget_for(self.max_cycles, attempt)
+            seed = self.policy.seed_for(base_seed, attempt_base + attempt)
+            max_cycles = self.policy.budget_for(
+                self.max_cycles, attempt_base + attempt
+            )
             watchdog = (
                 WallClockGuard(self.wall_clock_s)
                 if self.wall_clock_s is not None
@@ -374,6 +410,26 @@ class RunEngine:
 
         self.outcomes.append(outcome)
         return outcome
+
+    def run_spec_cell(self, spec):
+        """Execute one :class:`~repro.reliability.worker.CellSpec` in-process."""
+        return self.run_cell(spec.cell_id, spec.run, base_seed=spec.seed)
+
+    def run_specs(self, specs):
+        """Execute a batch of cell specs; returns outcomes in spec order.
+
+        This is the single entry point the experiment modules use for
+        whole-sweep dispatch: with a :attr:`supervisor` attached the batch
+        fans out over its worker pool (crash-isolated, supervised — see
+        :mod:`repro.reliability.supervisor`), otherwise each cell runs
+        serially in-process exactly as :meth:`run_cell` always has.
+        Either way the returned outcome order, the journal contents, and
+        the per-cell stats are identical.
+        """
+        specs = list(specs)
+        if self.supervisor is not None and self.supervisor.jobs > 1:
+            return self.supervisor.run_specs(self, specs)
+        return [self.run_spec_cell(spec) for spec in specs]
 
 
 def cell_id_for(suite, app, scheme, consistency, seed):

@@ -27,6 +27,11 @@ Site                   Effect when triggered
                        runtime sanitizer (:mod:`repro.sanitizer`) reports;
                        without it the run completes with wrong behavior.
 ``kernel.event_drop``  A scheduled kernel event is silently lost.
+``worker.kill``        A parallel-sweep worker SIGKILLs itself from its
+                       heartbeat hook — the cross-process analogue of a
+                       segfault/OOM-kill mid-cell.  Only consulted inside
+                       pool workers (``--jobs`` > 1); each heartbeat
+                       period counts as one operation for ``nth``.
 =====================  =====================================================
 
 Triggers are counted per site: ``FaultSpec(site, nth=5)`` fires on the 5th
@@ -59,6 +64,7 @@ FAULT_SITES = (
     "inv.ack_drop",
     "inv.drop",
     "kernel.event_drop",
+    "worker.kill",
 )
 
 #: Default extra-delay cycles per site when a spec does not set ``extra``.

@@ -34,29 +34,70 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 
 JOURNAL_VERSION = 1
 
 
 class RunJournal:
-    """Crash-safe per-experiment record of cell outcomes."""
+    """Crash-safe per-experiment record of cell outcomes.
+
+    Durability against ``kill -9`` mid-write: the journal is rewritten to a
+    temp file which is fsync'd *before* the atomic rename, the previous
+    good journal is kept as ``<path>.bak``, and a truncated or corrupt
+    main file on load falls back to the backup (or an empty journal) with
+    a warning instead of crashing ``--resume``.
+    """
 
     def __init__(self, path, experiment=""):
         self.path = os.fspath(path)
+        self.bak_path = self.path + ".bak"
         self.experiment = experiment
         self._cells = {}
+        #: Set when the main file was unreadable: "bak" if the backup was
+        #: used, "empty" if both copies were lost.
+        self.recovered_from = None
         self._load()
 
-    def _load(self):
-        if not os.path.exists(self.path):
-            return
-        with open(self.path) as handle:
+    def _read(self, path):
+        with open(path) as handle:
             data = json.load(handle)
-        self.experiment = data.get("experiment", self.experiment)
-        self._cells = dict(data.get("cells", {}))
+        if not isinstance(data, dict) or not isinstance(
+            data.get("cells", {}), dict
+        ):
+            raise ValueError(f"journal {path} has no cells mapping")
+        return data
+
+    def _load(self):
+        for path, origin in ((self.path, None), (self.bak_path, "bak")):
+            if not os.path.exists(path):
+                continue
+            try:
+                data = self._read(path)
+            except (ValueError, OSError) as error:
+                warnings.warn(
+                    f"run journal {path} is unreadable ({error}); "
+                    f"falling back",
+                    stacklevel=3,
+                )
+                continue
+            self.experiment = data.get("experiment", self.experiment)
+            self._cells = dict(data.get("cells", {}))
+            self.recovered_from = origin
+            if origin is not None:
+                warnings.warn(
+                    f"recovered run journal from backup {path}",
+                    stacklevel=3,
+                )
+            return
+        if os.path.exists(self.path):
+            # Both copies existed but neither parsed: start empty rather
+            # than refuse to resume; completed work is lost but the sweep
+            # can re-run it.
+            self.recovered_from = "empty"
 
     def save(self):
-        """Atomically rewrite the journal (write temp + rename)."""
+        """Atomically rewrite the journal (write temp + fsync + rename)."""
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -68,7 +109,25 @@ class RunJournal:
         tmp_path = self.path + ".tmp"
         with open(tmp_path, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # Rotate the last good journal to .bak before the rename: a crash
+        # between the two replaces leaves either (old main, no bak-update)
+        # or (no main, good bak) — _load recovers from both.
+        if os.path.exists(self.path):
+            os.replace(self.path, self.bak_path)
         os.replace(tmp_path, self.path)
+        if directory:
+            try:
+                dir_fd = os.open(directory, os.O_RDONLY)
+            except OSError:
+                return
+            try:
+                os.fsync(dir_fd)
+            except OSError:
+                pass
+            finally:
+                os.close(dir_fd)
 
     # ------------------------------------------------------------- records
 

@@ -56,6 +56,7 @@ def run_spec(
     pretrain_ops=DEFAULT_PRETRAIN_OPS,
     max_cycles=None,
     watchdog=None,
+    heartbeat=None,
     faults=None,
     sanitize=None,
 ):
@@ -87,6 +88,7 @@ def run_spec(
         seed=seed,
         faults=faults,
         watchdog=watchdog,
+        heartbeat=heartbeat,
         sanitizer=sanitize,
     )
     if pretrain_ops:
@@ -104,6 +106,7 @@ def run_parsec(
     pretrain_ops=DEFAULT_PRETRAIN_OPS,
     max_cycles=None,
     watchdog=None,
+    heartbeat=None,
     faults=None,
     sanitize=None,
 ):
@@ -123,6 +126,7 @@ def run_parsec(
         seed=seed,
         faults=faults,
         watchdog=watchdog,
+        heartbeat=heartbeat,
         sanitizer=sanitize,
     )
     if pretrain_ops:

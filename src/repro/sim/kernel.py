@@ -16,6 +16,11 @@ Two optional hooks support the :mod:`repro.reliability` layer:
   every :data:`SimKernel.WATCHDOG_PERIOD` cycles of simulated time; it may
   raise (typically :class:`~repro.errors.SimTimeoutError`) to abort a run
   that exceeded a wall-clock budget.
+* ``kernel.heartbeat`` — a callable invoked with the current cycle on the
+  same period, *before* the watchdog.  It must be a pure observer (never
+  raise, never touch simulated state); the parallel sweep supervisor uses
+  it to stamp worker liveness, so a worker that stops making simulated
+  progress stops heartbeating and gets hard-killed by its supervisor.
 * ``kernel.faults`` — a :class:`~repro.reliability.faults.FaultInjector`;
   when set, each ``schedule``/``schedule_at`` call consults the
   ``kernel.event_drop`` fault site, and a triggered fault silently loses
@@ -44,6 +49,7 @@ class SimKernel:
         self.events = EventQueue()
         self._components = []
         self.watchdog = None
+        self.heartbeat = None
         self.faults = None
         #: Optional runtime sanitizer (:mod:`repro.sanitizer`); receives
         #: ``on_cycle`` after each cycle's events fire and ``on_quiesce``
@@ -95,11 +101,18 @@ class SimKernel:
         """
         stall_cycles = 0
         next_watchdog = (
-            self.cycle + self.WATCHDOG_PERIOD if self.watchdog is not None else None
+            self.cycle + self.WATCHDOG_PERIOD
+            if self.watchdog is not None or self.heartbeat is not None
+            else None
         )
         while True:
             if next_watchdog is not None and self.cycle >= next_watchdog:
-                self.watchdog(self.cycle)
+                # Heartbeat first: a tripping watchdog must not suppress
+                # the liveness pulse its supervisor is waiting on.
+                if self.heartbeat is not None:
+                    self.heartbeat(self.cycle)
+                if self.watchdog is not None:
+                    self.watchdog(self.cycle)
                 next_watchdog = self.cycle + self.WATCHDOG_PERIOD
 
             self.events.run_at(self.cycle)

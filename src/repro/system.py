@@ -100,6 +100,7 @@ class System:
         tracelog=None,
         faults=None,
         watchdog=None,
+        heartbeat=None,
         sanitizer=None,
     ):
         if not isinstance(params, SystemParams):
@@ -121,6 +122,8 @@ class System:
             self.kernel.faults = faults
         if watchdog is not None:
             self.kernel.watchdog = watchdog
+        if heartbeat is not None:
+            self.kernel.heartbeat = heartbeat
         self.counters = Counters()
         self.space = AddressSpace(
             line_bytes=params.line_bytes, page_bytes=params.tlb.page_bytes

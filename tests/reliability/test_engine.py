@@ -245,10 +245,47 @@ class TestJournalAndResume:
 
         outcome = engine.run_cell("t:bad", fn)
         assert outcome.status == "ok"
-        assert calls == [0]
+        # The journaled failure already consumed attempt 0, so the resumed
+        # attempt continues the seed-bump sequence instead of re-running
+        # the seed that failed.
+        assert calls == [DEFAULT_SEED_STEP]
         record = RunJournal(path).get("t:bad")
         assert record["status"] == "ok"
         assert [a["status"] for a in record["attempts"]] == ["failed", "ok"]
+
+    def test_resume_continues_seed_sequence_across_sessions(self, tmp_path):
+        # Regression for cross-session attempt accounting: a cell that
+        # failed twice in a previous session must resume at attempt 2
+        # (seed + 2 * step, budget * growth**2), not restart at attempt 0.
+        path = tmp_path / "j.json"
+        journal = RunJournal(path, experiment="t")
+        journal.record(
+            "t:bad",
+            {"status": "failed", "error_class": "SimTimeoutError",
+             "attempts": [{"status": "failed", "seed": 4},
+                          {"status": "failed", "seed": 4 + DEFAULT_SEED_STEP}]},
+        )
+        engine = RunEngine(
+            journal=RunJournal(path), resume=True, max_cycles=10_000,
+            policy=RetryPolicy(max_attempts=2),
+        )
+        seen = []
+
+        def fn(seed, max_cycles, watchdog, faults):
+            seen.append((seed, max_cycles))
+            return run_spec(
+                "hmmer", ProcessorConfig(scheme=Scheme.BASE),
+                instructions=300, seed=seed,
+            )
+
+        outcome = engine.run_cell("t:bad", fn, base_seed=4)
+        assert outcome.status == "ok"
+        assert seen == [(4 + 2 * DEFAULT_SEED_STEP, 40_000)]
+        # A completed cell resets the offset: re-running it fresh (without
+        # --resume) measures the requested seed again.
+        fresh = RunEngine(journal=RunJournal(path))
+        fresh.run_cell("t:bad", fn, base_seed=4)
+        assert seen[-1] == (4, None)
 
     def test_cell_id_format(self):
         cell = cell_id_for(

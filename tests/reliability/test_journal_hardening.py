@@ -1,0 +1,88 @@
+"""Journal durability: fsync'd writes, .bak rotation, corrupt-file recovery.
+
+A supervisor (or the box under it) can die mid-write; ``--resume`` must
+never crash on what it finds afterwards.  Each test reconstructs one of
+the on-disk states a ``kill -9`` can leave behind.
+"""
+
+import json
+
+import pytest
+
+from repro.reliability import RunJournal
+
+
+def _record(journal, cell, status="ok"):
+    journal.record(cell, {"status": status, "attempts": [{"status": status}]})
+
+
+class TestBackupRotation:
+    def test_bak_holds_previous_good_journal(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = RunJournal(path, experiment="t")
+        _record(journal, "c1")
+        _record(journal, "c2")
+        bak = json.loads((tmp_path / "j.json.bak").read_text())
+        main = json.loads(path.read_text())
+        assert set(main["cells"]) == {"c1", "c2"}
+        assert set(bak["cells"]) == {"c1"}  # one save behind
+
+    def test_tmp_file_never_left_behind(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = RunJournal(path, experiment="t")
+        _record(journal, "c1")
+        assert not (tmp_path / "j.json.tmp").exists()
+
+
+class TestCorruptRecovery:
+    def test_truncated_main_recovers_from_bak(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = RunJournal(path, experiment="t")
+        _record(journal, "c1")
+        _record(journal, "c2")
+        # kill -9 mid-write: the main file is truncated garbage.
+        path.write_text(path.read_text()[: 40])
+        with pytest.warns(UserWarning, match="recovered run journal"):
+            reloaded = RunJournal(path)
+        assert reloaded.recovered_from == "bak"
+        assert reloaded.is_completed("c1")
+        assert not reloaded.is_completed("c2")  # lost with the main file
+
+    def test_missing_main_with_bak_recovers(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = RunJournal(path, experiment="t")
+        _record(journal, "c1")
+        _record(journal, "c2")
+        path.unlink()  # crash window between the two os.replace calls
+        with pytest.warns(UserWarning, match="recovered run journal"):
+            reloaded = RunJournal(path)
+        assert reloaded.is_completed("c1")
+
+    def test_both_copies_corrupt_starts_empty(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = RunJournal(path, experiment="t")
+        _record(journal, "c1")
+        _record(journal, "c2")
+        path.write_text("{ not json")
+        (tmp_path / "j.json.bak").write_text("also not json")
+        with pytest.warns(UserWarning):
+            reloaded = RunJournal(path)
+        assert reloaded.recovered_from == "empty"
+        assert len(reloaded) == 0
+        # The journal still works (resume re-runs everything).
+        _record(reloaded, "c1")
+        assert RunJournal(path).is_completed("c1")
+
+    def test_wrong_shape_json_is_treated_as_corrupt(self, tmp_path):
+        path = tmp_path / "j.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.warns(UserWarning, match="unreadable"):
+            reloaded = RunJournal(path)
+        assert reloaded.recovered_from == "empty"
+
+    def test_clean_load_sets_no_recovery_flag(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = RunJournal(path, experiment="t")
+        _record(journal, "c1")
+        assert RunJournal(path).recovered_from is None
+        assert RunJournal(tmp_path / "fresh.json").recovered_from is None

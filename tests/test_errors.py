@@ -1,5 +1,8 @@
 """Exception hierarchy tests."""
 
+import inspect
+import pickle
+
 import pytest
 
 from repro import errors
@@ -31,6 +34,80 @@ class TestHierarchy:
     def test_catchable_at_boundary(self):
         with pytest.raises(errors.ReproError):
             raise errors.ConfigError("x")
+
+
+#: One representative instance per error class.  The supervisor ships
+#: errors across a worker pipe, so *every* class must pickle round-trip;
+#: ``test_every_error_class_is_covered`` fails when a new class is added
+#: without a factory here.
+ERROR_INSTANCES = {
+    errors.ReproError: lambda: errors.ReproError("boom"),
+    errors.ConfigError: lambda: errors.ConfigError("bad config"),
+    errors.SimulationError: lambda: errors.SimulationError("bad state"),
+    errors.ProtocolError: lambda: errors.ProtocolError("MESI broken"),
+    errors.ConsistencyError: lambda: errors.ConsistencyError("reordered"),
+    errors.WorkloadError: lambda: errors.WorkloadError("bad profile"),
+    errors.TransientError: lambda: errors.TransientError("flaky"),
+    errors.DeadlockError: lambda: errors.DeadlockError(123, "core0 stuck"),
+    errors.SimTimeoutError: lambda: errors.SimTimeoutError(456, "budget"),
+    errors.FaultInjectionError: lambda: errors.FaultInjectionError("dropped"),
+    errors.WorkerCrashError: lambda: errors.WorkerCrashError(
+        "signal", "SIGKILL", worker_id=3, cell_id="spec:mcf:IS-Sp:TSO:s0"
+    ),
+    errors.SanitizerError: lambda: errors.SanitizerError("invariant"),
+    errors.InvariantViolation: lambda: errors.InvariantViolation(
+        "stale sharer", cycle=99, core_id=1, line_addr=0x2440,
+        event="inv", trace=("a", "b"),
+    ),
+    errors.VisibilityViolation: lambda: errors.VisibilityViolation(
+        "USL leaked", cycle=7, core_id=0, line_addr=0x40,
+    ),
+    errors.CoherenceViolation: lambda: errors.CoherenceViolation(
+        "two owners", cycle=8, line_addr=0x80, event="store",
+    ),
+    errors.StructuralViolation: lambda: errors.StructuralViolation(
+        "MSHR leak", cycle=9, core_id=2,
+    ),
+    errors.ConsistencyViolation: lambda: errors.ConsistencyViolation(
+        "wrong value", cycle=10, core_id=3, line_addr=0xC0,
+    ),
+}
+
+
+def _all_error_classes():
+    return [
+        cls
+        for _, cls in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(cls, errors.ReproError)
+    ]
+
+
+class TestPickleRoundTrip:
+    """Cross-process transport: every error class must survive pickling."""
+
+    def test_every_error_class_is_covered(self):
+        missing = set(_all_error_classes()) - set(ERROR_INSTANCES)
+        assert not missing, (
+            f"add ERROR_INSTANCES factories (and pickle support) for: "
+            f"{sorted(c.__name__ for c in missing)}"
+        )
+
+    @pytest.mark.parametrize(
+        "cls", sorted(ERROR_INSTANCES, key=lambda c: c.__name__),
+        ids=lambda c: c.__name__,
+    )
+    def test_round_trip_preserves_type_message_and_context(self, cls):
+        original = ERROR_INSTANCES[cls]()
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is cls
+        assert str(clone) == str(original)
+        for attr in ("cycle", "detail", "core_id", "line_addr", "event",
+                     "trace", "reason", "kind", "worker_id", "cell_id"):
+            if hasattr(original, attr):
+                assert getattr(clone, attr) == getattr(original, attr), attr
+        # Violations must still serialize their full report after transport.
+        if isinstance(original, errors.InvariantViolation):
+            assert clone.to_dict() == original.to_dict()
 
 
 class TestMainModule:
