@@ -33,10 +33,15 @@ class Scheme(enum.Enum):
     IS_SPECTRE = "IS-Sp"
     FENCE_FUTURE = "Fe-Fu"
     IS_FUTURE = "IS-Fu"
+    #: Analysis-guided selective protection (repro.specflow): only loads
+    #: whose static PC the speculative-taint analysis flags as a possible
+    #: transmitter take the InvisiSpec USL path; every other load uses the
+    #: baseline fast path.  Futuristic-strength on the protected PCs.
+    SELECTIVE = "IS-Sel"
 
     @property
     def is_invisispec(self):
-        return self in (Scheme.IS_SPECTRE, Scheme.IS_FUTURE)
+        return self in (Scheme.IS_SPECTRE, Scheme.IS_FUTURE, Scheme.SELECTIVE)
 
     @property
     def is_fence(self):
@@ -47,7 +52,7 @@ class Scheme(enum.Enum):
         """``"spectre"``, ``"futuristic"`` or ``None`` for the baseline."""
         if self in (Scheme.FENCE_SPECTRE, Scheme.IS_SPECTRE):
             return "spectre"
-        if self in (Scheme.FENCE_FUTURE, Scheme.IS_FUTURE):
+        if self in (Scheme.FENCE_FUTURE, Scheme.IS_FUTURE, Scheme.SELECTIVE):
             return "futuristic"
         return None
 
@@ -86,6 +91,10 @@ class ProcessorConfig:
       squashes in-flight loads when their line is evicted from the L1
       (Section IX-C notes existing processors do; InvisiSpec does not need
       to for exposure-marked loads).
+
+    ``protected_pcs`` is only meaningful for :attr:`Scheme.SELECTIVE`: the
+    static load PCs the specflow analysis classified TRANSMIT/UNKNOWN.
+    Loads at these PCs take the USL path; all others use the fast path.
     """
 
     scheme: Scheme = Scheme.BASE
@@ -94,6 +103,7 @@ class ProcessorConfig:
     val_to_exp_optimization: bool = True
     early_squash: bool = True
     base_squash_on_l1_eviction: bool = True
+    protected_pcs: frozenset = frozenset()
 
     def __post_init__(self):
         if not isinstance(self.scheme, Scheme):
@@ -101,6 +111,12 @@ class ProcessorConfig:
         if not isinstance(self.consistency, ConsistencyModel):
             raise ConfigError(
                 f"consistency must be a ConsistencyModel, got {self.consistency!r}"
+            )
+        if not isinstance(self.protected_pcs, frozenset):
+            # Accept any iterable of ints but store the hashable form the
+            # frozen dataclass (and the reliability layer's pickling) needs.
+            object.__setattr__(
+                self, "protected_pcs", frozenset(self.protected_pcs)
             )
 
     @property

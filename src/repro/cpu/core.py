@@ -87,7 +87,7 @@ class Core:
         self.lq = LoadQueue(core_params.load_queue_entries)
         self.sq = StoreQueue(core_params.store_queue_entries)
 
-        self.policy = make_scheme_policy(config.scheme)
+        self.policy = make_scheme_policy(config.scheme, config)
         self.consistency = make_consistency_policy(config.consistency)
         self.write_buffer = WriteBuffer(
             core_params.write_buffer_entries,
@@ -166,6 +166,10 @@ class Core:
         #: Optional runtime sanitizer (:mod:`repro.sanitizer`): notified
         #: around USL issue, on prefetcher training, and at load commit.
         self.monitor = None
+        #: Optional load-issue probe (:mod:`repro.specflow.evidence`):
+        #: called as ``probe(core, rob_entry, unsafe_speculative)`` the
+        #: moment a load issues to memory, before any cache traffic.
+        self.load_issue_probe = None
 
         hierarchy.attach_core(core_id, self)
 
@@ -586,6 +590,9 @@ class Core:
         lq_entry.issue_cycle = now
         addr, size = lq_entry.addr, lq_entry.size
         is_prefetch = op.kind is OpKind.PREFETCH
+
+        if self.load_issue_probe is not None:
+            self.load_issue_probe(self, entry, unsafe_speculative)
 
         forwarded = self._try_store_forward(entry, lq_entry, addr, size)
 

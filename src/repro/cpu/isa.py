@@ -40,6 +40,20 @@ class OpKind(enum.Enum):
 _uid = itertools.count()
 
 
+def reset_uids(start=0):
+    """Restart MicroOp uid allocation (for reproducible program builds).
+
+    Wrong-path arms are keyed by branch-op uid, so uids must be unique
+    within any one trace/context.  Callers therefore reset only at the
+    *start* of an independent program build (a specflow analysis, an
+    evidence replay, a golden-report dump) — never between the phases of
+    a live :class:`~repro.security.channel.AttackContext`, whose
+    interactive trace still holds earlier uids.
+    """
+    global _uid
+    _uid = itertools.count(start)
+
+
 class MicroOp:
     """One dynamic instruction.
 
@@ -62,6 +76,9 @@ class MicroOp:
     taken : bool — architectural branch outcome.
     raises_exception : bool — op traps at the ROB head.
     label : str or None — debugging/attack annotation.
+    taint : str or None — static taint-source label for repro.specflow:
+        the value this op produces is secret/attacker-controlled data.
+        Purely an analysis annotation; the pipeline never reads it.
     """
 
     __slots__ = (
@@ -80,6 +97,7 @@ class MicroOp:
         "taken",
         "raises_exception",
         "label",
+        "taint",
     )
 
     def __init__(
@@ -98,6 +116,7 @@ class MicroOp:
         taken=False,
         raises_exception=False,
         label=None,
+        taint=None,
     ):
         self.uid = next(_uid)
         self.kind = kind
@@ -114,6 +133,7 @@ class MicroOp:
         self.taken = taken
         self.raises_exception = raises_exception
         self.label = label
+        self.taint = taint
 
     def __repr__(self):
         extra = f" @0x{self.addr:x}" if self.addr is not None else ""
@@ -128,10 +148,11 @@ def alu(pc=0, latency=1, deps=(), dst=None, compute_fn=None, label=None):
     )
 
 
-def load(pc=0, addr=None, addr_fn=None, size=8, deps=(), dst=None, label=None):
+def load(pc=0, addr=None, addr_fn=None, size=8, deps=(), dst=None, label=None,
+         taint=None):
     return MicroOp(
         OpKind.LOAD, pc=pc, addr=addr, addr_fn=addr_fn, size=size, deps=deps,
-        dst=dst, label=label,
+        dst=dst, label=label, taint=taint,
     )
 
 

@@ -13,6 +13,7 @@ table6      Characterization of InvisiSpec's operation under TSO
 table7      Per-core hardware overhead (CACTI-style model)
 tables45    The input configurations (Tables IV and V), for completeness
 ablations   Design-choice ablations (LLC-SB, V->E optimization, ...)
+selective   specflow-guided selective protection (IS-Sel) vs full schemes
 ==========  ==========================================================
 
 Run from the command line::
@@ -23,7 +24,7 @@ Run from the command line::
 
 from .common import ExperimentResult
 from . import ablations, figure4, figure5, figure6, figure7, figure8
-from . import report, sweep, table6, table7, tables45, variance
+from . import report, selective, sweep, table6, table7, tables45, variance
 
 ALL_EXPERIMENTS = {
     "figure4": figure4.run,
@@ -35,6 +36,7 @@ ALL_EXPERIMENTS = {
     "table7": table7.run,
     "tables45": tables45.run,
     "ablations": ablations.run,
+    "selective": selective.run,
     "sweep": sweep.run,
     "report": report.run,
     "variance": variance.run,

@@ -1,0 +1,133 @@
+"""Analysis-guided selective protection: the specflow loop closed.
+
+``Scheme.SELECTIVE`` (IS-Sel) routes only the loads the speculative
+taint analysis could not prove harmless — the TRANSMIT and UNKNOWN PCs
+of :mod:`repro.specflow` — through the InvisiSpec USL path, with full
+IS-Future semantics on every protected PC.  Everything the analysis
+proved SAFE issues down the conventional fast path.
+
+The experiment regenerates the Figure 4 comparison with IS-Sel as a
+sixth bar, and re-runs every attack PoC under IS-Sel.  Acceptance:
+
+* every PoC stays defeated (the protected set contains each PoC's
+  transmitter, so its line never leaves the speculative buffer);
+* the SPEC overhead of IS-Sel is at most IS-Spectre's (the workload
+  programs analyze all-SAFE, so selective protection leaves the hot
+  path untouched while IS-Spectre still pays USL costs on every
+  branch-shadowed load).
+"""
+
+from __future__ import annotations
+
+from ..configs import ConsistencyModel, ProcessorConfig, Scheme
+from ..runner import run_spec
+from ..specflow import analyze_program, all_programs, protected_pcs
+from .common import (
+    ExperimentResult,
+    default_apps,
+    geometric_mean,
+    normalized,
+)
+
+#: the schemes compared in the IS-Sel bar chart
+_SCHEMES = (Scheme.BASE, Scheme.IS_SPECTRE, Scheme.IS_FUTURE,
+            Scheme.SELECTIVE)
+
+
+def compute_protected_pcs(seed=0, window=64):
+    """The union of every program's non-SAFE PCs under the futuristic
+    model — the PC set an IS-Sel deployment would ship."""
+    pcs = set()
+    for prog in all_programs(seed=seed):
+        report = analyze_program(prog, model="futuristic", window=window)
+        pcs |= protected_pcs(report)
+    return frozenset(pcs)
+
+
+def _poc_matrix(config):
+    """Run every attack PoC under ``config``; {name: defeated}."""
+    from ..security.cross_core import run_cross_core_attack
+    from ..security.exception_attacks import VARIANTS, run_exception_attack
+    from ..security.meltdown_style import run_meltdown_style_attack
+    from ..security.spectre_v1 import run_spectre_v1
+    from ..security.ssb import run_ssb_attack
+
+    defeated = {}
+    _lat, rec = run_spectre_v1(config, secret=84)
+    defeated["spectre_v1"] = rec != 84
+    _lat, rec = run_meltdown_style_attack(config, secret=199)
+    defeated["meltdown_style"] = rec != 199
+    _lat, rec = run_ssb_attack(config, secret=113)
+    defeated["ssb"] = rec != 113
+    _lat, rec = run_cross_core_attack(config, secret=37)
+    defeated["cross_core"] = rec != 37
+    for variant in sorted(VARIANTS):
+        _lat, rec = run_exception_attack(config, variant=variant, secret=177)
+        defeated[f"exception_{variant}"] = rec != 177
+    return defeated
+
+
+def run(apps=None, instructions=None, seed=0, quick=False):
+    """Returns an :class:`ExperimentResult` whose rows are
+    ``[app, Base, IS-Sp, IS-Fu, IS-Sel]`` (cycles normalized to Base),
+    with the geometric-mean row and the PoC-defeat matrix in the notes.
+    """
+    protected = compute_protected_pcs(seed=seed)
+    apps = default_apps("spec", apps, quick)
+    kwargs = {} if instructions is None else {"instructions": instructions}
+
+    results = {}
+    for app in apps:
+        per_scheme = {}
+        for scheme in _SCHEMES:
+            config = ProcessorConfig(
+                scheme=scheme,
+                consistency=ConsistencyModel.TSO,
+                protected_pcs=protected if scheme is Scheme.SELECTIVE
+                else frozenset(),
+            )
+            per_scheme[scheme] = run_spec(app, config, seed=seed, **kwargs)
+        results[app] = per_scheme
+
+    headers = ["app"] + [s.value for s in _SCHEMES]
+    rows = []
+    norms = {scheme: [] for scheme in _SCHEMES}
+    for app in apps:
+        norm = normalized(results[app], lambda r: r.cycles)
+        for scheme in _SCHEMES:
+            norms[scheme].append(norm[scheme])
+        rows.append([app] + [round(norm[s], 3) for s in _SCHEMES])
+    means = {s: geometric_mean(norms[s]) for s in _SCHEMES}
+    rows.append(["geomean"] + [round(means[s], 3) for s in _SCHEMES])
+
+    sel_config = ProcessorConfig(
+        scheme=Scheme.SELECTIVE, protected_pcs=protected
+    )
+    defeated = _poc_matrix(sel_config)
+
+    poc_lines = "\n".join(
+        f"  {name}: {'defeated' if ok else 'LEAKED'}"
+        for name, ok in sorted(defeated.items())
+    )
+    sel_ok = means[Scheme.SELECTIVE] <= means[Scheme.IS_SPECTRE] + 1e-9
+    notes = (
+        f"Protected PCs (specflow, futuristic model): "
+        f"{sorted(f'0x{pc:x}' for pc in protected)}\n"
+        f"Acceptance: IS-Sel geomean {means[Scheme.SELECTIVE]:.3f} "
+        f"{'<=' if sel_ok else '> (FAIL)'} IS-Sp geomean "
+        f"{means[Scheme.IS_SPECTRE]:.3f}\n"
+        f"Attack PoCs under IS-Sel:\n{poc_lines}"
+    )
+    return ExperimentResult(
+        "selective",
+        "Selective protection: specflow-guided IS-Sel vs. full schemes",
+        headers,
+        rows,
+        notes=notes,
+        extras={
+            "results": results,
+            "protected_pcs": protected,
+            "defeated": defeated,
+            "geomeans": means,
+        },
+    )

@@ -110,6 +110,29 @@ class ISFuturePolicy(SchemePolicy):
         return True
 
 
+class SelectivePolicy(ISFuturePolicy):
+    """Analysis-guided selective protection (repro.specflow).
+
+    Only loads whose static PC the speculative-taint analysis flagged as a
+    possible transmitter (``TRANSMIT``) or could not prove harmless
+    (``UNKNOWN``) take the USL/invisible path; for those the policy applies
+    full IS-Future semantics, so the scheme defends the Futuristic attack
+    model on every protected PC.  Loads the analysis proved ``SAFE`` —
+    their address can never carry transiently-tainted data — issue down the
+    conventional fast path, which is what buys back IS-Future's overhead.
+    """
+
+    name = "IS-Sel"
+
+    def __init__(self, protected_pcs=frozenset()):
+        self.protected_pcs = frozenset(protected_pcs)
+
+    def load_is_safe(self, core, rob_entry):
+        if rob_entry.op.pc not in self.protected_pcs:
+            return True
+        return super().load_is_safe(core, rob_entry)
+
+
 _POLICIES = {
     Scheme.BASE: SchemePolicy,
     Scheme.FENCE_SPECTRE: FenceSpectrePolicy,
@@ -119,7 +142,18 @@ _POLICIES = {
 }
 
 
-def make_scheme_policy(scheme):
+def make_scheme_policy(scheme, config=None):
+    """Instantiate the policy for ``scheme``.
+
+    ``config`` (a :class:`~repro.configs.ProcessorConfig`) is only needed
+    by :attr:`Scheme.SELECTIVE`, whose protected-PC set lives in the
+    config; the classic five schemes ignore it.
+    """
+    if scheme is Scheme.SELECTIVE:
+        protected = (
+            config.protected_pcs if config is not None else frozenset()
+        )
+        return SelectivePolicy(protected)
     try:
         return _POLICIES[scheme]()
     except KeyError:

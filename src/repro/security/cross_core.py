@@ -43,6 +43,26 @@ def _victim_ops(index, in_bounds):
     return [bound_load, branch], {branch.uid: [access, transmit]}
 
 
+def specflow_program():
+    """The victim side as a specflow program (the receiver runs no
+    transient code).  Same shape as spectre_v1: the dependent load
+    (pc 0x7520) transmits on the branch's wrong path."""
+    from ..specflow.programs import SpecProgram
+
+    def build():
+        in_ops, in_wrong = _victim_ops(3, in_bounds=True)
+        oob_ops, oob_wrong = _victim_ops(0, in_bounds=False)
+        return in_ops + oob_ops, {**in_wrong, **oob_wrong}
+
+    return SpecProgram(
+        name="cross_core",
+        builder=build,
+        secret_ranges=((ADDR_SECRET, ADDR_SECRET + 1),),
+        description="spectre v1 victim monitored from another core's LLC view",
+        expected_transmit={"spectre": (0x7520,), "futuristic": (0x7520,)},
+    )
+
+
 def run_cross_core_attack(config, secret=37, seed=0, sanitize=None):
     """Victim on core 0, receiver probing from core 1.
 

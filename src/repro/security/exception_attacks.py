@@ -55,6 +55,27 @@ def _attack_ops(secret_addr, array_base):
     return [delay_load, fault], {fault.uid: [access, transmit]}
 
 
+def specflow_programs():
+    """One specflow program per Table I variant.  All share the skeleton,
+    so all four transmit through pc 0x900C — and only under the
+    futuristic model (the shadow is an exception, not a branch)."""
+    from ..specflow.programs import SpecProgram
+
+    def make_builder(secret_addr, array_base):
+        return lambda: _attack_ops(secret_addr, array_base)
+
+    return [
+        SpecProgram(
+            name=f"exception_{variant}",
+            builder=make_builder(secret_addr, array_base),
+            secret_ranges=((secret_addr, secret_addr + 1),),
+            description=f"exception-shielded read of {desc}",
+            expected_transmit={"spectre": (), "futuristic": (0x900C,)},
+        )
+        for variant, (secret_addr, array_base, desc) in sorted(VARIANTS.items())
+    ]
+
+
 def run_exception_attack(config, variant="meltdown", secret=199, seed=0,
                          sanitize=None):
     """Run one Table I exception attack; returns (latencies, recovered)."""

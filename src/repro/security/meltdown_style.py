@@ -46,6 +46,22 @@ def _attack_ops():
     return [delay_load, fault], {fault.uid: [access, transmit]}
 
 
+def specflow_program():
+    """The attack as a specflow program.  The transient pair lives in the
+    faulting op's wrong-path arm, so the transmitter (pc 0x900C) is only
+    reachable under an exception shadow — a Futuristic-model leak that
+    the spectre model correctly ignores (Table II scoping)."""
+    from ..specflow.programs import SpecProgram
+
+    return SpecProgram(
+        name="meltdown_style",
+        builder=_attack_ops,
+        secret_ranges=((ADDR_SECRET, ADDR_SECRET + 1),),
+        description="exception-shielded kernel-byte read and transmit",
+        expected_transmit={"spectre": (), "futuristic": (0x900C,)},
+    )
+
+
 def run_meltdown_style_attack(config, secret=199, seed=0, sanitize=None):
     """Run the attack; returns ``(latencies, recovered_value)``."""
     context = AttackContext(config, num_cores=1, seed=seed, sanitize=sanitize)

@@ -35,6 +35,59 @@ NUM_VALUES = 256
 LINE = 64
 
 
+def victim_ops(index):
+    """One victim(a) call: load the bound, branch, then the guarded
+    double load.  The guarded arm runs architecturally when in bounds
+    and as the branch's wrong path when out of bounds."""
+    in_bounds = index < 10
+    bound_load = MicroOp(
+        OpKind.LOAD, pc=0x6000, addr=ADDR_LIMIT, size=1, dst="limit"
+    )
+    branch = MicroOp(
+        OpKind.BRANCH, pc=BRANCH_PC, taken=in_bounds, deps=(1,), latency=2
+    )
+    access = MicroOp(
+        OpKind.LOAD,
+        pc=0x7010,
+        addr=ADDR_A + index,
+        size=1,
+        dst="v",
+        label="access",
+    )
+    transmit = MicroOp(
+        OpKind.LOAD,
+        pc=0x7020,
+        addr_fn=lambda env: ADDR_B + LINE * (env.get("v", 0) & 0xFF),
+        size=1,
+        deps=(1,),
+        label="transmit",
+    )
+    if in_bounds:
+        return [bound_load, branch, access, transmit], {}
+    return [bound_load, branch], {branch.uid: [access, transmit]}
+
+
+def specflow_program():
+    """The victim as a specflow program: one trained in-bounds call
+    followed by the out-of-bounds call that leaks.  Only the dependent
+    load (pc 0x7020) transmits; the in-bounds call keeps the analyzer
+    honest about not over-flagging the architectural path."""
+    from ..specflow.programs import SpecProgram
+
+    def build():
+        in_ops, in_wrong = victim_ops(3)
+        oob_ops, oob_wrong = victim_ops(OOB_INDEX)
+        return in_ops + oob_ops, {**in_wrong, **oob_wrong}
+
+    return SpecProgram(
+        name="spectre_v1",
+        builder=build,
+        secret_ranges=((ADDR_SECRET, ADDR_SECRET + 1),),
+        description="bounds-check bypass: B[64 * A[a]] on the wrong path",
+        expected_transmit={"spectre": (0x7020,), "futuristic": (0x7020,)},
+    )
+
+
 class SpectreV1Attack:
     """The end-to-end attack on one simulated core."""
 
@@ -67,35 +120,7 @@ class SpectreV1Attack:
     # ----------------------------------------------------------- victim code
 
     def _victim_ops(self, index):
-        """One victim(a) call: load the bound, branch, then the guarded
-        double load.  The guarded arm runs architecturally when in bounds
-        and as the branch's wrong path when out of bounds."""
-        in_bounds = index < 10
-        bound_load = MicroOp(
-            OpKind.LOAD, pc=0x6000, addr=ADDR_LIMIT, size=1, dst="limit"
-        )
-        branch = MicroOp(
-            OpKind.BRANCH, pc=BRANCH_PC, taken=in_bounds, deps=(1,), latency=2
-        )
-        access = MicroOp(
-            OpKind.LOAD,
-            pc=0x7010,
-            addr=ADDR_A + index,
-            size=1,
-            dst="v",
-            label="access",
-        )
-        transmit = MicroOp(
-            OpKind.LOAD,
-            pc=0x7020,
-            addr_fn=lambda env: ADDR_B + LINE * (env.get("v", 0) & 0xFF),
-            size=1,
-            deps=(1,),
-            label="transmit",
-        )
-        if in_bounds:
-            return [bound_load, branch, access, transmit], {}
-        return [bound_load, branch], {branch.uid: [access, transmit]}
+        return victim_ops(index)
 
     # ----------------------------------------------------------- attack phases
 

@@ -49,6 +49,25 @@ def _attack_ops():
     return [ptr_load, overwrite, stale_read, transmit]
 
 
+def specflow_program():
+    """The attack as a specflow program.  Entirely on the correct path —
+    the transmitter (pc 0x800C) issues under the shadows of the
+    unresolved store and the older loads, never a branch, so only the
+    futuristic model flags it (IS-Spectre does not block SSB)."""
+    from ..specflow.programs import SpecProgram
+
+    def build():
+        return _attack_ops(), {}
+
+    return SpecProgram(
+        name="ssb",
+        builder=build,
+        secret_ranges=((ADDR_P, ADDR_P + 1),),
+        description="speculative store bypass: stale-secret read and transmit",
+        expected_transmit={"spectre": (), "futuristic": (0x800C,)},
+    )
+
+
 def run_ssb_attack(config, secret=113, seed=0, sanitize=None):
     """Run the SSB attack; returns ``(latencies, recovered_value)``."""
     context = AttackContext(config, num_cores=1, seed=seed, sanitize=sanitize)

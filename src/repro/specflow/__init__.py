@@ -1,0 +1,62 @@
+"""Speculative information-flow analysis over MicroOp programs.
+
+``repro.specflow`` is a Spectector/oo7-style static analyzer for the
+simulator's own instruction representation: it abstractly interprets the
+``deps``/``addr_fn``/``compute_fn`` dataflow of a :class:`~repro.cpu.isa.
+MicroOp` program under a bounded speculation window, tracks taint from
+secret-labeled sources through transient (wrong-path and pre-squash)
+dataflow, and classifies every static load PC as
+
+* ``TRANSMIT`` — its address can carry tainted data into the cache
+  hierarchy while the load is still unsafe-speculative;
+* ``SAFE`` — provably neither;
+* ``UNKNOWN`` — the abstract evaluation could not decide (e.g. an
+  address lambda the abstract domain cannot model).
+
+The report carries the taint chain as a witness, and closes the loop
+into the simulator: :func:`protected_pcs` of a report feeds
+:class:`~repro.invisispec.policy.SelectivePolicy` (``Scheme.SELECTIVE``),
+which routes only TRANSMIT/UNKNOWN-PC loads through the InvisiSpec USL
+path.  See docs/STATIC_ANALYSIS.md ("Speculative taint analysis").
+
+Entry points::
+
+    python -m repro.staticcheck specflow            # all programs
+    python -m repro.staticcheck specflow --json
+    python -m repro.staticcheck specflow --mutations
+"""
+
+from .analyzer import (
+    SAFE,
+    TRANSMIT,
+    UNKNOWN,
+    LoadReport,
+    ProgramReport,
+    SpecFlowAnalyzer,
+    analyze_program,
+    protected_pcs,
+)
+from .domain import AbstractValue, TaintEnv
+from .programs import (
+    SpecProgram,
+    all_programs,
+    attack_programs,
+    workload_programs,
+)
+
+__all__ = [
+    "AbstractValue",
+    "LoadReport",
+    "ProgramReport",
+    "SAFE",
+    "SpecFlowAnalyzer",
+    "SpecProgram",
+    "TRANSMIT",
+    "TaintEnv",
+    "UNKNOWN",
+    "all_programs",
+    "analyze_program",
+    "attack_programs",
+    "protected_pcs",
+    "workload_programs",
+]

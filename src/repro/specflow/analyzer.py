@@ -1,0 +1,433 @@
+"""The bounded-window speculative taint analyzer.
+
+Abstract semantics (after Colvin & Winter's speculative-execution
+semantics, specialized to this simulator's MicroOp IR):
+
+* The correct path executes in program order.  An op is
+  *unsafe-speculative at issue* when an older, still-unresolved op within
+  the speculation window can squash it.  Which older ops count is the
+  attack model: under ``"spectre"`` only control-flow ops (branches) cast
+  shadows; under ``"futuristic"`` any squash source does — branches,
+  faulting ops, uncommitted stores (memory-dependence speculation, the
+  SSB window) and incomplete older loads (consistency squashes), matching
+  :class:`~repro.invisispec.policy.ISFuturePolicy`'s five probes.
+* A wrong-path arm (the ``wrong_paths`` dict of a program trace) is
+  always transient: its ops issue under the arm owner's shadow and are
+  squashed when it resolves.
+* A fence is a hard issue barrier.  On the correct path it discharges
+  every older shadow for the ops after it; inside a transient arm it can
+  never complete before the squash, so arm ops behind it never issue.
+
+Taint enters at *sources* — a load whose (concrete) address overlaps a
+declared secret range, or an op carrying an explicit ``taint`` label —
+and propagates through register dataflow by abstractly interpreting the
+program's own ``addr_fn``/``compute_fn`` lambdas over
+:class:`~.domain.TaintEnv` (see :mod:`.domain`).
+
+A static load PC is classified ``TRANSMIT`` when any dynamic instance
+issues with a tainted address while unsafe-speculative, ``UNKNOWN`` when
+the abstract evaluation failed for an instance that could issue unsafely,
+and ``SAFE`` otherwise.  TRANSMIT reports carry the taint chain as a
+witness: source op -> every op that moved the taint -> the transmitting
+load, plus the shadow that keeps it transient.
+"""
+
+from __future__ import annotations
+
+from ..cpu.isa import OpKind
+from .domain import AbstractionError, AbstractValue, TaintEnv
+
+__all__ = [
+    "SAFE",
+    "TRANSMIT",
+    "UNKNOWN",
+    "LoadReport",
+    "ProgramReport",
+    "SpecFlowAnalyzer",
+    "analyze_program",
+    "protected_pcs",
+]
+
+TRANSMIT = "TRANSMIT"
+SAFE = "SAFE"
+UNKNOWN = "UNKNOWN"
+
+#: classification strength for aggregation across dynamic instances
+_RANK = {SAFE: 0, UNKNOWN: 1, TRANSMIT: 2}
+
+_SHADOW_WHY = {
+    OpKind.BRANCH: "unresolved branch",
+    OpKind.EXCEPTION: "pending fault",
+    OpKind.STORE: "older store not yet committed",
+    OpKind.LOAD: "older load not yet performed",
+}
+
+
+class LoadReport:
+    """Classification of one static load PC within one program."""
+
+    __slots__ = (
+        "pc",
+        "classification",
+        "taints",
+        "witness",
+        "shadow",
+        "instances",
+        "reason",
+    )
+
+    def __init__(self, pc):
+        self.pc = pc
+        self.classification = SAFE
+        self.taints = ()
+        self.witness = ()
+        self.shadow = None
+        self.instances = 0
+        self.reason = None
+
+    def to_dict(self):
+        out = {
+            "pc": f"0x{self.pc:x}",
+            "classification": self.classification,
+            "instances": self.instances,
+        }
+        if self.classification == TRANSMIT:
+            out["taints"] = list(self.taints)
+            out["witness"] = [dict(step) for step in self.witness]
+            out["shadow"] = dict(self.shadow) if self.shadow else None
+        if self.classification == UNKNOWN:
+            out["reason"] = self.reason
+        return out
+
+
+class ProgramReport:
+    """Per-program analysis result: every static load PC, classified."""
+
+    __slots__ = ("program", "model", "window", "loads")
+
+    def __init__(self, program, model, window, loads):
+        self.program = program
+        self.model = model
+        self.window = window
+        #: list of LoadReport, sorted by pc
+        self.loads = loads
+
+    def load_at(self, pc):
+        for rep in self.loads:
+            if rep.pc == pc:
+                return rep
+        return None
+
+    def pcs(self, classification):
+        return tuple(
+            rep.pc for rep in self.loads
+            if rep.classification == classification
+        )
+
+    @property
+    def summary(self):
+        counts = {TRANSMIT: 0, SAFE: 0, UNKNOWN: 0}
+        for rep in self.loads:
+            counts[rep.classification] += 1
+        return counts
+
+    def to_dict(self):
+        return {
+            "program": self.program,
+            "attack_model": self.model,
+            "window": self.window,
+            "loads": [rep.to_dict() for rep in self.loads],
+            "summary": self.summary,
+        }
+
+
+def protected_pcs(report):
+    """The PC set Scheme.SELECTIVE must protect: everything the analysis
+    could not prove SAFE."""
+    return frozenset(
+        rep.pc for rep in report.loads if rep.classification != SAFE
+    )
+
+
+class _Instance:
+    """One dynamic occurrence of a load during the abstract walk."""
+
+    __slots__ = ("verdict", "taints", "witness", "shadow", "reason")
+
+    def __init__(self, verdict, taints=(), witness=(), shadow=None,
+                 reason=None):
+        self.verdict = verdict
+        self.taints = taints
+        self.witness = witness
+        self.shadow = shadow
+        self.reason = reason
+
+
+class SpecFlowAnalyzer:
+    """See the module docstring.
+
+    ``window`` bounds how far back (in dynamic ops) a shadow reaches —
+    the abstract stand-in for the ROB/resolve window an attacker can
+    stretch.  The default covers the simulated core's ROB.
+    """
+
+    def __init__(self, model="futuristic", window=64):
+        if model not in ("spectre", "futuristic"):
+            raise ValueError(f"unknown attack model {model!r}")
+        self.model = model
+        self.window = window
+
+    # --------------------------------------------------------------- driving
+
+    def analyze(self, program):
+        """Analyze one :class:`~.programs.SpecProgram`; returns a
+        :class:`ProgramReport`."""
+        ops, wrong_paths = program.build()
+        per_pc = {}
+        env = TaintEnv()
+        results = []  # AbstractValue produced by each correct-path op
+        last_fence = -1
+        for i, op in enumerate(ops):
+            if op.kind.is_fence_like:
+                last_fence = i
+                results.append(AbstractValue(0))
+                continue
+            shadow = self._correct_path_shadow(ops, i, last_fence)
+            value, addr, err = self._execute(
+                op, env, results, program, f"op[{i}]"
+            )
+            if op.kind is OpKind.LOAD:
+                self._record(
+                    per_pc, op, addr, err,
+                    unsafe=shadow is not None, shadow=shadow,
+                )
+            results.append(value)
+            if op.dst is not None:
+                env.write(op.dst, value)
+            arm = wrong_paths.get(op.uid)
+            if arm:
+                self._walk_arm(
+                    op, i, arm, env.snapshot(), list(results), per_pc,
+                    program,
+                )
+        loads = [per_pc[pc] for pc in sorted(per_pc)]
+        return ProgramReport(program.name, self.model, self.window, loads)
+
+    # --------------------------------------------------------------- shadows
+
+    def _casts_shadow(self, op):
+        if op.kind.is_fence_like:
+            return False
+        if self.model == "spectre":
+            return op.kind is OpKind.BRANCH
+        return (
+            op.kind in (OpKind.BRANCH, OpKind.EXCEPTION, OpKind.STORE,
+                        OpKind.LOAD, OpKind.PREFETCH)
+            or op.raises_exception
+        )
+
+    def _shadow_descr(self, op, index):
+        why = _SHADOW_WHY.get(op.kind, "unresolved older op")
+        if op.raises_exception and op.kind is not OpKind.EXCEPTION:
+            why = "pending fault"
+        return {
+            "pc": f"0x{op.pc:x}",
+            "kind": op.kind.value,
+            "index": index,
+            "why": why,
+        }
+
+    def _correct_path_shadow(self, ops, i, last_fence):
+        """The oldest shadow-casting op that can still squash op ``i``
+        when it issues, or None.  Ops at or before the latest fence are
+        discharged: the fence completes only once they have resolved."""
+        start = max(last_fence + 1, i - self.window)
+        for j in range(start, i):
+            if self._casts_shadow(ops[j]):
+                return self._shadow_descr(ops[j], j)
+        return None
+
+    # --------------------------------------------------------- transient arms
+
+    def _walk_arm(self, shadow_op, shadow_index, arm, env, results, per_pc,
+                  program):
+        """Abstractly execute one wrong-path arm.  Every arm op is
+        transient; whether a transient issue counts as *unsafe* is the
+        attack model's call (IS-Spectre only vouches for branch shadows).
+        A fence inside the arm can never complete before the squash, so
+        everything behind it never issues at all."""
+        unsafe = (
+            self.model == "futuristic"
+            or shadow_op.kind is OpKind.BRANCH
+        )
+        shadow = self._shadow_descr(shadow_op, shadow_index)
+        where_base = f"wp(0x{shadow_op.pc:x})"
+        fence_seen = False
+        for k, op in enumerate(arm):
+            if op.kind.is_fence_like:
+                fence_seen = True
+                results.append(AbstractValue(0))
+                continue
+            value, addr, err = self._execute(
+                op, env, results, program, f"{where_base}[{k}]"
+            )
+            if op.kind is OpKind.LOAD:
+                if fence_seen:
+                    # Never issues transiently: the arm fence outlives it.
+                    self._record(per_pc, op, addr, None, unsafe=False,
+                                 shadow=None)
+                else:
+                    self._record(per_pc, op, addr, err, unsafe=unsafe,
+                                 shadow=shadow)
+            results.append(value)
+            if op.dst is not None:
+                env.write(op.dst, value)
+
+    # ------------------------------------------------------- abstract execute
+
+    def _execute(self, op, env, results, program, where):
+        """Produce ``(result_value, address_value, error)`` for one op.
+
+        ``address_value`` is the AbstractValue of the memory address for
+        memory ops (None otherwise); ``error`` is the AbstractionError /
+        evaluation failure, if any.
+        """
+        kind = op.kind
+        if kind in (OpKind.LOAD, OpKind.PREFETCH):
+            return self._execute_load(op, env, program, where)
+        if kind in (OpKind.ALU, OpKind.FP):
+            if op.compute_fn is not None:
+                try:
+                    # The audited choke point where program lambdas run over
+                    # the abstract register file; everywhere else evaluation
+                    # stays inside repro.cpu.
+                    raw = op.compute_fn(env)  # reprolint: disable=register-env-bypass -- specflow's abstract interpretation IS the audited evaluation of program lambdas; TaintEnv propagates taint soundly
+                    value = self._lift(raw)
+                except Exception as exc:  # noqa: BLE001 - any failure => UNKNOWN
+                    return AbstractValue(0), None, exc
+            else:
+                value = self._dep_join(op, results)
+            value = value.with_step(self._step(op, where, "computes on it"))
+            return value, None, None
+        if kind is OpKind.STORE:
+            # Stores never issue to memory speculatively in this machine
+            # (the SQ holds them to retirement), so they cannot transmit;
+            # their dataflow into memory is covered by the secret ranges.
+            return AbstractValue(0), None, None
+        # branches, fences, exceptions, nops produce no register value
+        return AbstractValue(0), None, None
+
+    def _execute_load(self, op, env, program, where):
+        err = None
+        if op.addr_fn is not None:
+            try:
+                # Audited choke point, as above: the program's own address
+                # lambda is its transfer function over the abstract domain.
+                raw = op.addr_fn(env)  # reprolint: disable=register-env-bypass -- specflow's abstract interpretation IS the audited evaluation of program lambdas; TaintEnv propagates taint soundly
+                addr = self._lift(raw)
+            except Exception as exc:  # noqa: BLE001 - any failure => UNKNOWN
+                return AbstractValue(0), None, exc
+        else:
+            addr = AbstractValue(op.addr if op.addr is not None else 0)
+
+        taints = set(addr.taints)
+        chain = list(addr.chain)
+        if addr.tainted:
+            chain.append(
+                self._step(op, where, "loads via the tainted address")
+            )
+        source = self._source_label(op, addr, program)
+        if source is not None:
+            taints.add(source)
+            if not addr.tainted:
+                chain = [self._step(op, where, f"taint source ({source})")]
+        value = AbstractValue(0, frozenset(taints), tuple(chain))
+        return value, addr, err
+
+    def _source_label(self, op, addr, program):
+        if op.taint is not None:
+            return str(op.taint)
+        if addr.tainted:
+            # A tainted pointer's concrete component is not meaningful;
+            # taint already propagates through the address itself.
+            return None
+        lo_hit = program.secret_range_overlapping(addr.value, op.size)
+        if lo_hit is not None:
+            return f"secret@0x{lo_hit:x}"
+        return None
+
+    def _dep_join(self, op, results):
+        value = AbstractValue(0)
+        here = len(results)
+        for dist in op.deps:
+            j = here - dist
+            if 0 <= j < here:
+                value = value._combine(results[j], value.value)
+        return value
+
+    @staticmethod
+    def _lift(raw):
+        if isinstance(raw, AbstractValue):
+            return raw
+        if isinstance(raw, bool) or not isinstance(raw, int):
+            raise AbstractionError(
+                f"address/compute lambda returned {type(raw).__name__}"
+            )
+        return AbstractValue(raw)
+
+    @staticmethod
+    def _step(op, where, note):
+        return {
+            "at": where,
+            "pc": f"0x{op.pc:x}",
+            "kind": op.kind.value,
+            "label": op.label,
+            "note": note,
+        }
+
+    # ----------------------------------------------------------- aggregation
+
+    def _record(self, per_pc, op, addr, err, unsafe, shadow):
+        rep = per_pc.get(op.pc)
+        if rep is None:
+            rep = per_pc[op.pc] = LoadReport(op.pc)
+        rep.instances += 1
+        inst = self._classify_instance(op, addr, err, unsafe, shadow)
+        if _RANK[inst.verdict] > _RANK[rep.classification]:
+            rep.classification = inst.verdict
+            rep.taints = inst.taints
+            rep.witness = inst.witness
+            rep.shadow = inst.shadow
+            rep.reason = inst.reason
+
+    def _classify_instance(self, op, addr, err, unsafe, shadow):
+        if not unsafe:
+            # Cannot issue while squashable: harmless no matter what its
+            # address computation does.
+            return _Instance(SAFE)
+        if err is not None or addr is None:
+            return _Instance(
+                UNKNOWN,
+                reason=f"{type(err).__name__}: {err}" if err else
+                "address not evaluable",
+            )
+        if not addr.tainted:
+            return _Instance(SAFE)
+        witness = addr.chain + (
+            self._step(
+                op, f"0x{op.pc:x}",
+                "transmits: issues with this tainted address while "
+                "unsafe-speculative",
+            ),
+        )
+        return _Instance(
+            TRANSMIT,
+            taints=tuple(sorted(addr.taints)),
+            witness=witness,
+            shadow=shadow,
+        )
+
+
+def analyze_program(program, model="futuristic", window=64):
+    """Convenience wrapper: one program, one attack model."""
+    return SpecFlowAnalyzer(model=model, window=window).analyze(program)

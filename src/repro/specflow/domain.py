@@ -1,0 +1,213 @@
+"""Abstract value domain for the speculative taint analysis.
+
+The attack programs compute addresses with ordinary Python lambdas over a
+register environment (``addr_fn=lambda env: B + 64 * (env.get("v", 0) &
+0xFF)``).  Rather than parse those lambdas, specflow *executes* them over
+an abstract environment whose reads return :class:`AbstractValue`
+objects: numbers that remember which taint sources flowed into them and
+along which chain of operations.  Every arithmetic/bitwise operator an
+address computation can use is overloaded to propagate taint, so the
+concrete lambda doubles as its own transfer function.
+
+An operation the domain cannot model (indexing a tainted value into a
+host-side table, float conversion, comparisons used for control flow
+inside the lambda) raises :class:`AbstractionError`, which the analyzer
+turns into an ``UNKNOWN`` classification — never a silent ``SAFE``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AbstractionError", "AbstractValue", "TaintEnv"]
+
+
+class AbstractionError(Exception):
+    """The abstract domain cannot model an operation soundly."""
+
+
+class AbstractValue:
+    """A concrete integer plus the taint that flowed into it.
+
+    ``taints`` is a frozenset of source label strings; ``chain`` is the
+    witness — a tuple of step descriptors (dicts) recording how the taint
+    reached this value, ending at the op that produced it.  The concrete
+    component uses the source op's *architectural* value when one is
+    known, so in-bounds control flow still evaluates correctly.
+    """
+
+    __slots__ = ("value", "taints", "chain")
+
+    def __init__(self, value=0, taints=frozenset(), chain=()):
+        self.value = int(value)
+        self.taints = frozenset(taints)
+        self.chain = tuple(chain)
+
+    @property
+    def tainted(self):
+        return bool(self.taints)
+
+    def with_step(self, step):
+        """This value after passing through one more op."""
+        return AbstractValue(self.value, self.taints, self.chain + (step,))
+
+    # ------------------------------------------------------------- combining
+
+    @staticmethod
+    def _lift(other):
+        if isinstance(other, AbstractValue):
+            return other
+        if isinstance(other, bool) or not isinstance(other, int):
+            raise AbstractionError(
+                f"cannot lift {type(other).__name__} into the taint domain"
+            )
+        return AbstractValue(other)
+
+    def _combine(self, other, value):
+        other = self._lift(other)
+        # Witness chains merge deterministically: keep the left operand's
+        # chain when it carries taint (Python evaluates operands left to
+        # right, so "left" is stable), else the right's.
+        chain = self.chain if self.taints else other.chain
+        return AbstractValue(value, self.taints | other.taints, chain)
+
+    # ------------------------------------------------------------ arithmetic
+
+    def __add__(self, other):
+        return self._combine(other, self.value + self._lift(other).value)
+
+    def __radd__(self, other):
+        return self._lift(other).__add__(self)
+
+    def __sub__(self, other):
+        return self._combine(other, self.value - self._lift(other).value)
+
+    def __rsub__(self, other):
+        return self._lift(other).__sub__(self)
+
+    def __mul__(self, other):
+        return self._combine(other, self.value * self._lift(other).value)
+
+    def __rmul__(self, other):
+        return self._lift(other).__mul__(self)
+
+    def __floordiv__(self, other):
+        rhs = self._lift(other)
+        if rhs.value == 0:
+            raise AbstractionError("division by an (abstract) zero")
+        return self._combine(other, self.value // rhs.value)
+
+    def __rfloordiv__(self, other):
+        return self._lift(other).__floordiv__(self)
+
+    def __mod__(self, other):
+        rhs = self._lift(other)
+        if rhs.value == 0:
+            raise AbstractionError("modulo by an (abstract) zero")
+        return self._combine(other, self.value % rhs.value)
+
+    def __rmod__(self, other):
+        return self._lift(other).__mod__(self)
+
+    def __and__(self, other):
+        return self._combine(other, self.value & self._lift(other).value)
+
+    def __rand__(self, other):
+        return self._lift(other).__and__(self)
+
+    def __or__(self, other):
+        return self._combine(other, self.value | self._lift(other).value)
+
+    def __ror__(self, other):
+        return self._lift(other).__or__(self)
+
+    def __xor__(self, other):
+        return self._combine(other, self.value ^ self._lift(other).value)
+
+    def __rxor__(self, other):
+        return self._lift(other).__xor__(self)
+
+    def __lshift__(self, other):
+        return self._combine(other, self.value << self._lift(other).value)
+
+    def __rlshift__(self, other):
+        return self._lift(other).__lshift__(self)
+
+    def __rshift__(self, other):
+        return self._combine(other, self.value >> self._lift(other).value)
+
+    def __rrshift__(self, other):
+        return self._lift(other).__rshift__(self)
+
+    def __neg__(self):
+        return AbstractValue(-self.value, self.taints, self.chain)
+
+    def __invert__(self):
+        return AbstractValue(~self.value, self.taints, self.chain)
+
+    # ------------------------------------------------- explicitly unsupported
+
+    def __index__(self):
+        # Using a possibly-tainted value as a host-side index (table
+        # lookups, bytes(), range()) would let taint escape the domain.
+        raise AbstractionError(
+            "abstract value used as a concrete index; cannot track taint "
+            "through host-side table lookups"
+        )
+
+    def __bool__(self):
+        # Branching on a tainted value inside an addr_fn would make the
+        # evaluated path secret-dependent — exactly what the analysis must
+        # not silently follow one arm of.
+        raise AbstractionError(
+            "abstract value used in a host-side branch condition"
+        )
+
+    def __eq__(self, other):
+        raise AbstractionError("abstract values cannot be compared")
+
+    def __hash__(self):  # pragma: no cover - __eq__ raises first in practice
+        raise AbstractionError("abstract values are unhashable")
+
+    def __repr__(self):
+        tag = "+".join(sorted(self.taints)) if self.taints else "clean"
+        return f"AbstractValue(0x{self.value:x}, {tag})"
+
+
+class TaintEnv:
+    """The abstract register environment handed to ``addr_fn``/``compute_fn``.
+
+    Mimics the dict interface the pipeline's ``core.env`` provides
+    (``env.get(reg, default)`` and ``env[reg]``); reads of unwritten
+    registers return the lifted default.  Unknown dict operations raise
+    :class:`AbstractionError` so new idioms surface as UNKNOWN rather
+    than wrong answers.
+    """
+
+    __slots__ = ("_regs",)
+
+    def __init__(self, regs=None):
+        self._regs = dict(regs or {})
+
+    def get(self, reg, default=0):
+        if reg in self._regs:
+            return self._regs[reg]
+        return AbstractValue._lift(default)
+
+    def __getitem__(self, reg):
+        if reg not in self._regs:
+            raise AbstractionError(f"read of unwritten register {reg!r}")
+        return self._regs[reg]
+
+    def __contains__(self, reg):
+        return reg in self._regs
+
+    def write(self, reg, value):
+        if not isinstance(value, AbstractValue):
+            value = AbstractValue._lift(value)
+        self._regs[reg] = value
+
+    def snapshot(self):
+        """An independent copy (for wrong-path arm evaluation)."""
+        return TaintEnv(self._regs)
+
+    def __getattr__(self, name):  # pragma: no cover - defensive
+        raise AbstractionError(f"unsupported environment operation {name!r}")

@@ -1,0 +1,174 @@
+"""Seeded program mutations that must flip specflow classifications.
+
+Mirror of the model checker's mutation registry
+(:mod:`repro.staticcheck.mutations`), aimed at the analyzer instead of
+the protocol: each entry pairs a *hardened* program (the analyzer must
+prove its load SAFE) with a single-edit *mutant* (the analyzer must flag
+the same load TRANSMIT, with a witness).  An analyzer that cannot tell
+the two apart is not measuring anything.
+
+* ``drop_fence`` — a Spectre victim whose transient arm carries a fence
+  between access and transmit (the lfence mitigation): the transmit can
+  never issue transiently, so it is SAFE.  The mutant deletes the fence.
+* ``weaken_guard`` — a victim whose bounds check actually excludes the
+  secret (in-bounds call): everything is SAFE.  The mutant weakens the
+  guard so the secret index reaches the guarded arm.
+"""
+
+from __future__ import annotations
+
+from ..cpu.isa import MicroOp, OpKind
+from ..security.spectre_v1 import (
+    ADDR_B,
+    ADDR_LIMIT,
+    ADDR_SECRET,
+    BRANCH_PC,
+    LINE,
+    OOB_INDEX,
+    victim_ops,
+)
+from .analyzer import SAFE, TRANSMIT, analyze_program
+from .programs import SpecProgram
+
+__all__ = ["SpecMutation", "MUTATIONS", "check_mutation", "check_all"]
+
+_TRANSMIT_PC = 0x7020
+
+
+def _fenced_victim(with_fence):
+    """The Spectre victim, lfence-hardened when ``with_fence``: the
+    transient arm is [access, FENCE, transmit], so the transmit waits on
+    a fence that cannot complete before the squash."""
+
+    def build():
+        bound_load = MicroOp(
+            OpKind.LOAD, pc=0x6000, addr=ADDR_LIMIT, size=1, dst="limit"
+        )
+        branch = MicroOp(
+            OpKind.BRANCH, pc=BRANCH_PC, taken=True, deps=(1,), latency=2
+        )
+        access = MicroOp(
+            OpKind.LOAD, pc=0x7010, addr=ADDR_SECRET, size=1, dst="v",
+            label="access",
+        )
+        arm = [access]
+        if with_fence:
+            arm.append(MicroOp(OpKind.FENCE, pc=0x7014, label="lfence"))
+        arm.append(
+            MicroOp(
+                OpKind.LOAD,
+                pc=_TRANSMIT_PC,
+                addr_fn=lambda env: ADDR_B + LINE * (env.get("v", 0) & 0xFF),
+                size=1,
+                deps=(2,) if with_fence else (1,),
+                label="transmit",
+            )
+        )
+        return [bound_load, branch], {branch.uid: arm}
+
+    return build
+
+
+class SpecMutation:
+    """A (hardened program, mutant program, load PC to watch) triple."""
+
+    __slots__ = ("name", "description", "model", "target_pc", "baseline",
+                 "mutant")
+
+    def __init__(self, name, description, model, target_pc, baseline, mutant):
+        self.name = name
+        self.description = description
+        self.model = model
+        self.target_pc = target_pc
+        self.baseline = baseline
+        self.mutant = mutant
+
+
+MUTATIONS = [
+    SpecMutation(
+        name="drop_fence",
+        description=(
+            "delete the lfence between the transient access and the "
+            "dependent transmit"
+        ),
+        model="futuristic",
+        target_pc=_TRANSMIT_PC,
+        baseline=SpecProgram(
+            "fenced_spectre", _fenced_victim(True),
+            secret_ranges=((ADDR_SECRET, ADDR_SECRET + 1),),
+            description="lfence-hardened Spectre victim",
+        ),
+        mutant=SpecProgram(
+            "fenced_spectre_dropped", _fenced_victim(False),
+            secret_ranges=((ADDR_SECRET, ADDR_SECRET + 1),),
+            description="the same victim with the lfence deleted",
+        ),
+    ),
+    SpecMutation(
+        name="weaken_guard",
+        description=(
+            "weaken the bounds check so the secret index reaches the "
+            "guarded access/transmit pair"
+        ),
+        model="futuristic",
+        target_pc=_TRANSMIT_PC,
+        baseline=SpecProgram(
+            "guarded_spectre", lambda: victim_ops(3),
+            secret_ranges=((ADDR_SECRET, ADDR_SECRET + 1),),
+            description="Spectre victim called in bounds: guard holds",
+        ),
+        mutant=SpecProgram(
+            "guarded_spectre_weakened", lambda: victim_ops(OOB_INDEX),
+            secret_ranges=((ADDR_SECRET, ADDR_SECRET + 1),),
+            description="the guard no longer excludes the secret index",
+        ),
+    ),
+]
+
+
+class MutationOutcome:
+    """Result of checking one mutation."""
+
+    __slots__ = ("mutation", "flipped", "baseline_class", "mutant_class",
+                 "witness")
+
+    def __init__(self, mutation, flipped, baseline_class, mutant_class,
+                 witness):
+        self.mutation = mutation
+        self.flipped = flipped
+        self.baseline_class = baseline_class
+        self.mutant_class = mutant_class
+        #: the mutant's taint-chain counterexample (empty if not flipped)
+        self.witness = witness
+
+    def to_dict(self):
+        return {
+            "mutation": self.mutation.name,
+            "description": self.mutation.description,
+            "target_pc": f"0x{self.mutation.target_pc:x}",
+            "flipped": self.flipped,
+            "baseline": self.baseline_class,
+            "mutant": self.mutant_class,
+            "witness": [dict(step) for step in self.witness],
+        }
+
+
+def check_mutation(mutation, window=64):
+    """Analyze baseline and mutant; the check passes iff the target load
+    is SAFE before the edit and TRANSMIT after it."""
+    base = analyze_program(mutation.baseline, model=mutation.model,
+                           window=window)
+    mut = analyze_program(mutation.mutant, model=mutation.model,
+                          window=window)
+    base_rep = base.load_at(mutation.target_pc)
+    mut_rep = mut.load_at(mutation.target_pc)
+    base_class = base_rep.classification if base_rep else SAFE
+    mut_class = mut_rep.classification if mut_rep else SAFE
+    flipped = base_class == SAFE and mut_class == TRANSMIT
+    witness = mut_rep.witness if (mut_rep and flipped) else ()
+    return MutationOutcome(mutation, flipped, base_class, mut_class, witness)
+
+
+def check_all(window=64):
+    """Check every registered mutation; returns the outcome list."""
+    return [check_mutation(m, window=window) for m in MUTATIONS]

@@ -1,0 +1,155 @@
+"""The program corpus the analyzer runs over.
+
+Two families:
+
+* **attack programs** — each PoC in :mod:`repro.security` exports a
+  ``specflow_program()`` describing its victim code (ops + wrong-path
+  arms + secret layout).  These are the analyzer's ground truth: every
+  one must classify its transmitter load TRANSMIT with a witness chain
+  that names the access and the transmit.
+* **workload programs** — finite prefixes of the synthetic SPEC traces
+  (correct path plus materialized wrong-path arms).  They touch no
+  declared secrets, so every load must come out SAFE; that emptiness is
+  what lets ``Scheme.SELECTIVE`` run workloads at baseline speed.
+"""
+
+from __future__ import annotations
+
+from ..cpu import isa
+from ..cpu.isa import OpKind
+from ..workloads import spec_trace
+
+__all__ = [
+    "SpecProgram",
+    "all_programs",
+    "attack_programs",
+    "workload_programs",
+]
+
+
+class SpecProgram:
+    """A MicroOp program plus the security metadata the analysis needs.
+
+    ``builder`` is a zero-argument callable returning ``(ops,
+    wrong_paths)`` in the shape :meth:`AttackContext.run_ops` takes; it
+    is re-invoked per analysis after a uid reset, so reports are
+    reproducible no matter how many programs were built before.
+    ``secret_ranges`` are half-open ``(lo, hi)`` byte ranges holding
+    secret or privileged data.  ``expected_transmit`` maps attack model
+    to the load PCs the program is *known* to leak through — the
+    cross-validation oracle for tests and ``--check``.
+    """
+
+    __slots__ = (
+        "name",
+        "description",
+        "secret_ranges",
+        "expected_transmit",
+        "_builder",
+    )
+
+    def __init__(self, name, builder, secret_ranges=(), description="",
+                 expected_transmit=None):
+        self.name = name
+        self._builder = builder
+        self.secret_ranges = tuple(secret_ranges)
+        self.description = description
+        self.expected_transmit = dict(expected_transmit or {})
+
+    def build(self):
+        """Materialize ``(ops, wrong_paths)`` with a fresh uid space."""
+        isa.reset_uids()
+        return self._builder()
+
+    def secret_range_overlapping(self, addr, size):
+        """The ``lo`` of the first secret range the access overlaps, or
+        None.  Ranges are few (0-2 per program), so linear scan."""
+        for lo, hi in self.secret_ranges:
+            if addr < hi and addr + size > lo:
+                return lo
+        return None
+
+    def __repr__(self):
+        return f"SpecProgram({self.name!r})"
+
+
+# ----------------------------------------------------------- attack corpus
+
+
+def attack_programs():
+    """One :class:`SpecProgram` per security PoC (exception variants
+    expand to one each), in deterministic name order."""
+    from ..security import (
+        cross_core,
+        exception_attacks,
+        meltdown_style,
+        spectre_v1,
+        ssb,
+    )
+
+    programs = [
+        spectre_v1.specflow_program(),
+        meltdown_style.specflow_program(),
+        ssb.specflow_program(),
+        cross_core.specflow_program(),
+    ]
+    programs.extend(exception_attacks.specflow_programs())
+    return sorted(programs, key=lambda p: p.name)
+
+
+# --------------------------------------------------------- workload corpus
+
+#: prefix length per workload program; long enough to exercise every op
+#: template the generator owns (loads, stores, branches, critical
+#: sections) while keeping the abstract walk instant.
+_WORKLOAD_OPS = 400
+#: wrong-path arm depth per branch; matches the resolve windows the
+#: pipeline actually reaches.
+_WORKLOAD_ARM_DEPTH = 8
+
+#: the Figure 4 applications the workload corpus samples — one
+#: control-heavy, one pointer-chasing, one streaming profile.
+WORKLOAD_NAMES = ("sjeng", "mcf", "libquantum")
+
+
+def _workload_builder(name, seed):
+    def build():
+        trace = spec_trace(name, seed=seed)
+        ops = [trace.next_op() for _ in range(_WORKLOAD_OPS)]
+        wrong_paths = {}
+        for op in ops:
+            if op.kind is not OpKind.BRANCH:
+                continue
+            arm = []
+            for index in range(_WORKLOAD_ARM_DEPTH):
+                wp = trace.wrong_path_op(op, index)
+                if wp is None:
+                    break
+                arm.append(wp)
+            if arm:
+                wrong_paths[op.uid] = arm
+        return ops, wrong_paths
+
+    return build
+
+
+def workload_programs(seed=0):
+    """Finite-prefix SpecPrograms for the sampled SPEC applications."""
+    return [
+        SpecProgram(
+            name=f"workload_{name}",
+            builder=_workload_builder(name, seed),
+            secret_ranges=(),
+            description=(
+                f"{_WORKLOAD_OPS}-op prefix of the '{name}' synthetic "
+                f"trace with {_WORKLOAD_ARM_DEPTH}-deep wrong-path arms"
+            ),
+            expected_transmit={"spectre": (), "futuristic": ()},
+        )
+        for name in WORKLOAD_NAMES
+    ]
+
+
+def all_programs(seed=0):
+    """The full corpus: attacks first (name order), then workloads."""
+    return attack_programs() + workload_programs(seed=seed)

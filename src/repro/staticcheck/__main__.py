@@ -7,9 +7,14 @@
     python -m repro.staticcheck model --mutation upgrade_drops_one_inv
     python -m repro.staticcheck lint src/repro --format json
     python -m repro.staticcheck lint --list-rules
+    python -m repro.staticcheck specflow
+    python -m repro.staticcheck specflow --witness --program spectre_v1
+    python -m repro.staticcheck specflow --mutations --evidence
 
 Exit codes: 0 verified/clean, 1 violation, missed mutation, incomplete
-exploration, or lint finding; 2 usage errors (argparse).
+exploration, lint finding, UNKNOWN/misclassified specflow load, failed
+specflow mutation flip, or dynamic-evidence mismatch; 2 usage errors
+(argparse).
 """
 
 from __future__ import annotations
@@ -156,6 +161,119 @@ def _cmd_lint(args):
     return 1 if findings else 0
 
 
+def _specflow_text(report, witness):
+    s = report.summary
+    print(
+        f"specflow: {report.program} [{report.model}, window "
+        f"{report.window}]  TRANSMIT={s['TRANSMIT']} SAFE={s['SAFE']} "
+        f"UNKNOWN={s['UNKNOWN']}"
+    )
+    for rep in report.loads:
+        if rep.classification == "SAFE":
+            continue  # the summary line carries the count
+        line = f"  0x{rep.pc:x} {rep.classification}"
+        if rep.classification == "TRANSMIT":
+            line += f" taints={','.join(rep.taints)}"
+            if rep.shadow:
+                line += (
+                    f" shadow={rep.shadow['kind']}@{rep.shadow['pc']} "
+                    f"({rep.shadow['why']})"
+                )
+        elif rep.classification == "UNKNOWN":
+            line += f" reason={rep.reason}"
+        print(line)
+        if witness and rep.classification == "TRANSMIT":
+            for step in rep.witness:
+                label = f" [{step['label']}]" if step.get("label") else ""
+                print(
+                    f"      {step['at']}: {step['kind']} at "
+                    f"{step['pc']}{label} -- {step['note']}"
+                )
+
+
+def _cmd_specflow(args):
+    from ..specflow import analyze_program, all_programs
+    from ..specflow.mutations import check_all as specflow_check_all
+
+    programs = all_programs()
+    if args.program is not None:
+        programs = [p for p in programs if p.name == args.program]
+        if not programs:
+            print(f"specflow: unknown program {args.program!r}",
+                  file=sys.stderr)
+            return 2
+    failures = 0
+    reports = []
+    for prog in programs:
+        report = analyze_program(prog, model=args.model, window=args.window)
+        reports.append(report)
+        unknown = report.pcs("UNKNOWN")
+        if unknown and not args.allow_unknown:
+            failures += 1
+        want = tuple(sorted(prog.expected_transmit.get(args.model, ())))
+        got = tuple(sorted(report.pcs("TRANSMIT")))
+        if got != want:
+            failures += 1
+    if args.json:
+        print(json.dumps(
+            {
+                "attack_model": args.model,
+                "window": args.window,
+                "programs": [r.to_dict() for r in reports],
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for prog, report in zip(programs, reports):
+            _specflow_text(report, args.witness)
+            want = tuple(sorted(prog.expected_transmit.get(args.model, ())))
+            got = tuple(sorted(report.pcs("TRANSMIT")))
+            if got != want:
+                print(
+                    f"  MISCLASSIFIED: transmit PCs "
+                    f"{[hex(pc) for pc in got]} != expected "
+                    f"{[hex(pc) for pc in want]}"
+                )
+            unknown = report.pcs("UNKNOWN")
+            if unknown and not args.allow_unknown:
+                print(
+                    f"  UNRESOLVED: {len(unknown)} UNKNOWN load(s) at "
+                    f"default config: {[hex(pc) for pc in unknown]}"
+                )
+    if args.mutations:
+        for outcome in specflow_check_all(window=args.window):
+            verdict = "flipped" if outcome.flipped else "NOT FLIPPED"
+            print(
+                f"specflow mutation {outcome.mutation.name}: {verdict} "
+                f"[{outcome.baseline_class} -> {outcome.mutant_class} at "
+                f"0x{outcome.mutation.target_pc:x}]"
+            )
+            if not outcome.flipped:
+                failures += 1
+            elif args.witness:
+                for step in outcome.witness:
+                    print(f"      {step['at']}: {step['note']}")
+    if args.evidence:
+        from ..specflow.evidence import gather_evidence
+
+        for outcome in gather_evidence():
+            verdict = "consistent" if outcome.ok else "VIOLATION"
+            print(
+                f"specflow evidence {outcome.program}: {verdict} "
+                f"(safe={len(outcome.safe_pcs_checked)} "
+                f"transmit={len(outcome.transmit_pcs_checked)})"
+            )
+            for violation in outcome.violations:
+                print(f"      {violation}")
+            if not outcome.ok:
+                failures += 1
+    if not args.json:
+        total = len(programs)
+        print(f"specflow: {total} program(s) analyzed, "
+              f"{failures} failure(s)")
+    return 0 if failures == 0 else 1
+
+
 def make_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro.staticcheck",
@@ -201,6 +319,42 @@ def make_parser():
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
     lint.set_defaults(func=_cmd_lint)
+
+    specflow = sub.add_parser(
+        "specflow",
+        help="speculative taint analysis over workload/attack programs",
+    )
+    specflow.add_argument(
+        "--program", default=None,
+        help="analyze one program by name (default: full corpus)",
+    )
+    specflow.add_argument(
+        "--model", choices=("spectre", "futuristic"), default="futuristic",
+        help="attack model: which older ops cast speculation shadows",
+    )
+    specflow.add_argument(
+        "--window", type=int, default=64,
+        help="speculation window in dynamic ops (default: 64)",
+    )
+    specflow.add_argument(
+        "--witness", action="store_true",
+        help="print the taint-chain witness for every TRANSMIT load",
+    )
+    specflow.add_argument(
+        "--mutations", action="store_true",
+        help="check the seeded program mutations flip classifications",
+    )
+    specflow.add_argument(
+        "--evidence", action="store_true",
+        help="cross-validate verdicts dynamically on the BASE simulator",
+    )
+    specflow.add_argument(
+        "--allow-unknown", action="store_true",
+        help="do not fail on UNKNOWN classifications",
+    )
+    specflow.add_argument("--json", action="store_true",
+                          help="machine-readable report")
+    specflow.set_defaults(func=_cmd_specflow)
     return parser
 
 

@@ -12,6 +12,7 @@ rule                        catches
 ``float-cycles``            float arithmetic on cycle counters
 ``pure-protocol``           side effects in the protocol table modules
 ``kernel-api-bypass``       event scheduling around SimKernel's API
+``register-env-bypass``     addr_fn/compute_fn evaluation outside repro.cpu
 ==========================  ==========================================
 """
 
@@ -302,6 +303,39 @@ class KernelApiBypassRule(LintRule):
         self.generic_visit(node)
 
 
+class RegisterEnvBypassRule(LintRule):
+    name = "register-env-bypass"
+    description = (
+        "MicroOp addr_fn/compute_fn/store_value_fn lambdas are pipeline "
+        "semantics: evaluating them outside repro.cpu bypasses the "
+        "register environment (operand readiness, squash state) and can "
+        "silently fork architectural state"
+    )
+    scopes = frozenset({"sim", "host"})
+
+    _FN_ATTRS = frozenset({"addr_fn", "compute_fn", "store_value_fn"})
+    #: The pipeline itself owns these evaluations.
+    _EXEMPT_DIR = "cpu"
+
+    def __init__(self, path, scope):
+        super().__init__(path, scope)
+        parts = Path(path).parts
+        self._exempt = len(parts) >= 2 and parts[-2] == self._EXEMPT_DIR
+
+    def visit_Call(self, node):
+        if not self._exempt:
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in self._FN_ATTRS:
+                self.report(
+                    node,
+                    f"direct {func.attr}(...) evaluation outside repro.cpu; "
+                    "the pipeline's register environment is the only sound "
+                    "evaluation context (audited analysis sites may "
+                    "suppress with justification)",
+                )
+        self.generic_visit(node)
+
+
 ALL_RULES = (
     WallClockRule,
     UnseededRandomRule,
@@ -309,6 +343,7 @@ ALL_RULES = (
     FloatCyclesRule,
     PureProtocolRule,
     KernelApiBypassRule,
+    RegisterEnvBypassRule,
 )
 
 

@@ -129,6 +129,8 @@ MUTATION_NAMES = (
     "l1_evict_keeps_directory_entry",
     "l2_evict_skips_recall",
     "purge_llc_sb_disabled",
+    "flagged_load_uses_fast_path",
+    "spec_retry_goes_visible",
 )
 
 
@@ -542,6 +544,11 @@ class ModelChecker:
             return  # SPEC_PROBE on a readable copy is the identity
         w = self._thaw(state)
         via = self._spec_route(state, w, c, l)
+        if self.mutation == "flagged_load_uses_fast_path":
+            # a load the selective policy should have routed through the
+            # USL path issues a normal visible fill instead
+            self._l1_apply(w, c, l, L1Event.FILL_SHARED)
+            self._add_sharer(w, l, c)
         emit(f"issue_spec c{c} l{l} via {via}", w, tags=frozenset({"spec"}))
 
     # --- transaction-advancing rules ----------------------------------
@@ -654,6 +661,10 @@ class ModelChecker:
         elif phase == "nack":
             w = self._thaw(state)
             via = self._spec_route(state, w, c, l)
+            if self.mutation == "spec_retry_goes_visible":
+                # the retry of a nacked Spec-GetS re-issues as a visible
+                # read and registers the requester in the directory
+                self._add_sharer(w, l, c)
             emit(f"spec_retry c{c} l{l} via {via}", w, tags=spec)
         elif phase == "filled":
             # the core's choice: squash, or reach the visibility point

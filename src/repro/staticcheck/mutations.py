@@ -107,6 +107,19 @@ MUTATIONS = [
         "(a speculative L2 fill stays consumable after a store)",
         "fresh-validate",
     ),
+    Mutation(
+        "flagged_load_uses_fast_path",
+        "a load the specflow analysis flagged (selective protection) "
+        "issues down the conventional fast path: visible L1 fill plus a "
+        "directory entry while still speculative",
+        "invisibility",
+    ),
+    Mutation(
+        "spec_retry_goes_visible",
+        "the retry of a nacked Spec-GetS re-issues as a visible read, "
+        "registering the still-speculative requester in the directory",
+        "invisibility",
+    ),
 ]
 
 assert {m.name for m in MUTATIONS} == set(MUTATION_NAMES)

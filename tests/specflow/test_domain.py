@@ -1,0 +1,107 @@
+"""The abstract taint domain: propagation, witnesses, and the
+operations it must *refuse* to model (AbstractionError, never a wrong
+answer)."""
+
+import pytest
+
+from repro.specflow import AbstractValue, TaintEnv
+from repro.specflow.domain import AbstractionError
+
+
+def tainted(value, label="secret@0x100", step=("src",)):
+    return AbstractValue(value, {label}, (dict(at="x", note=s) for s in step))
+
+
+class TestPropagation:
+    def test_clean_arithmetic_stays_clean(self):
+        v = AbstractValue(6) * 7 + 1
+        assert v.value == 43
+        assert not v.tainted
+        assert v.chain == ()
+
+    def test_taint_flows_through_every_operator(self):
+        t = tainted(5)
+        for expr, expected in [
+            (t + 3, 8),
+            (3 + t, 8),
+            (t - 1, 4),
+            (10 - t, 5),
+            (t * 4, 20),
+            (t // 2, 2),
+            (t % 3, 2),
+            (t & 0xFF, 5),
+            (t | 8, 13),
+            (t ^ 1, 4),
+            (t << 2, 20),
+            (t >> 1, 2),
+            (-t, -5),
+            (~t, -6),
+        ]:
+            assert expr.value == expected
+            assert expr.taints == {"secret@0x100"}
+
+    def test_taint_unions_across_operands(self):
+        v = tainted(1, "a") + tainted(2, "b")
+        assert v.taints == {"a", "b"}
+
+    def test_left_tainted_chain_wins(self):
+        left = tainted(1, step=("L",))
+        right = tainted(2, step=("R",))
+        assert (left + right).chain == left.chain
+        # a clean left operand defers to the tainted right's chain
+        assert (AbstractValue(3) + right).chain == right.chain
+
+
+class TestRefusals:
+    def test_lift_rejects_non_integers(self):
+        with pytest.raises(AbstractionError):
+            AbstractValue(1) + 1.5
+        with pytest.raises(AbstractionError):
+            AbstractValue(1) + True
+
+    def test_division_by_abstract_zero(self):
+        with pytest.raises(AbstractionError):
+            AbstractValue(4) // AbstractValue(0)
+        with pytest.raises(AbstractionError):
+            AbstractValue(4) % AbstractValue(0)
+
+    def test_host_side_escapes_raise(self):
+        table = list(range(8))
+        with pytest.raises(AbstractionError):
+            table[tainted(3)]  # __index__
+        with pytest.raises(AbstractionError):
+            bool(tainted(1))  # host-side branch
+        with pytest.raises(AbstractionError):
+            tainted(1) == 1  # comparison
+
+
+class TestTaintEnv:
+    def test_get_lifts_the_default(self):
+        env = TaintEnv()
+        v = env.get("v", 7)
+        assert isinstance(v, AbstractValue)
+        assert v.value == 7 and not v.tainted
+
+    def test_getitem_of_unwritten_register_raises(self):
+        with pytest.raises(AbstractionError):
+            TaintEnv()["v"]
+
+    def test_write_and_contains(self):
+        env = TaintEnv()
+        env.write("v", tainted(9))
+        assert "v" in env
+        assert env["v"].taints == {"secret@0x100"}
+        env.write("w", 3)  # plain ints are lifted
+        assert env["w"].value == 3
+
+    def test_snapshot_is_independent(self):
+        env = TaintEnv()
+        env.write("v", 1)
+        snap = env.snapshot()
+        snap.write("v", tainted(2))
+        assert not env["v"].tainted
+        assert snap["v"].tainted
+
+    def test_unknown_operations_surface(self):
+        with pytest.raises(AbstractionError):
+            TaintEnv().items()

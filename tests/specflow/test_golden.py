@@ -1,0 +1,89 @@
+"""Golden-file determinism: the per-PoC specflow reports are
+bit-identical across interpreter processes with different
+PYTHONHASHSEED values, and match the checked-in golden file — so any
+report change shows up as a reviewable diff, and no verdict can ride
+on hash order."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+_GOLDEN = Path(__file__).resolve().parent / "golden" / "attack_reports.json"
+
+_DUMP_SCRIPT = """
+import json, sys
+from repro.specflow import analyze_program, attack_programs
+
+payload = {
+    model: [analyze_program(p, model=model).to_dict()
+            for p in attack_programs()]
+    for model in ("spectre", "futuristic")
+}
+json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+sys.stdout.write("\\n")
+"""
+
+
+def _dump_reports(hashseed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hashseed)
+    env["PYTHONPATH"] = _SRC
+    proc = subprocess.run(
+        [sys.executable, "-c", _DUMP_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_reports_bit_identical_across_hash_seeds_and_match_golden():
+    a = _dump_reports(1)
+    b = _dump_reports(424242)
+    assert a == b
+    assert a == _GOLDEN.read_text()
+
+
+def test_golden_file_covers_every_poc_with_the_expected_verdicts():
+    # guard against the golden file going stale relative to the corpus
+    from repro.specflow import attack_programs
+
+    payload = json.loads(_GOLDEN.read_text())
+    for model in ("spectre", "futuristic"):
+        by_name = {r["program"]: r for r in payload[model]}
+        for prog in attack_programs():
+            report = by_name[prog.name]
+            got = sorted(
+                load["pc"] for load in report["loads"]
+                if load["classification"] == "TRANSMIT"
+            )
+            want = sorted(
+                f"0x{pc:x}" for pc in prog.expected_transmit.get(model, ())
+            )
+            assert got == want, (model, prog.name)
+
+
+def test_cli_json_is_deterministic():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC
+    outputs = []
+    for hashseed in (3, 77777):
+        env["PYTHONHASHSEED"] = str(hashseed)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.staticcheck", "specflow",
+             "--program", "spectre_v1", "--json"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]
+    payload = json.loads(outputs[0])
+    assert payload["programs"][0]["program"] == "spectre_v1"

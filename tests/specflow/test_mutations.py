@@ -1,0 +1,27 @@
+"""The seeded analysis mutations must flip SAFE -> TRANSMIT.
+
+These are the analyzer's own mutation tests: a dropped fence and a
+weakened bounds guard.  An analyzer that passed the corpus oracle but
+missed these would be blind to the *absence* of protection.
+"""
+
+import pytest
+
+from repro.specflow.mutations import MUTATIONS, check_all, check_mutation
+
+
+@pytest.mark.parametrize("mutation", MUTATIONS, ids=[m.name for m in MUTATIONS])
+def test_mutation_flips(mutation):
+    outcome = check_mutation(mutation)
+    assert outcome.baseline_class == "SAFE", mutation.name
+    assert outcome.mutant_class == "TRANSMIT", mutation.name
+    assert outcome.flipped
+    # the flip comes with a counterexample chain ending in the claim
+    assert outcome.witness
+    assert outcome.witness[-1]["note"].startswith("transmits")
+
+
+def test_check_all_covers_the_registry():
+    outcomes = check_all()
+    assert [o.mutation.name for o in outcomes] == [m.name for m in MUTATIONS]
+    assert all(o.flipped for o in outcomes)
