@@ -141,6 +141,248 @@ class MicroOp:
         return f"MicroOp({self.kind.value}, pc=0x{self.pc:x}{extra}{tag})"
 
 
+# ------------------------------------------------------- expression IR
+#
+# Attack programs historically computed addresses with ad-hoc lambdas,
+# which cannot cross a process boundary.  Randomized fuzz programs
+# (repro.fuzz) must be dispatched to supervisor workers, so their
+# address/compute functions are built from this tiny declarative IR
+# instead: an Expr is plain data (nested tuples), pickles and
+# JSON-round-trips, and *evaluates itself* against any register
+# environment — the concrete pipeline env and specflow's abstract
+# TaintEnv alike, since it only uses overloadable operators.
+
+#: node tag -> binary operator; evaluation never compares or branches on
+#: values, so AbstractValue taint flows through unchanged.
+_EXPR_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+    "mod": lambda a, b: a % b,
+}
+
+
+class ExprError(ValueError):
+    """An expression tree is malformed or not serializable."""
+
+
+class Expr:
+    """A picklable address/compute function over a register environment.
+
+    Nodes are tuples:
+
+    * ``("const", k)`` — the integer ``k``;
+    * ``("reg", name, default)`` — ``env.get(name, default)``;
+    * ``("neg", a)`` / ``("inv", a)`` — unary minus / bitwise not;
+    * ``(op, a, b)`` for ``op`` in ``add sub mul and or xor shl shr mod``.
+
+    Calling the Expr evaluates the tree; passing specflow's ``TaintEnv``
+    makes the same tree its own abstract transfer function.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node):
+        self.node = self._freeze(node)
+
+    @classmethod
+    def _freeze(cls, node):
+        if not isinstance(node, (tuple, list)) or not node:
+            raise ExprError(f"malformed expression node: {node!r}")
+        tag = node[0]
+        if tag == "const":
+            if len(node) != 2 or not isinstance(node[1], int):
+                raise ExprError(f"malformed const node: {node!r}")
+            return ("const", node[1])
+        if tag == "reg":
+            if (
+                len(node) != 3
+                or not isinstance(node[1], str)
+                or not isinstance(node[2], int)
+            ):
+                raise ExprError(f"malformed reg node: {node!r}")
+            return ("reg", node[1], node[2])
+        if tag in ("neg", "inv"):
+            if len(node) != 2:
+                raise ExprError(f"malformed unary node: {node!r}")
+            return (tag, cls._freeze(node[1]))
+        if tag in _EXPR_BINOPS:
+            if len(node) != 3:
+                raise ExprError(f"malformed {tag} node: {node!r}")
+            return (tag, cls._freeze(node[1]), cls._freeze(node[2]))
+        raise ExprError(f"unknown expression tag {tag!r}")
+
+    def __call__(self, env):
+        return self._eval(self.node, env)
+
+    @classmethod
+    def _eval(cls, node, env):
+        tag = node[0]
+        if tag == "const":
+            return node[1]
+        if tag == "reg":
+            return env.get(node[1], node[2])
+        if tag == "neg":
+            return -cls._eval(node[1], env)
+        if tag == "inv":
+            return ~cls._eval(node[1], env)
+        return _EXPR_BINOPS[tag](
+            cls._eval(node[1], env), cls._eval(node[2], env)
+        )
+
+    # The tree is plain data, so JSON round-trips via nested lists.
+
+    def to_json(self):
+        return self._jsonify(self.node)
+
+    @classmethod
+    def _jsonify(cls, node):
+        return [
+            cls._jsonify(part) if isinstance(part, tuple) else part
+            for part in node
+        ]
+
+    @classmethod
+    def from_json(cls, data):
+        return cls(cls._detuple(data))
+
+    @classmethod
+    def _detuple(cls, data):
+        if isinstance(data, list):
+            return tuple(cls._detuple(part) for part in data)
+        return data
+
+    def __eq__(self, other):
+        return isinstance(other, Expr) and self.node == other.node
+
+    def __hash__(self):
+        return hash(self.node)
+
+    def __repr__(self):
+        return f"Expr({self.node!r})"
+
+
+# --------------------------------------------- program serialization
+#
+# Cross-process program dispatch (the repro.fuzz campaign ships programs
+# to supervisor workers) and the content-addressed triage corpus both
+# need MicroOp programs as plain data.  Serialization is total for ops
+# whose callables are Expr (or absent); an op carrying an opaque lambda
+# is rejected loudly rather than silently dropped.
+
+#: MicroOp fields serialized verbatim (defaults omitted for compactness).
+_OP_FIELD_DEFAULTS = (
+    ("addr", None),
+    ("size", 8),
+    ("dst", None),
+    ("store_value", 0),
+    ("latency", 1),
+    ("taken", False),
+    ("raises_exception", False),
+    ("label", None),
+    ("taint", None),
+)
+_OP_EXPR_FIELDS = ("addr_fn", "compute_fn", "store_value_fn")
+
+
+def op_to_dict(op):
+    """One MicroOp as a JSON-able dict (uid included, Expr fns inlined)."""
+    data = {"uid": op.uid, "kind": op.kind.value, "pc": op.pc}
+    for field, default in _OP_FIELD_DEFAULTS:
+        value = getattr(op, field)
+        if value != default:
+            data[field] = value
+    if op.deps:
+        data["deps"] = list(op.deps)
+    for field in _OP_EXPR_FIELDS:
+        fn = getattr(op, field)
+        if fn is None:
+            continue
+        if not isinstance(fn, Expr):
+            raise ExprError(
+                f"cannot serialize {field} of {op!r}: {type(fn).__name__} "
+                f"is not an Expr (opaque callables cannot cross processes)"
+            )
+        data[field] = fn.to_json()
+    return data
+
+
+def op_from_dict(data):
+    """Rebuild a MicroOp; its uid is restored verbatim from ``data``."""
+    kwargs = {"pc": data["pc"]}
+    for field, default in _OP_FIELD_DEFAULTS:
+        kwargs[field] = data.get(field, default)
+    kwargs["deps"] = tuple(data.get("deps", ()))
+    for field in _OP_EXPR_FIELDS:
+        if field in data:
+            kwargs[field] = Expr.from_json(data[field])
+    op = MicroOp(OpKind(data["kind"]), **kwargs)
+    op.uid = data["uid"]
+    return op
+
+
+def serialize_program(ops, wrong_paths=None):
+    """``(ops, wrong_paths)`` as one JSON-able dict.
+
+    Wrong-path arms are keyed by the owner op's uid (stringified for
+    JSON); uids are stored per op so a deserialized program replays
+    bit-identically — arm keys keep resolving after the round trip.
+    """
+    return {
+        "ops": [op_to_dict(op) for op in ops],
+        "wrong_paths": {
+            str(uid): [op_to_dict(op) for op in arm]
+            for uid, arm in sorted((wrong_paths or {}).items())
+        },
+    }
+
+
+def deserialize_program(data, fresh_uids=False):
+    """Rebuild ``(ops, wrong_paths)`` from :func:`serialize_program` data.
+
+    With ``fresh_uids=False`` every op keeps its stored uid and the
+    global counter is advanced past the largest one, so later ops cannot
+    collide — a worker-side rebuild is bit-identical to the original.
+    With ``fresh_uids=True`` all ops draw new uids from the counter (arm
+    keys are remapped): used to replay the same phase several times into
+    one live trace, e.g. predictor-training rounds.
+    """
+    global _uid
+    ops = [op_from_dict(entry) for entry in data["ops"]]
+    wrong_paths = {
+        int(uid): [op_from_dict(entry) for entry in arm]
+        for uid, arm in data.get("wrong_paths", {}).items()
+    }
+    if fresh_uids:
+        remap = {}
+        for op in ops:
+            old = op.uid
+            op.uid = next(_uid)
+            remap[old] = op.uid
+        fresh_wrong = {}
+        for uid, arm in wrong_paths.items():
+            for op in arm:
+                op.uid = next(_uid)
+            fresh_wrong[remap.get(uid, uid)] = arm
+        return ops, fresh_wrong
+    top = max(
+        [op.uid for op in ops]
+        + [op.uid for arm in wrong_paths.values() for op in arm],
+        default=-1,
+    )
+    current = next(_uid)
+    if current <= top:
+        _uid = itertools.count(top + 1)
+    else:
+        _uid = itertools.count(current)
+    return ops, wrong_paths
+
+
 def alu(pc=0, latency=1, deps=(), dst=None, compute_fn=None, label=None):
     return MicroOp(
         OpKind.ALU, pc=pc, latency=latency, deps=deps, dst=dst,

@@ -1,0 +1,102 @@
+"""The content-addressed on-disk triage corpus.
+
+Every minimized disagreement becomes one JSON file named by the SHA-256
+of its canonical content (program + disagreement target), so re-running
+a campaign — any seed, any job count — converges on the same file set:
+identical reproducers dedupe by construction, and the corpus diffs
+cleanly in review.  ``index.json`` is the triage journal: a sorted
+digest of every entry with its replay command.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+__all__ = ["TriageCorpus"]
+
+
+class TriageCorpus:
+    """Writer/reader for ``<root>/corpus``."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.index_path = self.root / "index.json"
+        self._entries = {}
+
+    @staticmethod
+    def entry_hash(program, disagreement):
+        payload = (
+            program.canonical_json()
+            + json.dumps(disagreement, sort_keys=True, separators=(",", ":"))
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def add(self, minimized, original, disagreement, minimization_log,
+            checks):
+        """Record one minimized reproducer; returns its content hash.
+
+        ``disagreement`` is ``{"kind", "model", "pc", "weaken"}`` —
+        the exact claim the reproducer demonstrates.  Adding the same
+        (program, disagreement) twice is a no-op.
+        """
+        digest = self.entry_hash(minimized, disagreement)
+        if digest in self._entries:
+            return digest
+        entry = {
+            "hash": digest,
+            "disagreement": disagreement,
+            "program": minimized.to_dict(),
+            "ops": minimized.op_count,
+            "original": {
+                "name": original.name,
+                "ops": original.op_count,
+                "template": original.template,
+                "mutations": list(original.mutations),
+            },
+            "minimization": {
+                "log": minimization_log,
+                "checks": checks,
+            },
+            "replay": (
+                f"PYTHONPATH=src python -m repro.fuzz replay "
+                f"{self.root.name}/{digest}.json"
+            ),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"{digest}.json"
+        path.write_text(
+            json.dumps(entry, indent=2, sort_keys=True) + "\n"
+        )
+        self._entries[digest] = entry
+        return digest
+
+    def write_index(self):
+        """Write the triage journal (deterministic: sorted by hash)."""
+        index = [
+            {
+                "hash": entry["hash"],
+                "kind": entry["disagreement"]["kind"],
+                "model": entry["disagreement"]["model"],
+                "pc": entry["disagreement"]["pc"],
+                "ops": entry["ops"],
+                "original": entry["original"]["name"],
+                "template": entry["original"]["template"],
+                "replay": entry["replay"],
+            }
+            for _digest, entry in sorted(self._entries.items())
+        ]
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.index_path.write_text(
+            json.dumps(index, indent=2, sort_keys=True) + "\n"
+        )
+        return index
+
+    @staticmethod
+    def load_entry(path):
+        """Read one corpus entry file (for ``repro.fuzz replay``)."""
+        return json.loads(Path(path).read_text())
+
+    def entries(self):
+        return [entry for _d, entry in sorted(self._entries.items())]

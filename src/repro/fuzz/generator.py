@@ -1,0 +1,511 @@
+"""Seeded gadget-template generator for the differential fuzz campaign.
+
+Programs are composed from a fixed template alphabet — one family per
+transient-leak mechanism the simulator models — and randomized by
+per-program knobs (guard latency, padding, transmit mask/stride, secret
+offset, extra transmitters, fence placement).  Templates are assigned
+round-robin over the program index, so any campaign of at least
+``len(TEMPLATE_NAMES)`` programs is guaranteed full mechanism coverage —
+that is what lets the seeded-weakening checks promise a hit.
+
+Determinism rules (the campaign's bit-identity guarantee rests on them):
+
+* every random draw comes from a ``random.Random`` seeded with an
+  *integer* mixed from ``(campaign_seed, index)`` — never tuples or
+  strings, whose hashing is ``PYTHONHASHSEED``-dependent;
+* ops are built after :func:`~repro.cpu.isa.reset_uids`, so serialized
+  uids always start at 0 and a rebuild anywhere (worker process, replay,
+  minimizer) is bit-identical;
+* all address/compute functions are :class:`~repro.cpu.isa.Expr` trees,
+  so the whole program serializes losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from ..cpu import isa
+from ..cpu.isa import (
+    Expr,
+    MicroOp,
+    OpKind,
+    deserialize_program,
+    serialize_program,
+)
+from ..specflow.programs import SpecProgram
+
+__all__ = [
+    "FuzzProgram",
+    "TEMPLATE_NAMES",
+    "generate_programs",
+    "mix_seed",
+]
+
+# ------------------------------------------------------- memory layout
+#
+# One shared layout for every generated program; each program runs on a
+# fresh machine, so programs never see each other's footprints.
+
+ADDR_GUARD = 0x0001_0000  # bound/limit byte the guard load reads
+ADDR_DELAY = 0x0001_4000  # flushed line gating a fault's retirement
+ADDR_PTR = 0x0001_8000  # pointer a store's address depends on (flushed)
+ADDR_ARRAY = 0x0002_0000  # benign in-bounds array
+ADDR_SECRET = 0x0002_4000  # 8 planted secret bytes
+SECRET_BYTES = 8
+ADDR_STALE = 0x0002_8000  # SSB buffer slot holding the stale secret
+ADDR_B = 0x0010_0000  # transmission array
+LINE = 64
+
+#: transmit masks that keep the two campaign secrets (see harness) on
+#: distinct transmission-array lines: 41 and 174 differ in every one of
+#: these masked views.
+_MASKS = (0xFF, 0x3F, 0x1F, 0x0F, 0x07)
+_STRIDES = (64, 128)
+
+_PC_MAIN = 0x6000
+_PC_ARM = 0x7000
+_PC_STEP = 0x10
+
+
+def mix_seed(seed, index):
+    """Derive the per-program RNG seed by integer mixing (hash-free)."""
+    return (
+        seed * 0x9E3779B1 + index * 0x85EBCA77 + 0x165667B1
+    ) & 0xFFFFFFFF
+
+
+# ------------------------------------------------------ program object
+
+
+class FuzzProgram:
+    """One generated program: serialized ops plus the dynamic recipe.
+
+    ``program`` is :func:`~repro.cpu.isa.serialize_program` data (plain
+    JSON-able dicts); ``setup`` tells the dynamic harness how to prepare
+    the machine — which address receives the planted secret, which other
+    bytes to write, which lines to warm and which to flush.  The object
+    is pure data: it pickles, JSON-round-trips, and rebuilds its MicroOps
+    bit-identically in any process.
+    """
+
+    __slots__ = (
+        "name",
+        "template",
+        "mutations",
+        "program",
+        "secret_ranges",
+        "setup",
+    )
+
+    def __init__(self, name, template, mutations, program, secret_ranges,
+                 setup):
+        self.name = name
+        self.template = template
+        self.mutations = tuple(mutations)
+        self.program = program
+        self.secret_ranges = tuple(tuple(r) for r in secret_ranges)
+        self.setup = setup
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "template": self.template,
+            "mutations": list(self.mutations),
+            "program": self.program,
+            "secret_ranges": [list(r) for r in self.secret_ranges],
+            "setup": self.setup,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            name=data["name"],
+            template=data["template"],
+            mutations=data["mutations"],
+            program=data["program"],
+            secret_ranges=[tuple(r) for r in data["secret_ranges"]],
+            setup=data["setup"],
+        )
+
+    def canonical_json(self):
+        """Stable byte representation (content addressing, dedup)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def build(self):
+        """Materialize ``(ops, wrong_paths)`` with the stored uid space."""
+        isa.reset_uids()
+        return deserialize_program(self.program)
+
+    def spec_program(self):
+        """The static-analysis view: a :class:`SpecProgram` whose builder
+        rebuilds the serialized ops (after the uid reset
+        ``SpecProgram.build`` performs)."""
+        return SpecProgram(
+            name=self.name,
+            builder=lambda: deserialize_program(self.program),
+            secret_ranges=self.secret_ranges,
+            description=f"fuzz template {self.template}",
+        )
+
+    @property
+    def op_count(self):
+        """Main-path ops plus all wrong-path arm ops."""
+        return len(self.program["ops"]) + sum(
+            len(arm) for arm in self.program["wrong_paths"].values()
+        )
+
+    def __repr__(self):
+        return (
+            f"FuzzProgram({self.name!r}, {self.template}, "
+            f"{self.op_count} ops)"
+        )
+
+
+# ------------------------------------------------------------- builder
+
+
+class _Builder:
+    """Accumulates MicroOps with label-based deps, emitting the
+    distance-based ``deps`` encoding the pipeline and analyzer use.
+    PCs are auto-assigned from per-path bases so every op has a distinct
+    static PC (per-PC verdicts then map 1:1 to ops)."""
+
+    def __init__(self):
+        self.ops = []
+        self.wrong_paths = {}
+        self._pos = {}  # label -> virtual index on the main path
+
+    def main(self, kind, deps=(), label=None, pc=None, **kw):
+        idx = len(self.ops)
+        op = MicroOp(
+            kind,
+            pc=_PC_MAIN + _PC_STEP * idx if pc is None else pc,
+            deps=tuple(idx - self._pos[dep] for dep in deps),
+            label=label,
+            **kw,
+        )
+        self.ops.append(op)
+        if label is not None:
+            self._pos[label] = idx
+        return op
+
+    def arm(self, owner):
+        return _ArmBuilder(self, owner)
+
+    def serialized(self):
+        return serialize_program(self.ops, self.wrong_paths)
+
+
+class _ArmBuilder:
+    """Builds one wrong-path arm; dep labels resolve against the arm
+    itself first, then the main path (distances run back through the
+    arm into the pre-arm program, mirroring the dynamic op stream)."""
+
+    def __init__(self, builder, owner):
+        self.builder = builder
+        self.owner_index = builder.ops.index(owner)
+        self.ops = builder.wrong_paths.setdefault(owner.uid, [])
+        self._pos = {}
+
+    def add(self, kind, deps=(), label=None, pc=None, **kw):
+        virtual = self.owner_index + 1 + len(self.ops)
+        distances = []
+        for dep in deps:
+            target = self._pos.get(dep)
+            if target is None:
+                target = self.builder._pos[dep]
+            distances.append(virtual - target)
+        op = MicroOp(
+            kind,
+            pc=_PC_ARM + _PC_STEP * len(self.ops) if pc is None else pc,
+            deps=tuple(distances),
+            label=label,
+            **kw,
+        )
+        self.ops.append(op)
+        if label is not None:
+            self._pos[label] = virtual
+        return op
+
+
+def _transmit_expr(reg, mask, stride):
+    """``ADDR_B + stride * (reg & mask)`` as an Expr tree."""
+    return Expr(
+        (
+            "add",
+            ("const", ADDR_B),
+            ("mul", ("const", stride), ("and", ("reg", reg, 0), ("const", mask))),
+        )
+    )
+
+
+class _Knobs:
+    """Per-program randomized parameters, drawn up front so templates
+    stay straight-line code."""
+
+    __slots__ = ("mask", "stride", "guard_latency", "main_pads", "arm_pads",
+                 "secret_off", "extra_transmit", "warm_guard", "tags")
+
+    def __init__(self, rng):
+        self.mask = rng.choice(_MASKS)
+        self.stride = rng.choice(_STRIDES)
+        self.guard_latency = rng.randint(1, 3)
+        self.main_pads = rng.randint(0, 2)
+        self.arm_pads = rng.randint(0, 2)
+        self.secret_off = rng.randrange(SECRET_BYTES)
+        self.extra_transmit = rng.random() < 0.25
+        self.warm_guard = rng.random() < 0.15
+        self.tags = [f"mask=0x{self.mask:x}", f"stride={self.stride}"]
+        if self.main_pads:
+            self.tags.append(f"main_pads={self.main_pads}")
+        if self.arm_pads:
+            self.tags.append(f"arm_pads={self.arm_pads}")
+        if self.secret_off:
+            self.tags.append(f"secret_off={self.secret_off}")
+        if self.extra_transmit:
+            self.tags.append("extra_transmit")
+        if self.warm_guard:
+            self.tags.append("warm_guard")
+
+
+def _setup(flush=(), warm=(), writes=(), secret_addr=ADDR_SECRET,
+           secret_size=SECRET_BYTES):
+    return {
+        "secret_addr": secret_addr,
+        "secret_size": secret_size,
+        "writes": [[addr, list(data)] for addr, data in writes],
+        "warm": list(warm),
+        "flush": list(flush),
+    }
+
+
+# ----------------------------------------------------------- templates
+#
+# Each template returns (builder, setup, knob-tags).  The secret range is
+# always the 8 planted bytes at ADDR_SECRET unless the template says
+# otherwise.
+
+
+def _bounds_check(rng, fence_before=False, fence_after=False,
+                  mask_override=None):
+    """Spectre-v1 family: flushed bound, mispredicted branch, transient
+    access/transmit pair in the arm.  ``fence_before`` hardens it (the
+    lfence mitigation); ``fence_after`` places the fence uselessly after
+    the transmit; ``mask_override`` builds the value-killing precision
+    gadget."""
+    k = _Knobs(rng)
+    mask = k.mask if mask_override is None else mask_override
+    b = _Builder()
+    b.main(OpKind.LOAD, addr=ADDR_GUARD, size=1, dst="limit", label="guard")
+    for _ in range(k.main_pads):
+        b.main(OpKind.ALU)
+    br = b.main(OpKind.BRANCH, taken=True, deps=("guard",),
+                latency=k.guard_latency)
+    arm = b.arm(br)
+    for _ in range(k.arm_pads):
+        arm.add(OpKind.ALU)
+    arm.add(OpKind.LOAD, addr=ADDR_SECRET + k.secret_off, size=1, dst="v",
+            label="access")
+    if fence_before:
+        arm.add(OpKind.FENCE, label="lfence")
+    arm.add(OpKind.LOAD, addr_fn=_transmit_expr("v", mask, k.stride),
+            size=1, deps=("access",), label="transmit")
+    if fence_after:
+        arm.add(OpKind.FENCE, label="late-fence")
+    if k.extra_transmit:
+        arm.add(OpKind.LOAD,
+                addr_fn=_transmit_expr("v", mask, k.stride * 2),
+                size=1, deps=("access",), label="transmit2")
+    if k.warm_guard:
+        setup = _setup(warm=[ADDR_GUARD, ADDR_SECRET])
+    else:
+        setup = _setup(flush=[ADDR_GUARD], warm=[ADDR_SECRET])
+    return b, setup, k.tags
+
+
+def _t_bounds_check(rng):
+    return _bounds_check(rng)
+
+
+def _t_bounds_check_fenced(rng):
+    return _bounds_check(rng, fence_before=True)
+
+
+def _t_fence_after_transmit(rng):
+    return _bounds_check(rng, fence_after=True)
+
+
+def _t_masked_dead(rng):
+    """Statically TRANSMIT, dynamically clean: the transmit masks the
+    secret with 0, so its address is constant — the canonical precision
+    gap (taint survives a value-killing operation in the abstract
+    domain)."""
+    b, setup, tags = _bounds_check(rng, mask_override=0)
+    return b, setup, tags + ["mask_override=0"]
+
+
+def _t_in_bounds(rng):
+    """Benign control: the transient access stays inside a public array,
+    so the (declared) secret never enters the dataflow."""
+    k = _Knobs(rng)
+    slot = rng.randrange(8)
+    b = _Builder()
+    b.main(OpKind.LOAD, addr=ADDR_GUARD, size=1, dst="limit", label="guard")
+    for _ in range(k.main_pads):
+        b.main(OpKind.ALU)
+    br = b.main(OpKind.BRANCH, taken=True, deps=("guard",),
+                latency=k.guard_latency)
+    arm = b.arm(br)
+    arm.add(OpKind.LOAD, addr=ADDR_ARRAY + 8 * slot, size=1, dst="v",
+            label="access")
+    arm.add(OpKind.LOAD, addr_fn=_transmit_expr("v", k.mask, k.stride),
+            size=1, deps=("access",), label="transmit")
+    setup = _setup(
+        flush=[ADDR_GUARD],
+        warm=[ADDR_ARRAY + 8 * slot],
+        writes=[(ADDR_ARRAY + 8 * slot, [slot + 1])],
+    )
+    return b, setup, k.tags + [f"slot={slot}"]
+
+
+def _ssb(rng, padded):
+    """Store-to-load forwarding bypass, entirely on the correct path:
+    slow-address store, premature stale read, dependent transmit.  No
+    branch — only the futuristic model (and judge) sees it."""
+    k = _Knobs(rng)
+    pads = rng.randint(4, 6) if padded else k.main_pads
+    b = _Builder()
+    b.main(OpKind.LOAD, addr=ADDR_PTR, size=8, dst="p", label="ptr")
+    b.main(
+        OpKind.STORE,
+        addr_fn=Expr(("reg", "p", ADDR_STALE)),
+        size=1,
+        store_value=0,
+        deps=("ptr",),
+        label="sanitize",
+    )
+    for _ in range(pads):
+        b.main(OpKind.ALU)
+    b.main(OpKind.LOAD, addr=ADDR_STALE, size=1, dst="s", label="access")
+    b.main(OpKind.LOAD, addr_fn=_transmit_expr("s", k.mask, k.stride),
+           size=1, deps=("access",), label="transmit")
+    if k.extra_transmit:
+        b.main(OpKind.LOAD,
+               addr_fn=_transmit_expr("s", k.mask, k.stride * 2),
+               size=1, deps=("access",), label="transmit2")
+    setup = _setup(
+        flush=[ADDR_PTR],
+        warm=[ADDR_STALE],
+        writes=[(ADDR_PTR, list(ADDR_STALE.to_bytes(8, "little")))],
+        secret_addr=ADDR_STALE,
+        secret_size=1,
+    )
+    tags = k.tags + ([f"store_pads={pads}"] if padded else [])
+    return b, setup, tags
+
+
+def _t_ssb(rng):
+    return _ssb(rng, padded=False)
+
+
+def _t_ssb_padded(rng):
+    return _ssb(rng, padded=True)
+
+
+def _t_exception(rng):
+    """Meltdown family: a faulting op (retirement gated on a flushed
+    line) shields a transient access/transmit arm.  Exception shadows
+    are futuristic-only."""
+    k = _Knobs(rng)
+    b = _Builder()
+    b.main(OpKind.LOAD, addr=ADDR_DELAY, size=8, dst="d", label="delay")
+    fault = b.main(OpKind.EXCEPTION, deps=("delay",), label="fault")
+    arm = b.arm(fault)
+    for _ in range(k.arm_pads):
+        arm.add(OpKind.ALU)
+    arm.add(OpKind.LOAD, addr=ADDR_SECRET + k.secret_off, size=1, dst="v",
+            label="access")
+    arm.add(OpKind.LOAD, addr_fn=_transmit_expr("v", k.mask, k.stride),
+            size=1, deps=("access",), label="transmit")
+    setup = _setup(flush=[ADDR_DELAY], warm=[ADDR_SECRET])
+    return b, setup, k.tags
+
+
+def _t_indirect_branch(rng):
+    """Spectre-v2 flavor: the transient arm computes the secret address
+    by pointer arithmetic over an attacker-shaped register, exercising
+    taint flow through arm ALU expressions."""
+    k = _Knobs(rng)
+    b = _Builder()
+    # The attacker-shaped index comes from a *warm* load: the transient
+    # chain must not wait on the flushed guard, or the branch resolves
+    # (and squashes the arm) before the dependent transmit can issue.
+    b.main(OpKind.LOAD, addr=ADDR_ARRAY, size=1, dst="i", label="atk")
+    b.main(OpKind.LOAD, addr=ADDR_GUARD, size=1, dst="limit", label="guard")
+    br = b.main(OpKind.BRANCH, taken=True, deps=("guard",),
+                latency=k.guard_latency)
+    arm = b.arm(br)
+    arm.add(
+        OpKind.ALU,
+        dst="j",
+        compute_fn=Expr(("and", ("reg", "i", 0), ("const", SECRET_BYTES - 1))),
+        deps=("atk",),
+        label="index",
+    )
+    arm.add(
+        OpKind.LOAD,
+        addr_fn=Expr(("add", ("const", ADDR_SECRET), ("reg", "j", 0))),
+        size=1,
+        dst="v",
+        deps=("index",),
+        label="access",
+    )
+    arm.add(OpKind.LOAD, addr_fn=_transmit_expr("v", k.mask, k.stride),
+            size=1, deps=("access",), label="transmit")
+    setup = _setup(
+        flush=[ADDR_GUARD],
+        warm=[ADDR_ARRAY, ADDR_SECRET],
+        writes=[(ADDR_ARRAY, [rng.randrange(256)])],
+    )
+    return b, setup, k.tags
+
+
+_TEMPLATES = (
+    ("bounds_check", _t_bounds_check),
+    ("bounds_check_fenced", _t_bounds_check_fenced),
+    ("fence_after_transmit", _t_fence_after_transmit),
+    ("in_bounds", _t_in_bounds),
+    ("ssb", _t_ssb),
+    ("ssb_padded", _t_ssb_padded),
+    ("exception", _t_exception),
+    ("indirect_branch", _t_indirect_branch),
+    ("masked_dead", _t_masked_dead),
+)
+
+TEMPLATE_NAMES = tuple(name for name, _fn in _TEMPLATES)
+
+
+def build_program(seed, index):
+    """Deterministically build program ``index`` of campaign ``seed``."""
+    rng = random.Random(mix_seed(seed, index))
+    template, fn = _TEMPLATES[index % len(_TEMPLATES)]
+    isa.reset_uids()
+    builder, setup, tags = fn(rng)
+    secret_size = setup["secret_size"]
+    secret_addr = setup["secret_addr"]
+    return FuzzProgram(
+        name=f"p{index:05d}-{template}",
+        template=template,
+        mutations=tags,
+        program=builder.serialized(),
+        secret_ranges=((secret_addr, secret_addr + secret_size),),
+        setup=setup,
+    )
+
+
+def generate_programs(count, seed=0):
+    """The campaign's program list: ``count`` programs, template
+    round-robin, fully determined by ``seed``."""
+    return [build_program(seed, index) for index in range(count)]

@@ -1,0 +1,210 @@
+"""Delta-minimization of disagreeing programs.
+
+Greedy fixpoint reduction: generate candidate edits in a deterministic
+order, re-run the full differential check on each, keep the first edit
+that preserves the target disagreement, restart.  Passes:
+
+* **drop-main** / **drop-arm** — remove one op (an op owning a
+  wrong-path arm takes its arm with it).  Distance-encoded ``deps`` are
+  repaired mechanically: a dep *onto* the removed op is dropped, a dep
+  reaching past it shrinks by one.  That repair can shift semantics —
+  which is fine, because every candidate is validated against the live
+  differential, never assumed equivalent;
+* **strip-mask** — replace an ``(x & const)`` node in an address/compute
+  expression by ``x`` (guard/fence simplification at the dataflow
+  level);
+* **drop-setup** — remove one warm address, flush address, or auxiliary
+  memory write from the dynamic recipe (the planted secret is never a
+  candidate: without it there is nothing to leak or to analyze).
+
+The result is the smallest program this pass vocabulary reaches that
+still reproduces the disagreement — the triage corpus stores it next to
+the original's identity so the reduction is auditable.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .generator import FuzzProgram
+
+__all__ = ["minimize_program"]
+
+
+def _clone(prog):
+    return json.loads(prog.canonical_json())
+
+
+def _repair_deps(op, source_virtual, removed_virtual):
+    """Repair one op's distance deps after removing the op at
+    ``removed_virtual`` from its dynamic sequence."""
+    if source_virtual <= removed_virtual:
+        return
+    deps = op.get("deps")
+    if not deps:
+        return
+    repaired = []
+    for distance in deps:
+        target = source_virtual - distance
+        if target == removed_virtual:
+            continue  # dep onto the removed op: gone with it
+        repaired.append(distance - 1 if target < removed_virtual else distance)
+    if repaired:
+        op["deps"] = repaired
+    else:
+        op.pop("deps", None)
+
+
+def _drop_main_op(data, index):
+    """Remove main-path op ``index``; returns False when the removal is
+    structurally impossible (nothing to remove)."""
+    ops = data["program"]["ops"]
+    removed = ops.pop(index)
+    data["program"]["wrong_paths"].pop(str(removed["uid"]), None)
+    for i, op in enumerate(ops):
+        # i is the pre-removal index for ops before the gap and the
+        # post-removal index after it; the pre-removal virtual index is
+        # what dep distances were written against.
+        virtual = i if i < index else i + 1
+        _repair_deps(op, virtual, index)
+    for uid, arm in data["program"]["wrong_paths"].items():
+        owner_index = _owner_index(ops, uid)
+        if owner_index is None:
+            continue
+        owner_virtual = (
+            owner_index if owner_index < index else owner_index + 1
+        )
+        if owner_virtual < index:
+            continue  # removed op is not in this arm's dynamic sequence
+        for k, op in enumerate(arm):
+            _repair_deps(op, owner_virtual + 1 + k, index)
+    return True
+
+
+def _owner_index(ops, uid):
+    for i, op in enumerate(ops):
+        if str(op["uid"]) == uid:
+            return i
+    return None
+
+
+def _drop_arm_op(data, uid, k):
+    arm = data["program"]["wrong_paths"][uid]
+    arm.pop(k)
+    if not arm:
+        del data["program"]["wrong_paths"][uid]
+        return True
+    owner_index = _owner_index(data["program"]["ops"], uid)
+    removed_virtual = owner_index + 1 + k
+    for k2 in range(k, len(arm)):
+        _repair_deps(arm[k2], owner_index + 1 + k2 + 1, removed_virtual)
+    return True
+
+
+def _strip_one_mask(node):
+    """Replace the first ``["and", x, ["const", m]]`` subtree by ``x``;
+    returns (new_node, stripped?)."""
+    if not isinstance(node, list):
+        return node, False
+    if (
+        node[0] == "and"
+        and isinstance(node[2], list)
+        and node[2][0] == "const"
+    ):
+        return node[1], True
+    out = [node[0]]
+    stripped = False
+    for part in node[1:]:
+        if stripped:
+            out.append(part)
+            continue
+        new, stripped = _strip_one_mask(part)
+        out.append(new)
+    return out, stripped
+
+
+def _all_ops(data):
+    yield from data["program"]["ops"]
+    for arm in data["program"]["wrong_paths"].values():
+        yield from arm
+
+
+def _candidates(prog):
+    """Yield (candidate FuzzProgram, note) in deterministic order.
+    Later ops first: trailing decorations (extra transmitters, fences)
+    fall away before load-bearing structure gets attempted."""
+    base = _clone(prog)
+    main_count = len(base["program"]["ops"])
+    for index in reversed(range(main_count)):
+        data = _clone(prog)
+        op = data["program"]["ops"][index]
+        _drop_main_op(data, index)
+        yield (
+            FuzzProgram.from_dict(data),
+            f"drop-main[{index}] {op['kind']}@{op['pc']:#x}",
+        )
+    for uid in sorted(base["program"]["wrong_paths"], key=int):
+        arm_len = len(base["program"]["wrong_paths"][uid])
+        for k in reversed(range(arm_len)):
+            data = _clone(prog)
+            op = data["program"]["wrong_paths"][uid][k]
+            _drop_arm_op(data, uid, k)
+            yield (
+                FuzzProgram.from_dict(data),
+                f"drop-arm[{uid}:{k}] {op['kind']}@{op['pc']:#x}",
+            )
+    for op_index, op in enumerate(_all_ops(base)):
+        for field in ("addr_fn", "compute_fn", "store_value_fn"):
+            if field not in op:
+                continue
+            new_node, stripped = _strip_one_mask(op[field])
+            if not stripped:
+                continue
+            data = _clone(prog)
+            for i, candidate_op in enumerate(_all_ops(data)):
+                if i == op_index:
+                    candidate_op[field] = new_node
+                    break
+            yield (
+                FuzzProgram.from_dict(data),
+                f"strip-mask {field}@{op['pc']:#x}",
+            )
+    for key in ("warm", "flush"):
+        for i in reversed(range(len(base["setup"][key]))):
+            data = _clone(prog)
+            addr = data["setup"][key].pop(i)
+            yield (FuzzProgram.from_dict(data), f"drop-{key} {addr:#x}")
+    for i in reversed(range(len(base["setup"]["writes"]))):
+        data = _clone(prog)
+        addr, _values = data["setup"]["writes"].pop(i)
+        yield (FuzzProgram.from_dict(data), f"drop-write {addr:#x}")
+
+
+def minimize_program(prog, check, max_checks=200):
+    """Shrink ``prog`` while ``check(candidate)`` (the caller's
+    "disagreement still present" predicate, typically a full
+    differential re-run) holds.
+
+    Returns ``(minimized, log, checks_spent)``.  ``max_checks`` bounds
+    the number of differential re-runs, so minimization cost stays
+    proportional to how interesting the program is; hitting the cap is
+    recorded in the log, never silent.
+    """
+    current = prog
+    log = []
+    checks = 0
+    improved = True
+    while improved:
+        improved = False
+        for candidate, note in _candidates(current):
+            if checks >= max_checks:
+                log.append({"pass": "budget-exhausted",
+                            "checks": checks})
+                return current, log, checks
+            checks += 1
+            if check(candidate):
+                log.append({"pass": note, "ops": candidate.op_count})
+                current = candidate
+                improved = True
+                break
+    return current, log, checks

@@ -112,7 +112,16 @@ def is_ok(result):
 
 
 def capture_metrics(result):
-    """Flatten a RunResult into the JSON-serializable journal metrics."""
+    """Flatten a cell result into the JSON-serializable journal metrics.
+
+    Simulation cells return a RunResult and get the standard flattening
+    below.  Other cell kinds (e.g. the fuzz campaign's program batches)
+    provide their own ``to_metrics()`` and own their journal schema —
+    the only field every kind shares is ``cycles``.
+    """
+    custom = getattr(result, "to_metrics", None)
+    if custom is not None:
+        return custom()
     return {
         "cycles": result.cycles,
         "instructions": result.instructions,
@@ -160,6 +169,17 @@ class CellResult:
 
     def count(self, name):
         return self._metrics["counters"].get(name, 0)
+
+    @property
+    def metrics(self):
+        """The raw journal metrics dict.
+
+        Cell kinds with a custom ``to_metrics()`` schema (fuzz batches)
+        are reconstructed through this rather than the RunResult-shaped
+        properties above, so cached-resume aggregation sees exactly what
+        a fresh run produced.
+        """
+        return self._metrics
 
     def __repr__(self):
         return (

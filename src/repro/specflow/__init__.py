@@ -30,10 +30,12 @@ from .analyzer import (
     SAFE,
     TRANSMIT,
     UNKNOWN,
+    UNKNOWN_REASON_KINDS,
     LoadReport,
     ProgramReport,
     SpecFlowAnalyzer,
     analyze_program,
+    analyze_programs,
     protected_pcs,
 )
 from .domain import AbstractValue, TaintEnv
@@ -54,8 +56,10 @@ __all__ = [
     "TRANSMIT",
     "TaintEnv",
     "UNKNOWN",
+    "UNKNOWN_REASON_KINDS",
     "all_programs",
     "analyze_program",
+    "analyze_programs",
     "attack_programs",
     "protected_pcs",
     "workload_programs",

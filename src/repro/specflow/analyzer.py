@@ -41,16 +41,30 @@ __all__ = [
     "SAFE",
     "TRANSMIT",
     "UNKNOWN",
+    "UNKNOWN_REASON_KINDS",
     "LoadReport",
     "ProgramReport",
     "SpecFlowAnalyzer",
     "analyze_program",
+    "analyze_programs",
     "protected_pcs",
 ]
 
 TRANSMIT = "TRANSMIT"
 SAFE = "SAFE"
 UNKNOWN = "UNKNOWN"
+
+#: machine-readable UNKNOWN attribution, one kind per failure mode the
+#: abstract walk can hit — consumers (the fuzz campaign's precision
+#: stats) aggregate on these rather than parsing free-text reasons.
+REASON_ABSTRACTION_ERROR = "abstraction-error"  # AbstractionError site
+REASON_UNMODELED_OP = "unmodeled-op"  # lambda failed some other way
+REASON_WINDOW_EXHAUSTED = "window-exhausted"  # arm deeper than the window
+UNKNOWN_REASON_KINDS = (
+    REASON_ABSTRACTION_ERROR,
+    REASON_UNMODELED_OP,
+    REASON_WINDOW_EXHAUSTED,
+)
 
 #: classification strength for aggregation across dynamic instances
 _RANK = {SAFE: 0, UNKNOWN: 1, TRANSMIT: 2}
@@ -74,6 +88,7 @@ class LoadReport:
         "shadow",
         "instances",
         "reason",
+        "reason_kind",
     )
 
     def __init__(self, pc):
@@ -84,6 +99,7 @@ class LoadReport:
         self.shadow = None
         self.instances = 0
         self.reason = None
+        self.reason_kind = None
 
     def to_dict(self):
         out = {
@@ -97,6 +113,7 @@ class LoadReport:
             out["shadow"] = dict(self.shadow) if self.shadow else None
         if self.classification == UNKNOWN:
             out["reason"] = self.reason
+            out["reason_kind"] = self.reason_kind
         return out
 
 
@@ -127,8 +144,12 @@ class ProgramReport:
     @property
     def summary(self):
         counts = {TRANSMIT: 0, SAFE: 0, UNKNOWN: 0}
+        reasons = {kind: 0 for kind in UNKNOWN_REASON_KINDS}
         for rep in self.loads:
             counts[rep.classification] += 1
+            if rep.classification == UNKNOWN and rep.reason_kind in reasons:
+                reasons[rep.reason_kind] += 1
+        counts["unknown_reasons"] = reasons
         return counts
 
     def to_dict(self):
@@ -152,15 +173,17 @@ def protected_pcs(report):
 class _Instance:
     """One dynamic occurrence of a load during the abstract walk."""
 
-    __slots__ = ("verdict", "taints", "witness", "shadow", "reason")
+    __slots__ = ("verdict", "taints", "witness", "shadow", "reason",
+                 "reason_kind")
 
     def __init__(self, verdict, taints=(), witness=(), shadow=None,
-                 reason=None):
+                 reason=None, reason_kind=None):
         self.verdict = verdict
         self.taints = taints
         self.witness = witness
         self.shadow = shadow
         self.reason = reason
+        self.reason_kind = reason_kind
 
 
 class SpecFlowAnalyzer:
@@ -249,33 +272,53 @@ class SpecFlowAnalyzer:
 
     # --------------------------------------------------------- transient arms
 
-    def _walk_arm(self, shadow_op, shadow_index, arm, env, results, per_pc,
-                  program):
-        """Abstractly execute one wrong-path arm.  Every arm op is
-        transient; whether a transient issue counts as *unsafe* is the
-        attack model's call (IS-Spectre only vouches for branch shadows).
-        A fence inside the arm can never complete before the squash, so
-        everything behind it never issues at all."""
-        unsafe = (
+    def _arm_unsafe(self, shadow_op):
+        """Whether a transient issue under this arm's shadow counts as
+        unsafe.  The attack model's call: IS-Spectre only vouches for
+        branch shadows."""
+        return (
             self.model == "futuristic"
             or shadow_op.kind is OpKind.BRANCH
         )
-        shadow = self._shadow_descr(shadow_op, shadow_index)
-        where_base = f"wp(0x{shadow_op.pc:x})"
-        fence_seen = False
+
+    def _arm_fence_horizon(self, arm):
+        """Arm index after which nothing issues transiently: the first
+        fence (it can never complete before the squash, so everything
+        behind it never issues at all).  ``len(arm)`` when fence-free."""
         for k, op in enumerate(arm):
             if op.kind.is_fence_like:
-                fence_seen = True
+                return k
+        return len(arm)
+
+    def _walk_arm(self, shadow_op, shadow_index, arm, env, results, per_pc,
+                  program):
+        """Abstractly execute one wrong-path arm.  Every arm op is
+        transient; :meth:`_arm_unsafe` decides whether its issues are
+        unsafe and :meth:`_arm_fence_horizon` how deep the arm can issue
+        at all."""
+        unsafe = self._arm_unsafe(shadow_op)
+        shadow = self._shadow_descr(shadow_op, shadow_index)
+        where_base = f"wp(0x{shadow_op.pc:x})"
+        horizon = self._arm_fence_horizon(arm)
+        for k, op in enumerate(arm):
+            if op.kind.is_fence_like:
                 results.append(AbstractValue(0))
                 continue
             value, addr, err = self._execute(
                 op, env, results, program, f"{where_base}[{k}]"
             )
             if op.kind is OpKind.LOAD:
-                if fence_seen:
-                    # Never issues transiently: the arm fence outlives it.
+                if k > horizon:
+                    # Never issues transiently: an arm fence outlives it.
                     self._record(per_pc, op, addr, None, unsafe=False,
                                  shadow=None)
+                elif k >= self.window:
+                    # Deeper into the arm than the speculation window:
+                    # the abstract machine cannot tell whether this load
+                    # still fits in flight before the squash, so neither
+                    # SAFE nor TRANSMIT is provable.
+                    self._record(per_pc, op, addr, err, unsafe=unsafe,
+                                 shadow=shadow, window_exhausted=True)
                 else:
                     self._record(per_pc, op, addr, err, unsafe=unsafe,
                                  shadow=shadow)
@@ -387,20 +430,24 @@ class SpecFlowAnalyzer:
 
     # ----------------------------------------------------------- aggregation
 
-    def _record(self, per_pc, op, addr, err, unsafe, shadow):
+    def _record(self, per_pc, op, addr, err, unsafe, shadow,
+                window_exhausted=False):
         rep = per_pc.get(op.pc)
         if rep is None:
             rep = per_pc[op.pc] = LoadReport(op.pc)
         rep.instances += 1
-        inst = self._classify_instance(op, addr, err, unsafe, shadow)
+        inst = self._classify_instance(op, addr, err, unsafe, shadow,
+                                       window_exhausted)
         if _RANK[inst.verdict] > _RANK[rep.classification]:
             rep.classification = inst.verdict
             rep.taints = inst.taints
             rep.witness = inst.witness
             rep.shadow = inst.shadow
             rep.reason = inst.reason
+            rep.reason_kind = inst.reason_kind
 
-    def _classify_instance(self, op, addr, err, unsafe, shadow):
+    def _classify_instance(self, op, addr, err, unsafe, shadow,
+                           window_exhausted=False):
         if not unsafe:
             # Cannot issue while squashable: harmless no matter what its
             # address computation does.
@@ -410,6 +457,20 @@ class SpecFlowAnalyzer:
                 UNKNOWN,
                 reason=f"{type(err).__name__}: {err}" if err else
                 "address not evaluable",
+                reason_kind=(
+                    REASON_ABSTRACTION_ERROR
+                    if isinstance(err, AbstractionError)
+                    else REASON_UNMODELED_OP
+                ),
+            )
+        if window_exhausted:
+            return _Instance(
+                UNKNOWN,
+                reason=(
+                    f"arm index beyond the {self.window}-op speculation "
+                    f"window: issue-before-squash not provable"
+                ),
+                reason_kind=REASON_WINDOW_EXHAUSTED,
             )
         if not addr.tainted:
             return _Instance(SAFE)
@@ -431,3 +492,17 @@ class SpecFlowAnalyzer:
 def analyze_program(program, model="futuristic", window=64):
     """Convenience wrapper: one program, one attack model."""
     return SpecFlowAnalyzer(model=model, window=window).analyze(program)
+
+
+def analyze_programs(programs, model="futuristic", window=64, analyzer=None):
+    """Batch API: analyze many programs through one analyzer instance.
+
+    ``analyzer`` overrides construction entirely (the fuzz campaign
+    passes a seeded-weakening subclass here); otherwise one analyzer is
+    built from ``model``/``window`` and reused, which is what keeps a
+    thousand-program sweep allocation-light.  Returns reports in input
+    order.
+    """
+    if analyzer is None:
+        analyzer = SpecFlowAnalyzer(model=model, window=window)
+    return [analyzer.analyze(program) for program in programs]

@@ -18,6 +18,7 @@ the two apart is not measuring anything.
 from __future__ import annotations
 
 from ..cpu.isa import MicroOp, OpKind
+from .analyzer import SpecFlowAnalyzer
 from ..security.spectre_v1 import (
     ADDR_B,
     ADDR_LIMIT,
@@ -30,7 +31,15 @@ from ..security.spectre_v1 import (
 from .analyzer import SAFE, TRANSMIT, analyze_program
 from .programs import SpecProgram
 
-__all__ = ["SpecMutation", "MUTATIONS", "check_mutation", "check_all"]
+__all__ = [
+    "ANALYZER_WEAKENINGS",
+    "AnalyzerWeakening",
+    "MUTATIONS",
+    "SpecMutation",
+    "check_all",
+    "check_mutation",
+    "make_weakened_analyzer",
+]
 
 _TRANSMIT_PC = 0x7020
 
@@ -172,3 +181,107 @@ def check_mutation(mutation, window=64):
 def check_all(window=64):
     """Check every registered mutation; returns the outcome list."""
     return [check_mutation(m, window=window) for m in MUTATIONS]
+
+
+# ------------------------------------------------- analyzer weakenings
+#
+# The program mutations above seed bugs into *programs* and expect the
+# analyzer to notice.  Analyzer weakenings seed bugs into the *analyzer*
+# and expect the differential fuzz campaign (repro.fuzz) to notice: each
+# one is a deliberately-unsound SpecFlowAnalyzer variant that a healthy
+# campaign must expose as SAFE-but-leaks against dynamic evidence.  A
+# campaign that passes with a weakened analyzer installed is not
+# measuring soundness.
+
+
+class _BranchShadowsOnlyAnalyzer(SpecFlowAnalyzer):
+    """Ignores every non-branch squash source, even under the
+    futuristic model — exception gadgets and store-set (SSB) windows
+    become invisible."""
+
+    def _casts_shadow(self, op):
+        return not op.kind.is_fence_like and op.kind is OpKind.BRANCH
+
+    def _arm_unsafe(self, shadow_op):
+        return shadow_op.kind is OpKind.BRANCH
+
+
+class _TrailingFenceBlindsAnalyzer(SpecFlowAnalyzer):
+    """Credits a fence *anywhere* in a transient arm with protecting the
+    whole arm — including the loads that issue before it."""
+
+    def _arm_fence_horizon(self, arm):
+        if any(op.kind.is_fence_like for op in arm):
+            return -1
+        return len(arm)
+
+
+class _ShortWindowAnalyzer(SpecFlowAnalyzer):
+    """Caps the speculation window far below the machine's real resolve
+    distance, so padded correct-path shadows fall out of reach."""
+
+    _CAP = 3
+
+    def __init__(self, model="futuristic", window=64):
+        super().__init__(model=model, window=min(window, self._CAP))
+
+
+class AnalyzerWeakening:
+    """A named analyzer bug: ``factory(model, window)`` builds the
+    weakened analyzer; ``trips_on`` names the gadget-template families
+    (see :mod:`repro.fuzz.generator`) guaranteed to expose it."""
+
+    __slots__ = ("name", "description", "factory", "trips_on")
+
+    def __init__(self, name, description, factory, trips_on):
+        self.name = name
+        self.description = description
+        self.factory = factory
+        self.trips_on = tuple(trips_on)
+
+
+ANALYZER_WEAKENINGS = {
+    weakening.name: weakening
+    for weakening in (
+        AnalyzerWeakening(
+            name="branch_shadows_only",
+            description=(
+                "only branches cast shadows, even under the futuristic "
+                "model: exception and store-bypass transients go unseen"
+            ),
+            factory=_BranchShadowsOnlyAnalyzer,
+            trips_on=("exception", "ssb"),
+        ),
+        AnalyzerWeakening(
+            name="trailing_fence_blinds",
+            description=(
+                "a fence anywhere in a transient arm is credited with "
+                "protecting loads that issue before it"
+            ),
+            factory=_TrailingFenceBlindsAnalyzer,
+            trips_on=("fence_after_transmit",),
+        ),
+        AnalyzerWeakening(
+            name="short_window",
+            description=(
+                f"speculation window capped at "
+                f"{_ShortWindowAnalyzer._CAP} ops: padded correct-path "
+                f"shadows fall out of reach"
+            ),
+            factory=_ShortWindowAnalyzer,
+            trips_on=("ssb_padded",),
+        ),
+    )
+}
+
+
+def make_weakened_analyzer(name, model="futuristic", window=64):
+    """Instantiate a registered weakening by name."""
+    try:
+        weakening = ANALYZER_WEAKENINGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown analyzer weakening {name!r}; have "
+            f"{sorted(ANALYZER_WEAKENINGS)}"
+        ) from None
+    return weakening.factory(model=model, window=window)

@@ -180,7 +180,7 @@ def _specflow_text(report, witness):
                     f"({rep.shadow['why']})"
                 )
         elif rep.classification == "UNKNOWN":
-            line += f" reason={rep.reason}"
+            line += f" reason[{rep.reason_kind}]={rep.reason}"
         print(line)
         if witness and rep.classification == "TRANSMIT":
             for step in rep.witness:

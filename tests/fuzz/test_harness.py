@@ -1,0 +1,91 @@
+"""Differential-harness behavior on the known template mechanisms.
+
+These pin the template <-> mechanism contract the campaign's guarantees
+rest on: leak templates confirm, the lfence template is dynamically
+clean, SSB/exception gadgets are futuristic-only, and the value-killing
+gadget is a deterministic precision gap.
+"""
+
+import pytest
+
+from repro.fuzz.generator import build_program
+from repro.fuzz.harness import (
+    AGREE,
+    PRECISION,
+    differential_check,
+)
+
+
+def _first(template, seed=0, tries=40, exclude_warm_guard=True):
+    """The first program of ``template`` (skipping warm_guard draws,
+    which legitimately change the dynamics)."""
+    for index in range(tries):
+        prog = build_program(seed, index)
+        if prog.template != template:
+            continue
+        if exclude_warm_guard and "warm_guard" in prog.mutations:
+            continue
+        return prog
+    raise AssertionError(f"no {template} program in {tries} draws")
+
+
+def test_bounds_check_leak_confirms_in_both_models():
+    result = differential_check(_first("bounds_check"))
+    assert result.classification == AGREE
+    for model in ("spectre", "futuristic"):
+        assert result.per_model[model]["transmit_confirmed"]
+        assert not result.per_model[model]["safe_but_leaks"]
+
+
+def test_lfence_template_is_safe_and_dynamically_clean():
+    result = differential_check(_first("bounds_check_fenced"))
+    assert result.classification == AGREE
+    for model in ("spectre", "futuristic"):
+        detail = result.per_model[model]
+        assert not detail["transmit_confirmed"]
+        assert not detail["safe_but_leaks"]
+        assert detail["safe_confirmed"]
+
+
+def test_ssb_is_futuristic_only():
+    result = differential_check(_first("ssb"))
+    assert result.classification == AGREE
+    assert result.per_model["futuristic"]["transmit_confirmed"]
+    assert not result.per_model["spectre"]["transmit_confirmed"]
+    assert not result.per_model["spectre"]["safe_but_leaks"]
+
+
+def test_exception_shadow_is_futuristic_only():
+    result = differential_check(_first("exception"))
+    assert result.classification == AGREE
+    assert result.per_model["futuristic"]["transmit_confirmed"]
+    assert not result.per_model["spectre"]["safe_but_leaks"]
+
+
+def test_indirect_branch_confirms():
+    result = differential_check(_first("indirect_branch"))
+    assert result.classification == AGREE
+    assert result.per_model["futuristic"]["transmit_confirmed"]
+
+
+def test_masked_dead_is_a_deterministic_precision_gap():
+    result = differential_check(_first("masked_dead"))
+    assert result.classification == PRECISION
+    for model in ("spectre", "futuristic"):
+        assert result.per_model[model]["transmit_but_clean"]
+        assert not result.per_model[model]["safe_but_leaks"]
+
+
+def test_weakened_analyzer_produces_soundness_disagreement():
+    result = differential_check(
+        _first("exception"), weaken="branch_shadows_only"
+    )
+    assert result.classification == "soundness"
+    assert result.per_model["futuristic"]["safe_but_leaks"]
+    targets = result.targets("soundness")
+    assert all(model == "futuristic" for model, _pc in targets)
+
+
+def test_unknown_weakening_name_is_rejected():
+    with pytest.raises(ValueError, match="branch_shadows_only"):
+        differential_check(_first("bounds_check"), weaken="no-such-weakening")

@@ -1,0 +1,69 @@
+"""Delta-minimizer mechanics: dep repair, pass vocabulary, budgets."""
+
+from repro.fuzz.generator import build_program, generate_programs
+from repro.fuzz.harness import differential_check
+from repro.fuzz.minimize import minimize_program
+
+
+def _has_load_at(prog, pc):
+    for op in prog.program["ops"]:
+        if op["kind"] == "load" and op["pc"] == pc:
+            return True
+    for arm in prog.program["wrong_paths"].values():
+        for op in arm:
+            if op["kind"] == "load" and op["pc"] == pc:
+                return True
+    return False
+
+
+def _builds(prog):
+    try:
+        prog.build()
+    except Exception:
+        return False
+    return True
+
+
+def test_minimized_programs_still_build():
+    prog = generate_programs(9, seed=0)[0]
+    pcs = [op["pc"] for op in prog.program["ops"] if op["kind"] == "load"]
+    keep = pcs[0]
+
+    minimized, log, checks = minimize_program(
+        prog, lambda p: _builds(p) and _has_load_at(p, keep)
+    )
+    assert _has_load_at(minimized, keep)
+    assert minimized.op_count < prog.op_count
+    assert minimized.op_count >= 1
+    assert checks >= len(log)
+    minimized.build()  # dep repair left a structurally valid program
+
+
+def test_budget_exhaustion_is_logged_never_silent():
+    prog = generate_programs(9, seed=0)[0]
+    minimized, log, checks = minimize_program(
+        # always-true check: every candidate "reproduces", so the
+        # minimizer keeps shrinking until the budget stops it
+        prog, lambda p: True, max_checks=3,
+    )
+    assert checks == 3
+    assert log[-1] == {"pass": "budget-exhausted", "checks": 3}
+
+
+def test_minimize_preserves_live_disagreement(tmp_path):
+    """E2E on a real precision gap: masked_dead shrinks below its
+    generated size while the transmit-but-clean target survives."""
+    prog = build_program(0, 8)
+    assert prog.template == "masked_dead"
+    base = differential_check(prog)
+    (model, pc) = base.targets("precision")[0]
+    hex_pc = f"0x{pc:x}"
+
+    def check(candidate):
+        result = differential_check(candidate)
+        return hex_pc in result.per_model[model]["transmit_but_clean"]
+
+    minimized, log, _checks = minimize_program(prog, check, max_checks=60)
+    assert minimized.op_count < prog.op_count
+    assert check(minimized)
+    assert all(entry.get("ops", 0) <= prog.op_count for entry in log)

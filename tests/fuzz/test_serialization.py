@@ -1,0 +1,130 @@
+"""Program serialization and cross-process identity.
+
+The campaign's bit-identity guarantee rests on programs surviving the
+parent -> worker hop unchanged: Expr trees and MicroOps must JSON- and
+pickle-round-trip, and a rebuilt program must carry the *same uids* so
+wrong-path arm keys keep resolving (the stable-uid regression the issue
+calls out).
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.cpu import isa
+from repro.cpu.isa import (
+    Expr,
+    ExprError,
+    MicroOp,
+    OpKind,
+    deserialize_program,
+    op_from_dict,
+    op_to_dict,
+    serialize_program,
+)
+from repro.fuzz.cells import FuzzCellSpec
+from repro.fuzz.generator import FuzzProgram, generate_programs
+
+
+class TestExpr:
+    def test_evaluates_like_the_lambda_it_replaces(self):
+        expr = Expr(
+            ("add", ("const", 0x100),
+             ("mul", ("const", 64), ("and", ("reg", "v", 0), ("const", 7))))
+        )
+        env = {"v": 41}
+        assert expr(env) == 0x100 + 64 * (41 & 7)
+        assert expr({}) == 0x100  # default kicks in for unwritten regs
+
+    def test_json_round_trip_preserves_value_and_identity(self):
+        expr = Expr(("xor", ("reg", "x", 3), ("neg", ("const", 5))))
+        back = Expr.from_json(expr.to_json())
+        assert back == expr
+        assert back({"x": 9}) == expr({"x": 9})
+
+    def test_rejects_malformed_nodes(self):
+        with pytest.raises(ExprError):
+            Expr(("frobnicate", ("const", 1), ("const", 2)))
+        with pytest.raises(ExprError):
+            Expr(("const", "not-an-int"))
+
+
+class TestOpRoundTrip:
+    def test_op_round_trip_is_exact(self):
+        isa.reset_uids()
+        op = MicroOp(
+            OpKind.LOAD,
+            pc=0x6000,
+            addr_fn=Expr(("add", ("const", 0x100), ("reg", "v", 0))),
+            size=1,
+            deps=(1,),
+            dst="v",
+            label="transmit",
+        )
+        data = op_to_dict(op)
+        back = op_from_dict(data)
+        assert op_to_dict(back) == data
+        assert back.uid == op.uid
+
+    def test_plain_lambda_is_rejected_loudly(self):
+        isa.reset_uids()
+        op = MicroOp(OpKind.LOAD, pc=0, addr_fn=lambda env: 4, size=1)
+        with pytest.raises(ExprError):
+            op_to_dict(op)
+
+
+class TestProgramRoundTrip:
+    def test_rebuild_is_bit_identical_with_stable_uids(self):
+        prog = generate_programs(9, seed=7)[0]
+        ops, wrong_paths = prog.build()
+        assert serialize_program(ops, wrong_paths) == prog.program
+        # arm keys resolve: every wrong-path key is a live main-path uid
+        uids = {op.uid for op in ops}
+        assert all(uid in uids for uid in wrong_paths)
+
+    def test_rebuild_twice_gives_identical_uids(self):
+        prog = generate_programs(9, seed=7)[6]
+        first = serialize_program(*prog.build())
+        second = serialize_program(*prog.build())
+        assert first == second
+
+    def test_fresh_uids_remaps_arm_keys(self):
+        prog = generate_programs(9, seed=7)[0]
+        isa.reset_uids(1000)
+        ops, wrong_paths = deserialize_program(prog.program, fresh_uids=True)
+        assert all(op.uid >= 1000 for op in ops)
+        uids = {op.uid for op in ops}
+        assert all(uid in uids for uid in wrong_paths)
+
+    def test_counter_advances_past_stored_uids(self):
+        prog = generate_programs(9, seed=7)[0]
+        ops, wrong_paths = prog.build()
+        top = max(
+            [op.uid for op in ops]
+            + [op.uid for arm in wrong_paths.values() for op in arm]
+        )
+        probe = MicroOp(OpKind.ALU, pc=0)
+        assert probe.uid > top
+
+
+class TestPickleAcrossDispatch:
+    """A dispatched program replays bit-identically (worker simulation)."""
+
+    def test_fuzz_program_pickle_round_trip(self):
+        prog = generate_programs(9, seed=3)[4]
+        clone = pickle.loads(pickle.dumps(prog))
+        assert clone.canonical_json() == prog.canonical_json()
+        assert serialize_program(*clone.build()) == prog.program
+
+    def test_cell_spec_pickle_round_trip(self):
+        progs = generate_programs(4, seed=3)
+        spec = FuzzCellSpec(
+            cell_id="fuzz:test:b0000",
+            programs=tuple(p.canonical_json() for p in progs),
+            window=64,
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        rebuilt = FuzzProgram.from_dict(json.loads(clone.programs[2]))
+        assert serialize_program(*rebuilt.build()) == progs[2].program

@@ -1,0 +1,128 @@
+"""Per-reason UNKNOWN accounting: every UNKNOWN verdict carries a
+machine-readable ``reason_kind`` and the report summary splits the
+counts, so downstream consumers (the fuzz campaign) aggregate kinds
+instead of parsing free-text reasons."""
+
+from repro.cpu.isa import MicroOp, OpKind
+from repro.specflow import (
+    SAFE,
+    UNKNOWN,
+    UNKNOWN_REASON_KINDS,
+    SpecProgram,
+    analyze_program,
+    analyze_programs,
+)
+from repro.specflow.analyzer import (
+    REASON_ABSTRACTION_ERROR,
+    REASON_UNMODELED_OP,
+    REASON_WINDOW_EXHAUSTED,
+)
+
+_SECRET = 0x2_4000
+
+
+def _shadowed(arm_loads):
+    """A flushed-guard branch whose arm is ``arm_loads``."""
+    def build():
+        guard = MicroOp(OpKind.LOAD, pc=0x100, addr=0x1000, size=1,
+                        dst="limit")
+        branch = MicroOp(OpKind.BRANCH, pc=0x110, taken=True, deps=(1,))
+        return [guard, branch], {branch.uid: arm_loads()}
+
+    return SpecProgram(
+        name="unknown-reasons",
+        builder=build,
+        secret_ranges=((_SECRET, _SECRET + 8),),
+        description="per-reason UNKNOWN fixtures",
+    )
+
+
+def test_abstraction_error_reason_kind():
+    prog = _shadowed(lambda: [
+        MicroOp(OpKind.LOAD, pc=0x200, size=1,
+                # tainted-by-default AbstractValue used as a host-side
+                # index -> AbstractionError inside the abstract domain
+                addr_fn=lambda env: [0x1000, 0x2000][env.get("x", 0)]),
+    ])
+    report = analyze_program(prog)
+    rep = next(r for r in report.loads if r.pc == 0x200)
+    assert rep.classification == UNKNOWN
+    assert rep.reason_kind == REASON_ABSTRACTION_ERROR
+    assert rep.to_dict()["reason_kind"] == REASON_ABSTRACTION_ERROR
+
+
+def test_unmodeled_op_reason_kind():
+    prog = _shadowed(lambda: [
+        MicroOp(OpKind.LOAD, pc=0x200, size=1,
+                addr_fn=lambda env: 1 // 0),
+    ])
+    report = analyze_program(prog)
+    rep = next(r for r in report.loads if r.pc == 0x200)
+    assert rep.classification == UNKNOWN
+    assert rep.reason_kind == REASON_UNMODELED_OP
+
+
+def test_window_exhausted_reason_kind():
+    def arm():
+        return [
+            MicroOp(OpKind.LOAD, pc=0x200 + 0x10 * k, addr=0x3000, size=1)
+            for k in range(4)
+        ]
+
+    report = analyze_programs([_shadowed(arm)], window=2)[0]
+    beyond = [r for r in report.loads if r.pc >= 0x220]
+    assert beyond
+    assert all(r.classification == UNKNOWN for r in beyond)
+    assert all(r.reason_kind == REASON_WINDOW_EXHAUSTED for r in beyond)
+
+
+def test_summary_splits_unknown_by_reason():
+    def arm():
+        return [
+            MicroOp(OpKind.LOAD, pc=0x200, size=1,
+                    addr_fn=lambda env: [0][env.get("x", 0)]),
+            MicroOp(OpKind.LOAD, pc=0x210, size=1,
+                    addr_fn=lambda env: 1 // 0),
+            MicroOp(OpKind.LOAD, pc=0x220, addr=0x3000, size=1),
+        ]
+
+    report = analyze_programs([_shadowed(arm)], window=2)[0]
+    reasons = report.summary["unknown_reasons"]
+    assert set(reasons) == set(UNKNOWN_REASON_KINDS)
+    assert reasons[REASON_ABSTRACTION_ERROR] == 1
+    assert reasons[REASON_UNMODELED_OP] == 1
+    assert reasons[REASON_WINDOW_EXHAUSTED] == 1
+    assert report.summary[UNKNOWN] == 3
+
+
+def test_safe_loads_carry_no_reason_kind():
+    prog = _shadowed(lambda: [
+        MicroOp(OpKind.LOAD, pc=0x200, addr=0x3000, size=1),
+    ])
+    report = analyze_program(prog)
+    rep = next(r for r in report.loads if r.pc == 0x100)
+    assert rep.classification == SAFE
+    assert "reason_kind" not in rep.to_dict()
+
+
+def test_analyze_programs_accepts_an_analyzer_override():
+    from repro.specflow.mutations import make_weakened_analyzer
+
+    def arm():
+        pads = [MicroOp(OpKind.ALU, pc=0x180 + 0x10 * k) for k in range(3)]
+        return pads + [
+            MicroOp(OpKind.LOAD, pc=0x200, addr=_SECRET, size=1, dst="v"),
+            MicroOp(OpKind.LOAD, pc=0x210, size=1, deps=(1,),
+                    addr_fn=lambda env: 0x10_0000 + 64 * env.get("v", 0)),
+        ]
+
+    prog = _shadowed(arm)
+    strong = analyze_programs([prog])[0]
+    weak = analyze_programs(
+        [prog],
+        analyzer=make_weakened_analyzer("short_window"),
+    )[0]
+    assert strong.summary[UNKNOWN] == 0
+    assert weak.summary["unknown_reasons"][
+        REASON_WINDOW_EXHAUSTED
+    ] >= 1
