@@ -1,0 +1,225 @@
+"""Load benchmark for the analysis service (repro.service).
+
+Drives an in-process :class:`~repro.service.server.AnalysisService`
+through four phases and records ``results/BENCH_service.json``:
+
+1. **cold** — one request per unique (program, model) specflow job;
+   every one is a cache miss that runs on the worker pool;
+2. **hot** — the same set repeated ``--repeats`` times; with r repeats
+   the steady-state hit rate is r/(r+1) (>= 90% at the default 12);
+3. **overload** — a concurrent burst of unique uncacheable requests
+   against a small admission queue: the shed rate under overload is the
+   backpressure behaving, not a failure;
+4. **chaos** — an injected worker crash (``worker.kill`` fault) must
+   fail explicitly, and a corrupted cache shard must be quarantined and
+   recomputed.
+
+Correctness is asserted throughout: every hot response must be
+bit-identical (canonical JSON) to the cold response for the same key —
+``wrong_answers`` counts mismatches and the benchmark fails unless it
+is zero.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_service_bench.py
+        [--repeats 12] [--out results/BENCH_service.json]
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.reliability import LeasePool  # noqa: E402
+from repro.service.envelope import JobRequest, canonical_json  # noqa: E402
+from repro.service.server import AnalysisService  # noqa: E402
+from repro.service.store import ResultStore  # noqa: E402
+from repro.specflow import programs as corpus  # noqa: E402
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _requests():
+    names = [program.name for program in corpus.all_programs(seed=0)]
+    return [
+        {"program": name, "model": model}
+        for name in names
+        for model in ("spectre", "futuristic")
+    ]
+
+
+async def _submit_timed(service, payload, **options):
+    started = time.perf_counter()
+    response = await service.submit(
+        JobRequest("specflow", payload, **options)
+    )
+    return response, 1000.0 * (time.perf_counter() - started)
+
+
+async def _phase_cold_hot(service, repeats):
+    payloads = _requests()
+    baseline = {}
+    cold_ms, hot_ms = [], []
+    wrong = 0
+    for payload in payloads:
+        response, ms = await _submit_timed(service, payload)
+        assert response["status"] == "ok", response
+        baseline[response["key"]] = canonical_json(response["metrics"])
+        cold_ms.append(ms)
+    responses = 0
+    hits = 0
+    for _ in range(repeats):
+        for payload in payloads:
+            response, ms = await _submit_timed(service, payload)
+            assert response["status"] == "ok", response
+            responses += 1
+            hits += 1 if response.get("cached") else 0
+            hot_ms.append(ms)
+            if canonical_json(response["metrics"]) != baseline[response["key"]]:
+                wrong += 1
+    total = responses + len(payloads)
+    return {
+        "unique_requests": len(payloads),
+        "repeats": repeats,
+        "total_requests": total,
+        "hit_rate": round((hits) / total, 4),
+        "p50_cold_ms": round(_percentile(cold_ms, 0.50), 3),
+        "p99_cold_ms": round(_percentile(cold_ms, 0.99), 3),
+        "p50_hot_ms": round(_percentile(hot_ms, 0.50), 3),
+        "p99_hot_ms": round(_percentile(hot_ms, 0.99), 3),
+    }, wrong
+
+
+async def _phase_overload(service):
+    # Unique uncached requests force real computes; far more of them at
+    # once than queue + workers can hold exercises the shedding path.
+    burst = [
+        JobRequest(
+            "specflow",
+            {"program": "spectre_v1", "window": 16 + i},
+            client_id=f"load{i % 4}",
+            nocache=True,
+        )
+        for i in range(48)
+    ]
+    responses = await asyncio.gather(
+        *(service.submit(request) for request in burst)
+    )
+    statuses = [response["status"] for response in responses]
+    assert all(status in ("ok", "shed") for status in statuses), statuses
+    shed = statuses.count("shed")
+    return {
+        "burst": len(burst),
+        "completed": statuses.count("ok"),
+        "shed": shed,
+        "shed_rate": round(shed / len(burst), 4),
+    }
+
+
+async def _phase_chaos(service):
+    # Injected worker crash: the worker.kill fault SIGKILLs the worker on
+    # every attempt, so the request must end in an explicit failure.  The
+    # fault fires from the kernel heartbeat hook, which runs every 4096
+    # simulated cycles -- the run must be long enough to reach it.
+    crash = await service.submit(
+        JobRequest(
+            "sim",
+            {
+                "app": "mcf",
+                "instructions": 4000,
+                "fault": "worker.kill:nth=1",
+            },
+        )
+    )
+    assert crash["status"] == "failed", crash
+    assert crash["error_class"] == "WorkerCrashError", crash
+
+    # Corrupt shard: flip bytes in a cached entry, re-request, and
+    # verify the recomputed answer matches the original bit for bit.
+    payload = {"program": "spectre_v1", "model": "spectre"}
+    before = await service.submit(JobRequest("specflow", payload))
+    path = service.store.path_for(before["key"])
+    path.write_bytes(path.read_bytes()[:-16] + b"!corrupted-tail!")
+    after = await service.submit(JobRequest("specflow", payload))
+    assert after["status"] == "ok" and not after.get("cached"), after
+    identical = canonical_json(after["metrics"]) == canonical_json(
+        before["metrics"]
+    )
+    return {
+        "worker_crash_failed_explicitly": True,
+        "corrupt_shards_quarantined": service.store.stats[
+            "corrupt_quarantined"
+        ],
+        "corrupt_recompute_identical": identical,
+    }, 0 if identical else 1
+
+
+async def _run(repeats, store_dir):
+    service = AnalysisService(
+        store=ResultStore(store_dir),
+        pool=LeasePool(workers=2, heartbeat_timeout=60.0),
+        max_depth=8,
+        backoff_base_s=0.01,
+    )
+    await service.start()
+    try:
+        cache, wrong_hot = await _phase_cold_hot(service, repeats)
+        overload = await _phase_overload(service)
+        chaos, wrong_chaos = await _phase_chaos(service)
+        health = service.healthz()
+    finally:
+        await service.drain(timeout=10)
+    return {
+        "benchmark": "analysis_service",
+        "cache": cache,
+        "overload": overload,
+        "chaos": chaos,
+        "wrong_answers": wrong_hot + wrong_chaos,
+        "counters": health["counters"],
+        "pool_stats": health["pool"]["stats"],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=12)
+    parser.add_argument(
+        "--out", default=os.path.join("results", "BENCH_service.json")
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        loop = asyncio.new_event_loop()
+        try:
+            record = loop.run_until_complete(
+                _run(args.repeats, os.path.join(tmp, "cache"))
+            )
+        finally:
+            loop.close()
+
+    assert record["wrong_answers"] == 0, record
+    assert record["cache"]["hit_rate"] >= 0.90, record["cache"]
+    assert record["overload"]["shed"] > 0, record["overload"]
+
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump([record], handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,10 +27,10 @@ execution, by construction.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 from ..errors import ReproError
+from ..reliability.atomic_io import atomic_write_json
 from ..reliability.engine import RetryPolicy, RunEngine
 from ..reliability.journal import RunJournal
 from ..reliability.supervisor import Supervisor
@@ -262,9 +262,7 @@ def run_campaign(
         soundness_targets, len(targets), corpus_index, minimized_count,
         minimize_skipped, total_checks, failed_cells,
     )
-    (out / "summary.json").write_text(
-        json.dumps(summary, indent=2, sort_keys=True) + "\n"
-    )
+    atomic_write_json(out / "summary.json", summary)
     say(
         f"[fuzz] done: {summary['by_classification']} "
         f"-> {out / 'summary.json'}"

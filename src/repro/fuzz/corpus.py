@@ -14,6 +14,8 @@ import hashlib
 import json
 from pathlib import Path
 
+from ..reliability.atomic_io import atomic_write_json
+
 __all__ = ["TriageCorpus"]
 
 
@@ -64,11 +66,9 @@ class TriageCorpus:
                 f"{self.root.name}/{digest}.json"
             ),
         }
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.root / f"{digest}.json"
-        path.write_text(
-            json.dumps(entry, indent=2, sort_keys=True) + "\n"
-        )
+        # Corpus entries are evidence: a kill -9 mid-campaign must not
+        # leave a truncated reproducer that later replays as "fixed".
+        atomic_write_json(self.root / f"{digest}.json", entry)
         self._entries[digest] = entry
         return digest
 
@@ -87,10 +87,7 @@ class TriageCorpus:
             }
             for _digest, entry in sorted(self._entries.items())
         ]
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.index_path.write_text(
-            json.dumps(index, indent=2, sort_keys=True) + "\n"
-        )
+        atomic_write_json(self.index_path, index)
         return index
 
     @staticmethod

@@ -14,12 +14,20 @@ Three pieces:
   — the :class:`Supervisor` fans a batch of :class:`CellSpec` cells out
   over a crash-isolated worker pool (``--jobs``): heartbeat liveness,
   RSS ceilings, quarantine of cells that kill their workers, and a
-  graceful SIGINT/SIGTERM drain, all feeding the same journal.
+  graceful SIGINT/SIGTERM drain, all feeding the same journal;
+* :mod:`~repro.reliability.pool` — the :class:`LeasePool` exposes the
+  same crash-isolated workers through a per-task lease API with
+  deadline plumbing, built for long-lived callers like the analysis
+  service (:mod:`repro.service`);
+* :mod:`~repro.reliability.atomic_io` — the shared kill-9-hardened
+  write pattern (fsync temp + atomic rename + ``.bak`` rotation) used
+  by the journal, the fuzz triage corpus, and the service result store.
 
 See ``docs/RELIABILITY.md`` for the journal format, resume semantics,
 retry policy, the fault-schedule language, and parallel execution.
 """
 
+from .atomic_io import atomic_write_json, atomic_write_text
 from .engine import (
     CellFailure,
     CellOutcome,
@@ -39,6 +47,7 @@ from .faults import (
     FaultSpec,
 )
 from .journal import RunJournal
+from .pool import LeasePool, PoolClosedError
 from .supervisor import QUARANTINE_CRASHES, Supervisor
 from .worker import AttemptRequest, AttemptResult, CellSpec, run_attempt
 
@@ -54,12 +63,16 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "FaultSpec",
+    "LeasePool",
+    "PoolClosedError",
     "QUARANTINE_CRASHES",
     "RetryPolicy",
     "RunEngine",
     "RunJournal",
     "Supervisor",
     "WallClockGuard",
+    "atomic_write_json",
+    "atomic_write_text",
     "capture_metrics",
     "cell_id_for",
     "is_ok",

@@ -1,0 +1,77 @@
+"""Kill-9-hardened file writes, shared across the persistence layers.
+
+The run journal earned this pattern first (PR 4): rewrite to a temp file,
+``fsync`` *before* the atomic rename, optionally rotate the previous good
+copy to ``<path>.bak``, and fsync the directory so the rename itself
+survives a power cut.  The fuzz triage corpus and the analysis service's
+result store need exactly the same durability story, so the mechanics
+live here once instead of being re-derived (slightly differently) per
+subsystem.
+
+Guarantees, assuming a POSIX filesystem:
+
+* a reader never observes a half-written file at ``path`` — it sees
+  either the old complete content or the new complete content;
+* with ``backup=True``, a crash between the two renames leaves either
+  (old main, stale bak) or (no main, good bak); a loader that falls back
+  to ``<path>.bak`` (see :class:`~repro.reliability.journal.RunJournal`)
+  recovers from both;
+* after return, the new content is durable (file fsync'd, directory
+  entry fsync'd on a best-effort basis).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = ["atomic_write_text", "atomic_write_json", "fsync_directory"]
+
+
+def fsync_directory(directory):
+    """Best-effort fsync of a directory entry (rename durability)."""
+    if not directory:
+        return
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_text(path, text, backup=False):
+    """Atomically replace ``path`` with ``text`` (fsync temp + rename).
+
+    With ``backup=True`` the previous content (if any) is rotated to
+    ``<path>.bak`` before the rename, so a crash at any instant leaves a
+    recoverable copy on disk.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if backup and os.path.exists(path):
+        os.replace(path, path + ".bak")
+    os.replace(tmp_path, path)
+    fsync_directory(directory)
+
+
+def atomic_write_json(path, payload, backup=False, indent=2):
+    """Atomically write ``payload`` as canonical (sorted-keys) JSON.
+
+    Sorted keys keep every persisted artifact byte-identical across
+    ``PYTHONHASHSEED`` values — the property the journals, the triage
+    corpus, and the service result store all assert in tests.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+    atomic_write_text(path, text, backup=backup)

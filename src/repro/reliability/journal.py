@@ -36,6 +36,8 @@ import json
 import os
 import warnings
 
+from .atomic_io import atomic_write_text
+
 JOURNAL_VERSION = 1
 
 
@@ -97,37 +99,22 @@ class RunJournal:
             self.recovered_from = "empty"
 
     def save(self):
-        """Atomically rewrite the journal (write temp + fsync + rename)."""
-        directory = os.path.dirname(self.path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
+        """Atomically rewrite the journal (write temp + fsync + rename).
+
+        The mechanics (fsync temp + ``.bak`` rotation + directory fsync)
+        live in :mod:`repro.reliability.atomic_io`, shared with the fuzz
+        triage corpus and the service result store.
+        """
         payload = {
             "version": JOURNAL_VERSION,
             "experiment": self.experiment,
             "cells": self._cells,
         }
-        tmp_path = self.path + ".tmp"
-        with open(tmp_path, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.flush()
-            os.fsync(handle.fileno())
-        # Rotate the last good journal to .bak before the rename: a crash
-        # between the two replaces leaves either (old main, no bak-update)
-        # or (no main, good bak) — _load recovers from both.
-        if os.path.exists(self.path):
-            os.replace(self.path, self.bak_path)
-        os.replace(tmp_path, self.path)
-        if directory:
-            try:
-                dir_fd = os.open(directory, os.O_RDONLY)
-            except OSError:
-                return
-            try:
-                os.fsync(dir_fd)
-            except OSError:
-                pass
-            finally:
-                os.close(dir_fd)
+        atomic_write_text(
+            self.path,
+            json.dumps(payload, indent=2, sort_keys=True),
+            backup=True,
+        )
 
     # ------------------------------------------------------------- records
 

@@ -1,0 +1,479 @@
+"""Long-lived crash-isolated worker pool with a per-task *lease* API.
+
+The batch :class:`~repro.reliability.supervisor.Supervisor` owns a whole
+sweep: it takes a list of cell specs, runs its own retry/quarantine
+policy, and tears the pool down when the batch ends.  A serving process
+(:mod:`repro.service`) needs the opposite shape — a pool that outlives
+any one request, where each unit of work is *leased* individually and
+the caller owns policy:
+
+* :meth:`LeasePool.submit` takes one duck-typed cell spec (anything with
+  ``.cell_id`` and ``.run(seed, max_cycles, watchdog, faults,
+  heartbeat=None)``) and returns a :class:`concurrent.futures.Future`
+  that resolves to the worker's
+  :class:`~repro.reliability.worker.AttemptResult` — or raises
+  :class:`~repro.errors.WorkerCrashError` if the worker died, stalled
+  past its heartbeat deadline, breached the RSS ceiling, or blew its
+  per-lease deadline;
+* **deadline plumbing**: a per-lease wall-clock budget is propagated
+  *into* the worker as a kernel watchdog
+  (:class:`~repro.reliability.engine.WallClockGuard` — the run fails
+  with a retryable ``SimTimeoutError``) and additionally enforced
+  pool-side with a grace period — a worker wedged so hard its watchdog
+  never fires is SIGKILLed, so a lease can never hang its caller;
+* supervision is the same story as the batch supervisor (shared
+  heartbeat array, ``/proc`` RSS polling, sentinel-based death
+  detection), and worker handles are **released eagerly** — pipes and
+  process handles are closed the moment a worker is reaped, never left
+  to garbage-collector timing (see ``_Worker.release``), because a
+  serving process runs for days and its fd table is a budget.
+
+Retry, backoff, caching, and quarantine deliberately live in the caller
+(:mod:`repro.service.server`): the pool hands out honest failures fast
+and keeps itself replenished; policy belongs to the layer that knows the
+request's deadline and client.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from multiprocessing.connection import wait as _conn_wait
+
+from ..errors import ReproError, WorkerCrashError
+from .supervisor import _Worker, _death_detail, _rss_bytes
+from .worker import AttemptRequest, worker_main
+
+__all__ = ["LeasePool", "PoolClosedError"]
+
+
+class PoolClosedError(ReproError):
+    """A lease was submitted to (or stranded in) a closed pool."""
+
+
+class _Lease:
+    """One submitted unit of work awaiting a worker."""
+
+    __slots__ = ("request", "future", "deadline", "worker_id")
+
+    def __init__(self, request, future, deadline):
+        self.request = request
+        self.future = future
+        self.deadline = deadline  # absolute monotonic, or None
+        self.worker_id = None
+
+
+class LeasePool:
+    """Crash-isolated worker pool leasing one attempt at a time."""
+
+    def __init__(
+        self,
+        workers=2,
+        max_rss=None,
+        heartbeat_timeout=60.0,
+        poll_interval=0.02,
+        start_method=None,
+        deadline_grace=1.0,
+    ):
+        self.workers = max(1, int(workers))
+        self.max_rss = max_rss
+        self.heartbeat_timeout = heartbeat_timeout
+        self.poll_interval = poll_interval
+        self.deadline_grace = deadline_grace
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.start_method = start_method
+        self.stats = {
+            "workers_spawned": 0,
+            "workers_crashed": 0,
+            "heartbeat_kills": 0,
+            "rss_kills": 0,
+            "deadline_kills": 0,
+            "leases_completed": 0,
+        }
+        self._ctx = None
+        self._heartbeats = None
+        self._pool = []  # _Worker handles
+        self._inflight = {}  # worker_id -> _Lease
+        self._queue = deque()
+        self._lock = threading.Lock()
+        self._thread = None
+        self._closing = False
+        self._started = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self):
+        """Spawn the workers and the supervision thread (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            self._closing = False
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._heartbeats = self._ctx.Array("d", self.workers, lock=False)
+        self._pool = [self._spawn(i) for i in range(self.workers)]
+        self._thread = threading.Thread(
+            target=self._supervise, name="lease-pool", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self, kill=False, timeout=5.0):
+        """Stop supervision and tear the pool down.
+
+        Queued leases fail with :class:`PoolClosedError`; in-flight
+        leases fail with a :class:`~repro.errors.WorkerCrashError` once
+        their worker is killed (``kill=True``) or are given until
+        ``timeout`` to finish first.
+        """
+        with self._lock:
+            if not self._started or self._closing:
+                self._started = False
+                return
+            self._closing = True
+        if not kill:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not self._inflight:
+                        break
+                time.sleep(self.poll_interval)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        with self._lock:
+            stranded = list(self._queue)
+            self._queue.clear()
+            inflight = list(self._inflight.values())
+            self._inflight.clear()
+            pool, self._pool = self._pool, []
+            self._started = False
+        for lease in stranded:
+            self._fail(lease, PoolClosedError("pool closed before dispatch"))
+        for worker in pool:
+            if worker.released:
+                continue
+            self._kill(worker)
+            worker.release()
+        for lease in inflight:
+            self._fail(
+                lease,
+                WorkerCrashError(
+                    "shutdown", "pool closed with lease in flight",
+                    worker_id=lease.worker_id,
+                    cell_id=lease.request.spec.cell_id,
+                ),
+            )
+        self._heartbeats = None
+
+    # --------------------------------------------------------------- leasing
+
+    def submit(
+        self,
+        spec,
+        seed=0,
+        max_cycles=None,
+        wall_clock_s=None,
+        deadline=None,
+        attempt_index=0,
+        schedule=None,
+    ):
+        """Lease one attempt of ``spec``; returns a Future.
+
+        ``wall_clock_s`` becomes the in-worker watchdog budget;
+        ``deadline`` (absolute ``time.monotonic()`` value) is the
+        pool-side backstop past which the worker is killed.  When only a
+        deadline is given the watchdog budget is derived from it, so the
+        soft (in-worker, retryable timeout) path always fires before the
+        hard (SIGKILL) one.
+        """
+        future = Future()
+        if deadline is not None and wall_clock_s is None:
+            wall_clock_s = max(0.01, deadline - time.monotonic())
+        request = AttemptRequest(
+            spec=spec,
+            attempt_index=attempt_index,
+            seed=seed,
+            max_cycles=max_cycles,
+            wall_clock_s=wall_clock_s,
+            schedule=schedule,
+        )
+        with self._lock:
+            if not self._started or self._closing:
+                future.set_exception(PoolClosedError("pool is not running"))
+                return future
+            self._queue.append(_Lease(request, future, deadline))
+        return future
+
+    @property
+    def backlog(self):
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def busy(self):
+        with self._lock:
+            return len(self._inflight)
+
+    @property
+    def idle(self):
+        with self._lock:
+            return max(0, len(self._pool) - len(self._inflight))
+
+    def snapshot(self):
+        """JSON-serializable pool state for ``/healthz``."""
+        with self._lock:
+            workers = []
+            for worker in self._pool:
+                lease = self._inflight.get(worker.worker_id)
+                alive = (not worker.released) and worker.process.is_alive()
+                workers.append({
+                    "worker": worker.worker_id,
+                    "alive": alive,
+                    "busy": lease is not None,
+                    "cell": (
+                        lease.request.spec.cell_id if lease is not None
+                        else None
+                    ),
+                })
+            return {
+                "workers": workers,
+                "backlog": len(self._queue),
+                "inflight": len(self._inflight),
+                "stats": dict(self.stats),
+            }
+
+    # ----------------------------------------------------------- supervision
+
+    def _spawn(self, worker_id):
+        task_recv, task_send = self._ctx.Pipe(duplex=False)
+        result_recv, result_send = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                worker_id, task_recv, result_send, self._heartbeats,
+                self.max_rss,
+            ),
+            name=f"lease-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        task_recv.close()
+        result_send.close()
+        self.stats["workers_spawned"] += 1
+        self._heartbeats[worker_id] = time.monotonic()
+        return _Worker(worker_id, process, task_send, result_recv)
+
+    def _kill(self, worker):
+        try:
+            if worker.process.is_alive():
+                worker.process.kill()
+        except (OSError, ValueError):
+            pass
+        try:
+            worker.process.join(timeout=2.0)
+        except ValueError:
+            pass
+
+    def _fail(self, lease, error):
+        if not lease.future.done():
+            lease.future.set_exception(error)
+
+    def _complete(self, lease, payload):
+        if not lease.future.done():
+            self.stats["leases_completed"] += 1
+            lease.future.set_result(payload)
+
+    def _supervise(self):
+        while True:
+            self._dispatch()
+            self._pump()  # paces the loop (poll_interval wait)
+            self._reap()
+            self._enforce()
+            with self._lock:
+                if self._closing and not self._inflight:
+                    break
+
+    def _dispatch(self):
+        while True:
+            with self._lock:
+                if not self._queue or self._closing:
+                    return
+                worker = next(
+                    (
+                        w for w in self._pool
+                        if not w.released
+                        and w.worker_id not in self._inflight
+                    ),
+                    None,
+                )
+                if worker is None:
+                    return
+                lease = self._queue.popleft()
+                if lease.future.cancelled():
+                    continue
+                if (
+                    lease.deadline is not None
+                    and time.monotonic() >= lease.deadline
+                ):
+                    expired = lease
+                    lease = None
+                else:
+                    lease.worker_id = worker.worker_id
+                    self._inflight[worker.worker_id] = lease
+                    now = time.monotonic()
+                    self._heartbeats[worker.worker_id] = now
+                    worker.dispatched_at = now
+                    worker.request = lease.request
+            if lease is None:
+                self._fail(
+                    expired,
+                    WorkerCrashError(
+                        "deadline", "lease deadline expired before dispatch",
+                        cell_id=expired.request.spec.cell_id,
+                    ),
+                )
+                continue
+            try:
+                worker.task_conn.send(lease.request)
+            except (BrokenPipeError, OSError):
+                # Worker died while idle: not the lease's fault — requeue
+                # at the front and let _reap replace the worker.
+                with self._lock:
+                    self._inflight.pop(worker.worker_id, None)
+                    worker.request = None
+                    lease.worker_id = None
+                    self._queue.appendleft(lease)
+                return
+
+    def _pump(self):
+        with self._lock:
+            live = [w for w in self._pool if not w.released]
+        by_conn = {w.result_conn: w for w in live}
+        sentinels = {w.process.sentinel: w for w in live}
+        try:
+            ready = _conn_wait(
+                list(by_conn) + list(sentinels), timeout=self.poll_interval
+            )
+        except OSError:
+            return
+        for item in ready:
+            worker = by_conn.get(item)
+            if worker is not None:
+                self._recv(worker)
+
+    def _recv(self, worker):
+        try:
+            if not worker.result_conn.poll():
+                return
+            payload = worker.result_conn.recv()
+        except (EOFError, OSError):
+            return  # death: _reap attributes the in-flight lease
+        with self._lock:
+            lease = self._inflight.pop(worker.worker_id, None)
+            worker.request = None
+        if lease is not None:
+            self._complete(lease, payload)
+
+    def _reap(self):
+        with self._lock:
+            pool = list(self._pool)
+        for index, worker in enumerate(pool):
+            if worker.released or worker.process.is_alive():
+                continue
+            # The worker may have completed its lease and died after —
+            # drain any whole payload before writing the lease off.
+            self._recv(worker)
+            detail = _death_detail(worker.process)
+            kind = (
+                "signal" if (worker.process.exitcode or 0) < 0 else "exit"
+            )
+            with self._lock:
+                lease = self._inflight.pop(worker.worker_id, None)
+                worker.request = None
+            self._kill(worker)
+            worker.release()
+            if lease is not None:
+                self.stats["workers_crashed"] += 1
+                self._fail(
+                    lease,
+                    WorkerCrashError(
+                        kind, detail, worker_id=worker.worker_id,
+                        cell_id=lease.request.spec.cell_id,
+                    ),
+                )
+            with self._lock:
+                if (
+                    not self._closing
+                    and index < len(self._pool)
+                    and self._pool[index] is worker
+                ):
+                    self._pool[index] = self._spawn(worker.worker_id)
+
+    def _enforce(self):
+        now = time.monotonic()
+        with self._lock:
+            busy = [
+                (w, self._inflight[w.worker_id])
+                for w in self._pool
+                if not w.released and w.worker_id in self._inflight
+            ]
+        for worker, lease in busy:
+            if not worker.process.is_alive():
+                continue  # _reap handles death
+            reason = None
+            last_beat = max(
+                self._heartbeats[worker.worker_id], worker.dispatched_at
+            )
+            if (
+                self.heartbeat_timeout is not None
+                and now - last_beat > self.heartbeat_timeout
+            ):
+                self.stats["heartbeat_kills"] += 1
+                reason = (
+                    "heartbeat",
+                    f"no heartbeat for {now - last_beat:.1f}s "
+                    f"(deadline {self.heartbeat_timeout:.1f}s)",
+                )
+            elif (
+                lease.deadline is not None
+                and now > lease.deadline + self.deadline_grace
+            ):
+                # The in-worker WallClockGuard should have fired first;
+                # reaching this backstop means the worker is wedged
+                # beyond even its own watchdog.
+                self.stats["deadline_kills"] += 1
+                reason = (
+                    "deadline",
+                    f"lease deadline exceeded by "
+                    f"{now - lease.deadline:.1f}s (grace "
+                    f"{self.deadline_grace:.1f}s)",
+                )
+            elif self.max_rss is not None:
+                rss = _rss_bytes(worker.process.pid)
+                if rss is not None and rss > self.max_rss:
+                    self.stats["rss_kills"] += 1
+                    reason = (
+                        "rss", f"RSS {rss} exceeds ceiling {self.max_rss}"
+                    )
+            if reason is None:
+                continue
+            kind, detail = reason
+            self.stats["workers_crashed"] += 1
+            with self._lock:
+                self._inflight.pop(worker.worker_id, None)
+                worker.request = None
+            self._kill(worker)
+            self._fail(
+                lease,
+                WorkerCrashError(
+                    kind, detail, worker_id=worker.worker_id,
+                    cell_id=lease.request.spec.cell_id,
+                ),
+            )
+            # _reap releases the handle and respawns on the next pass.

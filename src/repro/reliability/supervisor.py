@@ -89,7 +89,7 @@ class _Worker:
 
     __slots__ = (
         "worker_id", "process", "task_conn", "result_conn",
-        "request", "dispatched_at",
+        "request", "dispatched_at", "released",
     )
 
     def __init__(self, worker_id, process, task_conn, result_conn):
@@ -99,10 +99,36 @@ class _Worker:
         self.result_conn = result_conn
         self.request = None  # in-flight AttemptRequest
         self.dispatched_at = 0.0
+        self.released = False  # pipes + process handle freed
 
     @property
     def busy(self):
         return self.request is not None
+
+    def release(self):
+        """Free this worker's parent-side fds *now*, not at GC time.
+
+        Three fds per worker (task pipe, result pipe, process sentinel)
+        would otherwise linger on the dropped handle until the garbage
+        collector happens to run its finalizers — which a long-lived
+        serving process (:mod:`repro.service`) cannot afford: a cell
+        that quarantines 50 times must not grow the fd table.  Safe to
+        call twice; the process must already be dead/joined.
+        """
+        if self.released:
+            return
+        self.released = True
+        for conn in (self.task_conn, self.result_conn):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        try:
+            self.process.close()
+        except ValueError:
+            # Still alive (close() refuses): leave the handle for the
+            # finalizer rather than leak a zombie.
+            pass
 
 
 class _CellState:
@@ -213,20 +239,18 @@ class Supervisor:
         return _Worker(worker_id, process, task_send, result_recv)
 
     def _shutdown_worker(self, worker, kill=False):
+        if worker.released:
+            return
         try:
             if not kill and worker.process.is_alive():
                 worker.task_conn.send(None)
         except (BrokenPipeError, OSError):
             pass
-        for conn in (worker.task_conn, worker.result_conn):
-            try:
-                conn.close()
-            except OSError:
-                pass
         worker.process.join(timeout=0.2 if kill else 2.0)
         if worker.process.is_alive():
             worker.process.kill()
             worker.process.join(timeout=2.0)
+        worker.release()
 
     def _kill_worker(self, worker):
         if worker.process.is_alive():
@@ -328,7 +352,7 @@ class Supervisor:
         for worker in workers:
             if not pending:
                 return
-            if worker.busy or not worker.process.is_alive():
+            if worker.released or worker.busy or not worker.process.is_alive():
                 continue
             cell_id = pending.popleft()
             state = states[cell_id]
@@ -358,8 +382,9 @@ class Supervisor:
                 return
 
     def _pump_results(self, engine, workers, states, pending, outcomes):
-        by_conn = {w.result_conn: w for w in workers}
-        sentinels = {w.process.sentinel: w for w in workers}
+        live = [w for w in workers if not w.released]
+        by_conn = {w.result_conn: w for w in live}
+        sentinels = {w.process.sentinel: w for w in live}
         try:
             ready = _conn_wait(
                 list(by_conn) + list(sentinels), timeout=self.poll_interval
@@ -387,7 +412,7 @@ class Supervisor:
 
     def _reap_dead(self, engine, workers, states, pending, outcomes):
         for index, worker in enumerate(workers):
-            if worker.process.is_alive():
+            if worker.released or worker.process.is_alive():
                 continue
             # The worker may have finished its cell and died afterwards
             # (or been killed mid-send): drain any complete payload first.
@@ -400,11 +425,11 @@ class Supervisor:
                     else "exit", detail, states, pending, outcomes,
                 )
             self._kill_worker(worker)
-            for conn in (worker.task_conn, worker.result_conn):
-                try:
-                    conn.close()
-                except OSError:
-                    pass
+            # Release pipes and the process handle immediately — a
+            # quarantining cell churns through workers, and fds must not
+            # accumulate until process exit (regression:
+            # tests/reliability/test_pool.py::test_no_fd_growth_across_quarantines).
+            worker.release()
             if not (self.drain_requested or self.hard_abort):
                 workers[index] = self._spawn_worker(worker.worker_id)
 

@@ -184,8 +184,17 @@ def run_attempt(request, worker_id=-1, heartbeats=None):
         result.error_class = type(error).__name__
         result.error_message = str(error)
     else:
-        result.metrics = capture_metrics(run)
-        result.sanitizer_report = getattr(run, "sanitizer_report", None)
+        try:
+            result.metrics = capture_metrics(run)
+            result.sanitizer_report = getattr(run, "sanitizer_report", None)
+        except Exception as error:
+            # A malformed result object (broken to_metrics/count) must
+            # fail the attempt, not escape and kill the worker process.
+            result.status = "failed"
+            result.metrics = None
+            result.error = _transportable(error)
+            result.error_class = type(error).__name__
+            result.error_message = str(error)
     result.wall_ms = int(1000 * (time.perf_counter() - started))
     if injector is not None:
         result.faults = injector.summary()

@@ -1,0 +1,38 @@
+"""Analysis-as-a-service: a fault-tolerant async job server.
+
+``python -m repro.service serve`` runs a long-lived asyncio front-end
+that accepts simulation, specflow, and fuzz-cell requests over a
+line-JSON TCP protocol, dedupes them through content-addressed cache
+keys, serves repeat requests from a checksum-verified on-disk result
+store (:mod:`~repro.service.store`), and schedules misses onto a
+crash-isolated :class:`~repro.reliability.pool.LeasePool`.
+
+Robustness is the design center — bounded admission with explicit
+load-shedding, per-client fairness with priority lanes, per-request
+deadlines plumbed into worker watchdogs, seed-bump retry of worker
+crashes, corrupt-shard quarantine, and a journaled SIGTERM drain.  See
+``docs/SERVICE.md`` for the architecture and the failure-mode table.
+"""
+
+from .admission import AdmissionQueue
+from .envelope import (
+    CACHE_SCHEMA_VERSION,
+    JobRequest,
+    SpecflowCellSpec,
+    cache_key,
+    canonical_json,
+)
+from .server import AnalysisService, serve
+from .store import ResultStore
+
+__all__ = [
+    "AdmissionQueue",
+    "AnalysisService",
+    "CACHE_SCHEMA_VERSION",
+    "JobRequest",
+    "ResultStore",
+    "SpecflowCellSpec",
+    "cache_key",
+    "canonical_json",
+    "serve",
+]

@@ -1,0 +1,144 @@
+"""Bounded admission with priority lanes and per-client fairness.
+
+Backpressure is explicit: the queue has a hard ``max_depth``, and an
+``offer`` past it (or past a single client's ``per_client_cap``) is
+*rejected* — the server turns that into a shed response with a
+``retry_after_s`` hint instead of buffering without bound.  Unbounded
+buffering is the classic slow death: memory grows, every queued request
+ages past its deadline, and the server does work nobody is waiting for.
+
+Scheduling is two-level and deterministic:
+
+* **lanes** — ``interactive`` and ``batch``, consumed weighted
+  round-robin (default 3:1), so bulk sweeps cannot starve interactive
+  callers but still make progress under load;
+* **clients** — within a lane, one FIFO per client consumed round-robin,
+  so a client flooding 1000 requests shares the lane equally with the
+  client that sent one.
+
+No wall-clock or randomness here: identical offer/take sequences pick
+identical orders, which keeps server tests and chaos scenarios exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .envelope import LANES
+
+__all__ = ["AdmissionQueue"]
+
+#: Weighted round-robin lane credits per scheduling cycle.
+DEFAULT_LANE_WEIGHTS = {"interactive": 3, "batch": 1}
+
+
+class AdmissionQueue:
+    """Bounded two-level (lane, client) fair queue."""
+
+    def __init__(self, max_depth=64, lane_weights=None, per_client_cap=None):
+        self.max_depth = max(1, int(max_depth))
+        self.per_client_cap = per_client_cap
+        weights = dict(DEFAULT_LANE_WEIGHTS)
+        if lane_weights:
+            weights.update(lane_weights)
+        #: Flattened weighted cycle, e.g. I,I,I,B — the take() scan order.
+        self._cycle = [
+            lane
+            for lane in LANES
+            for _ in range(max(1, int(weights.get(lane, 1))))
+        ]
+        self._cursor = 0
+        #: lane -> {client_id -> deque of jobs}; dicts preserve insertion
+        #: order, which is the round-robin order.
+        self._lanes = {lane: {} for lane in LANES}
+        #: lane -> rotation of client ids still holding work.
+        self._rotation = {lane: deque() for lane in LANES}
+        self._depth = 0
+
+    # ---------------------------------------------------------------- sizing
+
+    def __len__(self):
+        return self._depth
+
+    def depths(self):
+        """Queue depth per lane (and total), for /healthz."""
+        per_lane = {
+            lane: sum(len(q) for q in clients.values())
+            for lane, clients in self._lanes.items()
+        }
+        per_lane["total"] = self._depth
+        return per_lane
+
+    def client_depth(self, lane, client_id):
+        queue = self._lanes[lane].get(client_id)
+        return len(queue) if queue else 0
+
+    # --------------------------------------------------------------- offer
+
+    def offer(self, job):
+        """Admit ``job`` or return False (the caller sheds explicitly).
+
+        ``job`` needs ``.lane`` and ``.client_id`` attributes.
+        """
+        if self._depth >= self.max_depth:
+            return False
+        if (
+            self.per_client_cap is not None
+            and self.client_depth(job.lane, job.client_id)
+            >= self.per_client_cap
+        ):
+            return False
+        clients = self._lanes[job.lane]
+        queue = clients.get(job.client_id)
+        if queue is None:
+            queue = clients[job.client_id] = deque()
+            self._rotation[job.lane].append(job.client_id)
+        queue.append(job)
+        self._depth += 1
+        return True
+
+    # ----------------------------------------------------------------- take
+
+    def take(self):
+        """Next job under lane weights + client round-robin, or None."""
+        if self._depth == 0:
+            return None
+        for offset in range(len(self._cycle)):
+            lane = self._cycle[(self._cursor + offset) % len(self._cycle)]
+            job = self._take_from_lane(lane)
+            if job is not None:
+                self._cursor = (
+                    self._cursor + offset + 1
+                ) % len(self._cycle)
+                return job
+        return None
+
+    def _take_from_lane(self, lane):
+        rotation = self._rotation[lane]
+        clients = self._lanes[lane]
+        for _ in range(len(rotation)):
+            client_id = rotation.popleft()
+            queue = clients.get(client_id)
+            if not queue:
+                clients.pop(client_id, None)
+                continue
+            job = queue.popleft()
+            self._depth -= 1
+            if queue:
+                rotation.append(client_id)
+            else:
+                clients.pop(client_id, None)
+            return job
+        return None
+
+    # ---------------------------------------------------------------- drain
+
+    def drain(self):
+        """Remove and return every queued job (deterministic order)."""
+        jobs = []
+        while True:
+            job = self.take()
+            if job is None:
+                return jobs
+            jobs.append(job)

@@ -1,0 +1,153 @@
+"""Client for the analysis service's line-JSON TCP protocol.
+
+:class:`ServiceClient` is the async API (one connection, pipelined
+request ids); :func:`request_sync` / :func:`status_sync` are one-shot
+synchronous helpers for scripts and the CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceUnavailable", "request_sync", "status_sync"]
+
+
+class ServiceUnavailable(ReproError):
+    """The server closed the connection before answering."""
+
+
+class ServiceClient:
+    """Async client: pipelines requests over one connection by id."""
+
+    def __init__(self, host="127.0.0.1", port=0):
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+        self._next_id = 0
+        self._pending = {}  # id -> Future
+        self._reader_task = None
+
+    async def __aenter__(self):
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info):
+        await self.close()
+
+    async def connect(self):
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def close(self):
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except OSError:
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._fail_pending()
+
+    def _fail_pending(self):
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    ServiceUnavailable("connection closed mid-request")
+                )
+        self._pending.clear()
+
+    async def _read_loop(self):
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    message = json.loads(line)
+                except ValueError:
+                    continue
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        finally:
+            self._fail_pending()
+
+    async def _call(self, body):
+        self._next_id += 1
+        message_id = self._next_id
+        body = dict(body, id=message_id)
+        future = asyncio.get_event_loop().create_future()
+        self._pending[message_id] = future
+        self._writer.write((json.dumps(body) + "\n").encode())
+        await self._writer.drain()
+        return await future
+
+    async def submit(
+        self,
+        kind,
+        payload,
+        client="anon",
+        lane="interactive",
+        deadline_s=None,
+        nocache=False,
+    ):
+        """Submit one analysis request; returns the response dict."""
+        return await self._call(
+            {
+                "op": "submit",
+                "kind": kind,
+                "payload": payload,
+                "client": client,
+                "lane": lane,
+                "deadline_s": deadline_s,
+                "nocache": nocache,
+            }
+        )
+
+    async def status(self):
+        return await self._call({"op": "status"})
+
+    async def ping(self):
+        return await self._call({"op": "ping"})
+
+    async def drain(self):
+        """Ask the server to drain and shut down."""
+        return await self._call({"op": "drain"})
+
+
+def _run(coro):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+def request_sync(host, port, kind, payload, **options):
+    """One-shot synchronous submit (opens and closes a connection)."""
+
+    async def go():
+        async with ServiceClient(host, port) as client:
+            return await client.submit(kind, payload, **options)
+
+    return _run(go())
+
+
+def status_sync(host, port):
+    """One-shot synchronous status query."""
+
+    async def go():
+        async with ServiceClient(host, port) as client:
+            return await client.status()
+
+    return _run(go())

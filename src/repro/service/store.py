@@ -1,0 +1,148 @@
+"""Sharded on-disk result store: content-addressed, checksum-verified.
+
+One cache entry is one JSON file at ``<root>/<key[:2]>/<key>.json`` (256
+shard directories keep any one directory small at millions of entries).
+Writes go through the shared kill-9-hardened
+:func:`~repro.reliability.atomic_io.atomic_write_json`, so a reader never
+sees a torn entry.  Reads are paranoid anyway — bit rot, partial copies,
+and hostile tampering all happen to long-lived caches:
+
+* the entry must parse as JSON, carry the store version, and **name the
+  key it claims to answer** (a mis-filed entry never leaks across keys);
+* its payload must match the embedded SHA-256 checksum, recomputed over
+  the canonical encoding on every read.
+
+Any violation **quarantines** the shard — the file is moved (atomic
+rename) into ``<root>/quarantine/`` for forensics and the read reports a
+miss, so the service recomputes and rewrites a good entry.  A corrupt
+shard is therefore never served, and never poisons the cache twice.
+
+Cached-vs-fresh bit-identity holds by construction: entries store the
+worker's metrics dict in canonical form, and both the checksum and the
+response path read exactly that dict back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..reliability.atomic_io import atomic_write_json
+from .envelope import canonical_json
+
+__all__ = ["ResultStore"]
+
+STORE_VERSION = 1
+
+
+def payload_checksum(key, metrics):
+    """Checksum binding a metrics payload to its cache key."""
+    body = canonical_json({"key": key, "metrics": metrics})
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+class ResultStore:
+    """Content-addressed verdict cache with corrupt-shard quarantine."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.quarantine_dir = self.root / "quarantine"
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "writes": 0,
+            "corrupt_quarantined": 0,
+        }
+
+    def path_for(self, key):
+        return self.root / key[:2] / f"{key}.json"
+
+    # ----------------------------------------------------------------- reads
+
+    def get(self, key):
+        """The cached metrics for ``key``, or None on miss.
+
+        Never returns data that fails verification: a corrupt or
+        mis-keyed shard is quarantined and reported as a miss.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        except OSError:
+            self.stats["misses"] += 1
+            self._quarantine(path, "unreadable")
+            return None
+        entry = None
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            pass
+        if not self._verify(key, entry):
+            self.stats["misses"] += 1
+            self._quarantine(path, "corrupt")
+            return None
+        self.stats["hits"] += 1
+        return entry["metrics"]
+
+    def _verify(self, key, entry):
+        if not isinstance(entry, dict):
+            return False
+        if entry.get("version") != STORE_VERSION:
+            return False
+        if entry.get("key") != key:
+            return False
+        metrics = entry.get("metrics")
+        if metrics is None:
+            return False
+        return entry.get("checksum") == payload_checksum(key, metrics)
+
+    def _quarantine(self, path, reason):
+        """Move a bad shard aside (atomic), never delete evidence."""
+        self.stats["corrupt_quarantined"] += 1
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / f"{reason}-{path.name}")
+        except OSError:
+            # Quarantine is best-effort (read-only media, races); the
+            # miss verdict already protects correctness.
+            pass
+
+    # ---------------------------------------------------------------- writes
+
+    def put(self, key, kind, metrics):
+        """Persist one computed result under its content address."""
+        entry = {
+            "version": STORE_VERSION,
+            "key": key,
+            "kind": kind,
+            "metrics": metrics,
+            "checksum": payload_checksum(key, metrics),
+        }
+        atomic_write_json(self.path_for(key), entry)
+        self.stats["writes"] += 1
+
+    # ----------------------------------------------------------------- admin
+
+    def __contains__(self, key):
+        return self.path_for(key).exists()
+
+    def entry_count(self):
+        """Number of shard files on disk (admin/status; walks the tree)."""
+        if not self.root.exists():
+            return 0
+        return sum(
+            1
+            for shard in self.root.iterdir()
+            if shard.is_dir() and shard.name != "quarantine"
+            for entry in shard.iterdir()
+            if entry.suffix == ".json"
+        )
+
+    def hit_rate(self):
+        total = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / total if total else None

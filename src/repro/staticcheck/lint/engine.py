@@ -74,6 +74,7 @@ HOST_SCOPE = frozenset(
         "experiments",
         "hwmodel",
         "reliability",
+        "service",
         "staticcheck",
         "analysis.py",
         "runner.py",

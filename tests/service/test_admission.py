@@ -1,0 +1,85 @@
+"""Admission queue: bounded depth, lane weights, per-client fairness."""
+
+from repro.service.admission import AdmissionQueue
+
+
+class _Job:
+    def __init__(self, name, lane="interactive", client="anon"):
+        self.name = name
+        self.lane = lane
+        self.client_id = client
+
+    def __repr__(self):
+        return f"_Job({self.name})"
+
+
+def _names(jobs):
+    return [job.name for job in jobs]
+
+
+class TestBounds:
+    def test_offer_past_max_depth_is_rejected(self):
+        queue = AdmissionQueue(max_depth=2)
+        assert queue.offer(_Job("a"))
+        assert queue.offer(_Job("b"))
+        assert not queue.offer(_Job("c"))
+        assert len(queue) == 2
+
+    def test_take_frees_capacity(self):
+        queue = AdmissionQueue(max_depth=1)
+        queue.offer(_Job("a"))
+        assert queue.take().name == "a"
+        assert queue.offer(_Job("b"))
+
+    def test_per_client_cap(self):
+        queue = AdmissionQueue(max_depth=10, per_client_cap=2)
+        assert queue.offer(_Job("a1", client="a"))
+        assert queue.offer(_Job("a2", client="a"))
+        assert not queue.offer(_Job("a3", client="a"))
+        # Other clients are unaffected by a's cap.
+        assert queue.offer(_Job("b1", client="b"))
+
+    def test_empty_take_returns_none(self):
+        assert AdmissionQueue().take() is None
+
+
+class TestFairness:
+    def test_lane_weights_interleave_3_to_1(self):
+        queue = AdmissionQueue(max_depth=100)
+        for i in range(6):
+            queue.offer(_Job(f"i{i}", lane="interactive"))
+            queue.offer(_Job(f"b{i}", lane="batch"))
+        order = _names(queue.drain())
+        # Default weights 3:1 -- three interactive per batch, and batch
+        # is never starved.
+        assert order[:8] == ["i0", "i1", "i2", "b0", "i3", "i4", "i5", "b1"]
+
+    def test_batch_drains_when_interactive_is_empty(self):
+        queue = AdmissionQueue(max_depth=10)
+        for i in range(3):
+            queue.offer(_Job(f"b{i}", lane="batch"))
+        assert _names(queue.drain()) == ["b0", "b1", "b2"]
+
+    def test_clients_round_robin_within_a_lane(self):
+        queue = AdmissionQueue(max_depth=100)
+        for i in range(3):
+            queue.offer(_Job(f"flood{i}", client="flood"))
+        queue.offer(_Job("solo0", client="solo"))
+        order = _names(queue.drain())
+        # The one-request client is served second, not behind the flood.
+        assert order == ["flood0", "solo0", "flood1", "flood2"]
+
+    def test_depths_snapshot(self):
+        queue = AdmissionQueue(max_depth=10)
+        queue.offer(_Job("a", lane="interactive"))
+        queue.offer(_Job("b", lane="batch"))
+        assert queue.depths() == {"interactive": 1, "batch": 1, "total": 2}
+
+    def test_identical_sequences_order_identically(self):
+        def fill(queue):
+            for i in range(5):
+                queue.offer(_Job(f"j{i}", lane=("batch", "interactive")[i % 2],
+                                 client=f"c{i % 3}"))
+            return _names(queue.drain())
+
+        assert fill(AdmissionQueue()) == fill(AdmissionQueue())

@@ -1,0 +1,345 @@
+"""Chaos suite: every injected failure degrades explicitly.
+
+The contract under test (docs/SERVICE.md): a request always ends in a
+correct response, a journaled resumable entry, or an explicit shed —
+never a hang, never a stale or corrupt cached verdict.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro.runner
+from repro.reliability import LeasePool, RetryPolicy
+from repro.service.envelope import JobRequest, canonical_json
+from repro.service.server import AnalysisService
+from repro.service.store import ResultStore
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+SRC = os.path.join(REPO, "src")
+
+
+def run(coro, timeout=120):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(asyncio.wait_for(coro, timeout))
+    finally:
+        loop.close()
+
+
+class _FakeCounters:
+    def __init__(self, values):
+        self._values = values
+
+    def as_dict(self):
+        return dict(self._values)
+
+
+class _FakeResult:
+    def __init__(self, seed):
+        self.cycles = 1000 + seed
+        self.instructions = 500
+        self.traffic_bytes = 64
+        self.traffic_breakdown = {"data": 64}
+        self.counters = _FakeCounters({"fake.counter": 1})
+        self.sanitizer_report = None
+
+    def count(self, name):
+        return 1 if name == "fake.counter" else 0
+
+
+def _fake_ok(app, config, seed=0, heartbeat=None, **kwargs):
+    # Pump the heartbeat hook like the real kernel does -- it is where
+    # the worker.kill fault site lives.
+    if heartbeat is not None:
+        heartbeat(0)
+    return _FakeResult(seed)
+
+
+def _kill_on_seed0(app, config, seed=0, **kwargs):
+    if seed == 0:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _FakeResult(seed)
+
+
+def _slow_ok(app, config, seed=0, **kwargs):
+    time.sleep(0.4)
+    return _FakeResult(seed)
+
+
+def _service(tmp_path, workers=2, **kwargs):
+    kwargs.setdefault("backoff_base_s", 0.01)
+    return AnalysisService(
+        store=ResultStore(tmp_path / "cache"),
+        pool=LeasePool(
+            workers=workers, heartbeat_timeout=30.0, poll_interval=0.01
+        ),
+        **kwargs,
+    )
+
+
+class TestWorkerCrashes:
+    def test_sigkill_mid_request_recovers_via_seed_bump(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(repro.runner, "run_spec", _kill_on_seed0)
+
+        async def main():
+            service = await _service(
+                tmp_path, policy=RetryPolicy(max_attempts=3)
+            ).start()
+            try:
+                first = await service.submit(JobRequest("sim", {"app": "mcf"}))
+                # The crashed-then-recovered answer is cached like any other.
+                second = await service.submit(
+                    JobRequest("sim", {"app": "mcf"})
+                )
+                return first, second, service.healthz()
+            finally:
+                await service.drain(timeout=5)
+
+        first, second, health = run(main())
+        assert first["status"] == "ok"
+        assert first["attempts"] == 2  # crash consumed an attempt
+        assert second["cached"] is True
+        assert health["counters"]["crashes"] == 1
+        assert health["pool"]["stats"]["workers_crashed"] == 1
+
+    def test_deterministic_killer_fails_explicitly_not_forever(
+        self, tmp_path, monkeypatch
+    ):
+        # The worker.kill fault fires on every attempt (the injector is
+        # rebuilt per attempt), so the request can never succeed: the
+        # crash cap must turn it into an explicit failure while other
+        # requests keep being served.
+        monkeypatch.setattr(repro.runner, "run_spec", _fake_ok)
+
+        async def main():
+            service = await _service(
+                tmp_path, policy=RetryPolicy(max_attempts=6)
+            ).start()
+            try:
+                doomed, fine = await asyncio.gather(
+                    service.submit(
+                        JobRequest(
+                            "sim",
+                            {"app": "mcf", "fault": "worker.kill:nth=1"},
+                        )
+                    ),
+                    service.submit(JobRequest("sim", {"app": "hmmer"})),
+                )
+                return doomed, fine, service.store.entry_count()
+            finally:
+                await service.drain(timeout=5)
+
+        doomed, fine, entries = run(main())
+        assert doomed["status"] == "failed"
+        assert doomed["error_class"] == "WorkerCrashError"
+        assert "quarantined" in doomed["error_message"]
+        assert fine["status"] == "ok"
+        assert entries == 1  # only the good answer was cached
+
+
+class TestCorruptCache:
+    def test_corrupt_shard_is_recomputed_never_served(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(repro.runner, "run_spec", _fake_ok)
+
+        async def main():
+            service = await _service(tmp_path).start()
+            try:
+                request = JobRequest("sim", {"app": "mcf"})
+                fresh = await service.submit(request)
+                path = service.store.path_for(request.cache_key)
+                original = path.read_bytes()
+                path.write_bytes(original[:-20] + b"corrupted-tail-bits!")
+                after = await service.submit(JobRequest("sim", {"app": "mcf"}))
+                repaired = path.read_bytes()
+                hit = await service.submit(JobRequest("sim", {"app": "mcf"}))
+                return (
+                    fresh, after, hit, original, repaired,
+                    service.store.stats,
+                    sorted(
+                        p.name
+                        for p in (tmp_path / "cache" / "quarantine").iterdir()
+                    ),
+                )
+            finally:
+                await service.drain(timeout=5)
+
+        fresh, after, hit, original, repaired, stats, quarantined = run(main())
+        # The corrupt entry was detected, quarantined, and recomputed --
+        # the answer never changed and was never served from garbage.
+        assert after["status"] == "ok" and after["cached"] is False
+        assert canonical_json(after["metrics"]) == canonical_json(
+            fresh["metrics"]
+        )
+        assert stats["corrupt_quarantined"] == 1
+        assert len(quarantined) == 1
+        assert repaired == original  # rewrite is bit-identical
+        assert hit["cached"] is True
+
+
+class TestFlood:
+    def test_flood_past_admission_limit_sheds_and_completes(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(repro.runner, "run_spec", _slow_ok)
+
+        async def main():
+            service = await _service(
+                tmp_path, workers=1, max_depth=3
+            ).start()
+            try:
+                responses = await asyncio.gather(
+                    *(
+                        service.submit(
+                            JobRequest(
+                                "sim", {"app": "mcf", "seed": i},
+                                client_id=f"c{i % 3}",
+                            )
+                        )
+                        for i in range(16)
+                    )
+                )
+                return responses, service.healthz()
+            finally:
+                await service.drain(timeout=10)
+
+        responses, health = run(main(), timeout=120)
+        statuses = [r["status"] for r in responses]
+        # Nothing hangs, nothing fails: each request either completed
+        # or was explicitly shed with a retry hint.
+        assert all(s in ("ok", "shed") for s in statuses)
+        assert statuses.count("shed") >= 1
+        assert statuses.count("ok") >= 1
+        assert health["counters"]["shed"] == statuses.count("shed")
+        assert health["queue"]["total"] == 0
+
+
+class TestDrainAndResume:
+    def test_drain_journals_queued_work_and_resume_fills_the_cache(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(repro.runner, "run_spec", _slow_ok)
+        journal_path = tmp_path / "journal.json"
+        requests = [
+            JobRequest("sim", {"app": app}) for app in ("mcf", "hmmer", "lbm")
+        ]
+
+        async def phase1():
+            service = await _service(
+                tmp_path, workers=1, journal_path=journal_path
+            ).start()
+            submits = [
+                asyncio.ensure_future(service.submit(r)) for r in requests
+            ]
+            await asyncio.sleep(0.15)  # first dispatched, rest queued
+            await service.drain(timeout=5)
+            return await asyncio.gather(*submits)
+
+        responses = run(phase1())
+        done = [r for r in responses if r["status"] == "ok"]
+        shed = [r for r in responses if r["status"] == "shed"]
+        assert len(done) >= 1 and len(shed) >= 1
+        for response in shed:
+            assert response["reason"] == "draining"
+            assert response["journaled"] is True
+        journal = json.loads(journal_path.read_text())
+        assert len(journal["pending"]) == len(shed)
+
+        monkeypatch.setattr(repro.runner, "run_spec", _fake_ok)
+
+        async def phase2():
+            service = await _service(
+                tmp_path, workers=1, journal_path=journal_path
+            ).start(resume=True)
+            try:
+                deadline = time.monotonic() + 30
+                while len(service.journal) and time.monotonic() < deadline:
+                    await asyncio.sleep(0.02)
+                # A returning client now hits the cache for every request.
+                responses = [await service.submit(r) for r in requests]
+                return responses, service.counters["resumed"]
+            finally:
+                await service.drain(timeout=5)
+
+        responses, resumed = run(phase2())
+        assert resumed == len(shed)
+        assert all(r["status"] == "ok" for r in responses)
+        assert all(r.get("cached") for r in responses)
+        assert json.loads(journal_path.read_text())["pending"] == {}
+
+
+@pytest.mark.slow
+class TestSubprocessSigterm:
+    """Real server process: SIGTERM drains; the cache survives restarts."""
+
+    def _serve(self, tmp_path, tag):
+        ready = tmp_path / f"ready-{tag}"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.service", "serve",
+                "--port", "0", "--workers", "1",
+                "--store", str(tmp_path / "cache"),
+                "--journal", str(tmp_path / "journal.json"),
+                "--ready-file", str(ready),
+                "--heartbeat-timeout", "30",
+            ],
+            env=dict(os.environ, PYTHONPATH=SRC),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            cwd=REPO,
+        )
+        deadline = time.monotonic() + 60
+        while not ready.exists() and time.monotonic() < deadline:
+            assert proc.poll() is None, proc.stderr.read()
+            time.sleep(0.05)
+        host, port = ready.read_text().split()
+        return proc, host, int(port)
+
+    def _request(self, host, port, payload):
+        out = subprocess.run(
+            [
+                sys.executable, "-m", "repro.service", "request",
+                "--host", host, "--port", str(port),
+                "--kind", "specflow", "--payload", json.dumps(payload),
+            ],
+            env=dict(os.environ, PYTHONPATH=SRC),
+            capture_output=True, text=True, timeout=120, cwd=REPO,
+        )
+        assert out.returncode == 0, out.stderr
+        return json.loads(out.stdout)
+
+    def test_sigterm_drains_and_cache_survives_restart(self, tmp_path):
+        proc, host, port = self._serve(tmp_path, "a")
+        try:
+            payload = {"program": "spectre_v1", "model": "spectre"}
+            fresh = self._request(host, port, payload)
+            assert fresh["status"] == "ok" and fresh["cached"] is False
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0, err
+        assert "drained (SIGTERM)" in out
+
+        proc, host, port = self._serve(tmp_path, "b")
+        try:
+            repeat = self._request(
+                host, port, {"program": "spectre_v1", "model": "spectre"}
+            )
+            assert repeat["status"] == "ok"
+            assert repeat["cached"] is True
+            assert canonical_json(repeat["metrics"]) == canonical_json(
+                fresh["metrics"]
+            )
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.communicate(timeout=60)
+        assert proc.returncode == 0

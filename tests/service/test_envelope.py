@@ -1,0 +1,155 @@
+"""Cache keys and request normalization: the content-address contract."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, WorkloadError
+from repro.service.envelope import (
+    CACHE_SCHEMA_VERSION,
+    JobRequest,
+    SpecflowCellSpec,
+    cache_key,
+    canonical_json,
+)
+
+
+class TestCacheKey:
+    def test_semantically_equal_requests_share_a_key(self):
+        a = JobRequest("sim", {"app": "mcf", "scheme": "base", "seed": 0})
+        b = JobRequest("sim", {"seed": 0, "app": "mcf"})  # defaults + order
+        assert a.cache_key == b.cache_key
+
+    def test_any_semantic_input_changes_the_key(self):
+        base = {"app": "mcf", "seed": 0}
+        key = JobRequest("sim", base).cache_key
+        for delta in (
+            {"app": "hmmer"},
+            {"scheme": "is_spectre"},
+            {"consistency": "rc"},
+            {"seed": 1},
+            {"instructions": 100},
+            {"sanitize": "strict"},
+            {"fault": "inv.drop:nth=1"},
+            {"max_cycles": 5},
+        ):
+            assert JobRequest("sim", dict(base, **delta)).cache_key != key
+
+    def test_kind_participates_in_the_key(self):
+        payload = {"program": "spectre_v1"}
+        assert (
+            JobRequest("specflow", payload).cache_key
+            != cache_key("sim", payload)
+        )
+
+    def test_schema_version_participates_in_the_key(self):
+        body = json.loads(
+            canonical_json(
+                {"schema": CACHE_SCHEMA_VERSION, "kind": "sim", "payload": {}}
+            )
+        )
+        bumped = dict(body, schema=CACHE_SCHEMA_VERSION + 1)
+        assert canonical_json(body) != canonical_json(bumped)
+
+    def test_routing_fields_do_not_change_the_key(self):
+        payload = {"program": "spectre_v1"}
+        a = JobRequest("specflow", payload, client_id="x", lane="batch",
+                       deadline_s=5.0, nocache=True)
+        b = JobRequest("specflow", payload)
+        assert a.cache_key == b.cache_key
+
+
+class TestNormalization:
+    def test_unknown_kind_lane_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            JobRequest("nope", {})
+        with pytest.raises(ConfigError):
+            JobRequest("sim", {"app": "mcf"}, lane="express")
+        with pytest.raises(ConfigError):
+            JobRequest("sim", {"app": "mcf", "scheme": "turbo"})
+        with pytest.raises(ConfigError):
+            JobRequest("sim", {})  # app is required
+        with pytest.raises(ConfigError):
+            JobRequest("specflow", {"program": "x", "model": "meltdown9"})
+        with pytest.raises(ConfigError):
+            JobRequest("fuzz", {"programs": []})
+        with pytest.raises(ConfigError):
+            JobRequest("sim", {"app": "mcf"}, deadline_s=-1)
+
+    def test_specflow_program_dict_is_canonicalized(self):
+        prog = {"b": 1, "a": 2}
+        a = JobRequest("specflow", {"program": prog})
+        b = JobRequest("specflow", {"program": {"a": 2, "b": 1}})
+        assert a.cache_key == b.cache_key
+        assert a.payload["program"] == canonical_json(prog)
+
+    def test_from_wire_round_trips_options(self):
+        request = JobRequest.from_wire({
+            "kind": "specflow",
+            "payload": {"program": "ssb"},
+            "client": "alice",
+            "lane": "batch",
+            "deadline_s": 2.5,
+            "nocache": True,
+        })
+        assert request.client_id == "alice"
+        assert request.lane == "batch"
+        assert request.deadline_s == 2.5
+        assert request.nocache
+
+    def test_journal_round_trip_preserves_the_key(self):
+        request = JobRequest(
+            "sim", {"app": "mcf", "fault": "inv.drop:nth=1"},
+            client_id="bob", deadline_s=9.0,
+        )
+        resumed = JobRequest.from_journal(request.to_journal())
+        assert resumed.cache_key == request.cache_key
+        # Deadlines die with their client; resumed work fills the cache.
+        assert resumed.deadline_s is None
+
+
+class TestBuildSpec:
+    def test_sim_lowered_to_cell_spec_with_fault_schedule(self):
+        spec, schedule = JobRequest(
+            "sim",
+            {"app": "mcf", "scheme": "is_spectre", "fault": "inv.drop:nth=1"},
+        ).build_spec()
+        assert spec.app == "mcf"
+        assert schedule is not None
+        spec2, schedule2 = JobRequest("sim", {"app": "mcf"}).build_spec()
+        assert schedule2 is None
+
+    def test_specflow_cell_runs_a_corpus_program(self):
+        spec, schedule = JobRequest(
+            "specflow", {"program": "spectre_v1", "model": "spectre"}
+        ).build_spec()
+        assert schedule is None
+        result = spec.run(
+            seed=0, max_cycles=None, watchdog=None, faults=None
+        )
+        metrics = result.to_metrics()
+        assert metrics["kind"] == "specflow"
+        assert metrics["report"]["program"] == "spectre_v1"
+
+    def test_specflow_unknown_program_is_a_workload_error(self):
+        spec, _ = JobRequest(
+            "specflow", {"program": "no_such_program"}
+        ).build_spec()
+        with pytest.raises(WorkloadError):
+            spec.run(seed=0, max_cycles=None, watchdog=None, faults=None)
+
+    def test_cell_ids_are_key_derived(self):
+        request = JobRequest("specflow", {"program": "ssb"})
+        spec, _ = request.build_spec()
+        assert spec.cell_id == f"specflow:{request.cache_key[:12]}"
+
+
+class TestSpecflowCellSpec:
+    def test_is_pickle_safe(self):
+        import pickle
+
+        spec = SpecflowCellSpec(
+            cell_id="specflow:abc", program="spectre_v1", model="spectre"
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec

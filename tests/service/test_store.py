@@ -1,0 +1,114 @@
+"""Result store: checksum verification, quarantine, bit-identity."""
+
+import json
+import os
+
+from repro.service.store import ResultStore, payload_checksum
+
+
+METRICS = {"cycles": 1234, "counters": {"x": 1}, "traffic_bytes": 64}
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "0" * 62
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, "sim", METRICS)
+        assert store.get(KEY) == METRICS
+        assert store.stats == {
+            "hits": 1, "misses": 0, "writes": 1, "corrupt_quarantined": 0,
+        }
+
+    def test_miss_on_absent_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(KEY) is None
+        assert store.stats["misses"] == 1
+
+    def test_sharded_layout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, "sim", METRICS)
+        store.put(OTHER, "sim", METRICS)
+        assert (tmp_path / "ab" / f"{KEY}.json").exists()
+        assert (tmp_path / "cd" / f"{OTHER}.json").exists()
+        assert store.entry_count() == 2
+
+    def test_entries_are_bit_identical_across_rewrites(self, tmp_path):
+        a = ResultStore(tmp_path / "a")
+        b = ResultStore(tmp_path / "b")
+        a.put(KEY, "sim", METRICS)
+        # Same logical payload built in a different insertion order.
+        b.put(KEY, "sim", json.loads(json.dumps(METRICS)))
+        assert (
+            a.path_for(KEY).read_bytes() == b.path_for(KEY).read_bytes()
+        )
+
+
+class TestCorruption:
+    def _entry_path(self, store):
+        store.put(KEY, "sim", METRICS)
+        return store.path_for(KEY)
+
+    def test_truncated_shard_is_quarantined_not_served(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._entry_path(store)
+        path.write_text(path.read_text()[:40])  # torn write simulation
+        assert store.get(KEY) is None
+        assert store.stats["corrupt_quarantined"] == 1
+        assert not path.exists()
+        quarantined = list((tmp_path / "quarantine").iterdir())
+        assert [p.name for p in quarantined] == [f"corrupt-{KEY}.json"]
+
+    def test_bitflip_in_metrics_is_detected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._entry_path(store)
+        entry = json.loads(path.read_text())
+        entry["metrics"]["cycles"] += 1  # silent bit rot
+        path.write_text(json.dumps(entry))
+        assert store.get(KEY) is None
+        assert store.stats["corrupt_quarantined"] == 1
+
+    def test_misfiled_entry_never_leaks_across_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._entry_path(store)
+        # A valid entry copied to the wrong address (checksum still
+        # self-consistent) must not answer for the other key.
+        target = store.path_for(OTHER)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(path.read_text())
+        assert store.get(OTHER) is None
+        assert store.stats["corrupt_quarantined"] == 1
+        assert store.get(KEY) == METRICS  # original untouched
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._entry_path(store)
+        entry = json.loads(path.read_text())
+        entry["version"] = 999
+        path.write_text(json.dumps(entry))
+        assert store.get(KEY) is None
+
+    def test_recompute_after_quarantine_restores_the_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._entry_path(store)
+        path.write_text("garbage")
+        assert store.get(KEY) is None
+        store.put(KEY, "sim", METRICS)
+        assert store.get(KEY) == METRICS
+        # The quarantined evidence is preserved, not overwritten.
+        assert (tmp_path / "quarantine" / f"corrupt-{KEY}.json").exists()
+
+
+class TestChecksum:
+    def test_checksum_binds_key_and_payload(self):
+        base = payload_checksum(KEY, METRICS)
+        assert payload_checksum(OTHER, METRICS) != base
+        assert payload_checksum(KEY, dict(METRICS, cycles=0)) != base
+
+    def test_hit_rate(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.hit_rate() is None
+        store.put(KEY, "sim", METRICS)
+        store.get(KEY)
+        store.get(OTHER)
+        assert store.hit_rate() == 0.5
