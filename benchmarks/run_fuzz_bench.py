@@ -75,6 +75,10 @@ def main(argv=None):
         "speedup": round(serial_s / parallel_s, 3),
         "summaries_identical": identical,
         "by_classification": serial_result.summary["by_classification"],
+        "evidence": serial_result.summary["evidence"],
+        "precision_by_template": serial_result.summary[
+            "precision_by_template"
+        ],
         "note": (
             "speedup is bounded by physical cores; on cpu_count=1 the "
             "pool time-shares one CPU and the ratio reflects pure "

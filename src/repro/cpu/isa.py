@@ -152,8 +152,11 @@ class MicroOp:
 # environment — the concrete pipeline env and specflow's abstract
 # TaintEnv alike, since it only uses overloadable operators.
 
-#: node tag -> binary operator; evaluation never compares or branches on
-#: values, so AbstractValue taint flows through unchanged.
+#: node tag -> binary operator.  Arithmetic evaluation never branches on
+#: values, so AbstractValue taint flows through unchanged; the comparison
+#: tags (and the ``select`` node built on them) *do* branch — under
+#: specflow's TaintEnv they yield AbstractBools that trigger path
+#: splitting rather than a concrete outcome.
 _EXPR_BINOPS = {
     "add": lambda a, b: a + b,
     "sub": lambda a, b: a - b,
@@ -164,6 +167,16 @@ _EXPR_BINOPS = {
     "shl": lambda a, b: a << b,
     "shr": lambda a, b: a >> b,
     "mod": lambda a, b: a % b,
+}
+
+#: comparison tag -> operator; results are used as select conditions.
+_EXPR_CMPOPS = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
 }
 
 
@@ -179,7 +192,10 @@ class Expr:
     * ``("const", k)`` — the integer ``k``;
     * ``("reg", name, default)`` — ``env.get(name, default)``;
     * ``("neg", a)`` / ``("inv", a)`` — unary minus / bitwise not;
-    * ``(op, a, b)`` for ``op`` in ``add sub mul and or xor shl shr mod``.
+    * ``(op, a, b)`` for ``op`` in ``add sub mul and or xor shl shr mod``;
+    * ``(cmp, a, b)`` for ``cmp`` in ``lt le gt ge eq ne`` — a 0/1 flag;
+    * ``("select", c, a, b)`` — ``a`` if ``c`` is truthy else ``b``
+      (branchy address math, e.g. clamp-to-bound gadgets).
 
     Calling the Expr evaluates the tree; passing specflow's ``TaintEnv``
     makes the same tree its own abstract transfer function.
@@ -211,10 +227,19 @@ class Expr:
             if len(node) != 2:
                 raise ExprError(f"malformed unary node: {node!r}")
             return (tag, cls._freeze(node[1]))
-        if tag in _EXPR_BINOPS:
+        if tag in _EXPR_BINOPS or tag in _EXPR_CMPOPS:
             if len(node) != 3:
                 raise ExprError(f"malformed {tag} node: {node!r}")
             return (tag, cls._freeze(node[1]), cls._freeze(node[2]))
+        if tag == "select":
+            if len(node) != 4:
+                raise ExprError(f"malformed select node: {node!r}")
+            return (
+                "select",
+                cls._freeze(node[1]),
+                cls._freeze(node[2]),
+                cls._freeze(node[3]),
+            )
         raise ExprError(f"unknown expression tag {tag!r}")
 
     def __call__(self, env):
@@ -231,6 +256,17 @@ class Expr:
             return -cls._eval(node[1], env)
         if tag == "inv":
             return ~cls._eval(node[1], env)
+        if tag == "select":
+            # Truth-testing the condition is what forks abstract paths;
+            # arms evaluate lazily so only the taken one runs.
+            if cls._eval(node[1], env):
+                return cls._eval(node[2], env)
+            return cls._eval(node[3], env)
+        if tag in _EXPR_CMPOPS:
+            flag = _EXPR_CMPOPS[tag](
+                cls._eval(node[1], env), cls._eval(node[2], env)
+            )
+            return 1 if flag else 0
         return _EXPR_BINOPS[tag](
             cls._eval(node[1], env), cls._eval(node[2], env)
         )

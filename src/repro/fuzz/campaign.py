@@ -279,6 +279,7 @@ def _summarize(campaign_id, programs, seed, window, weaken, verdicts,
     by_classification = {}
     by_template = {}
     unknown_reasons = {}
+    template_evidence = {}
     confirmed = clean = leaks = 0
     for verdict in verdicts:
         if verdict is None:
@@ -287,6 +288,11 @@ def _summarize(campaign_id, programs, seed, window, weaken, verdicts,
         by_classification[cls] = by_classification.get(cls, 0) + 1
         per_template = by_template.setdefault(verdict["template"], {})
         per_template[cls] = per_template.get(cls, 0) + 1
+        tstats = template_evidence.setdefault(
+            verdict["template"],
+            {"transmit_confirmed": 0, "transmit_but_clean": 0,
+             "safe_but_leaks": 0},
+        )
         for model in MODELS:
             detail = verdict.get("models", {}).get(model)
             if detail is None:
@@ -294,6 +300,9 @@ def _summarize(campaign_id, programs, seed, window, weaken, verdicts,
             confirmed += len(detail["transmit_confirmed"])
             clean += len(detail["transmit_but_clean"])
             leaks += len(detail["safe_but_leaks"])
+            tstats["transmit_confirmed"] += len(detail["transmit_confirmed"])
+            tstats["transmit_but_clean"] += len(detail["transmit_but_clean"])
+            tstats["safe_but_leaks"] += len(detail["safe_but_leaks"])
             for reason in detail["unknown"].values():
                 unknown_reasons[reason] = unknown_reasons.get(reason, 0) + 1
     precision = (
@@ -306,15 +315,37 @@ def _summarize(campaign_id, programs, seed, window, weaken, verdicts,
         if confirmed + leaks
         else None
     )
+    # Which templates own the residual imprecision, template-name order
+    # (deterministic regardless of generation interleaving).
+    precision_by_template = {
+        name: {
+            **stats,
+            "precision": (
+                round(
+                    stats["transmit_confirmed"]
+                    / (stats["transmit_confirmed"]
+                       + stats["transmit_but_clean"]),
+                    6,
+                )
+                if stats["transmit_confirmed"] + stats["transmit_but_clean"]
+                else None
+            ),
+        }
+        for name, stats in sorted(template_evidence.items())
+    }
     return {
         "campaign": campaign_id,
         "programs": programs,
         "seed": seed,
         "window": window,
         "weaken": weaken,
-        "by_classification": by_classification,
-        "by_template": by_template,
-        "unknown_reasons": unknown_reasons,
+        "by_classification": dict(sorted(by_classification.items())),
+        "by_template": {
+            name: dict(sorted(counts.items()))
+            for name, counts in sorted(by_template.items())
+        },
+        "precision_by_template": precision_by_template,
+        "unknown_reasons": dict(sorted(unknown_reasons.items())),
         "evidence": {
             "transmit_confirmed": confirmed,
             "transmit_but_clean": clean,

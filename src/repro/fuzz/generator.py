@@ -147,6 +147,7 @@ class FuzzProgram:
             builder=lambda: deserialize_program(self.program),
             secret_ranges=self.secret_ranges,
             description=f"fuzz template {self.template}",
+            setup=self.setup,
         )
 
     @property
@@ -472,6 +473,53 @@ def _t_indirect_branch(rng):
     return b, setup, k.tags
 
 
+#: the bits on which the two campaign secrets differ (41 ^ 174 ==
+#: 0b10000111): an address that branches on any of them separates the
+#: dynamic runs onto distinct transmission lines.
+_SELECT_BITS = (0, 1, 2, 7)
+
+
+def _t_branchy_select(rng):
+    """Branchy address math: the transmit address is an if/else over one
+    secret-derived bit.  Pure taint tracking cannot evaluate the
+    comparison (v1 filed these under abstraction-error UNKNOWN); path
+    splitting forks the abstract env on both outcomes and the condition
+    taint rides the join, whose two target lines do not collapse."""
+    k = _Knobs(rng)
+    bit = rng.choice(_SELECT_BITS)
+    lo_line = rng.randrange(0, 4)
+    hi_line = rng.randrange(4, 8)
+    b = _Builder()
+    b.main(OpKind.LOAD, addr=ADDR_GUARD, size=1, dst="limit", label="guard")
+    for _ in range(k.main_pads):
+        b.main(OpKind.ALU)
+    br = b.main(OpKind.BRANCH, taken=True, deps=("guard",),
+                latency=k.guard_latency)
+    arm = b.arm(br)
+    for _ in range(k.arm_pads):
+        arm.add(OpKind.ALU)
+    arm.add(OpKind.LOAD, addr=ADDR_SECRET + k.secret_off, size=1, dst="v",
+            label="access")
+    arm.add(
+        OpKind.LOAD,
+        addr_fn=Expr((
+            "select",
+            ("gt", ("and", ("reg", "v", 0), ("const", 1 << bit)),
+             ("const", 0)),
+            ("const", ADDR_B + LINE * hi_line),
+            ("const", ADDR_B + LINE * lo_line),
+        )),
+        size=1,
+        deps=("access",),
+        label="transmit",
+    )
+    if k.warm_guard:
+        setup = _setup(warm=[ADDR_GUARD, ADDR_SECRET])
+    else:
+        setup = _setup(flush=[ADDR_GUARD], warm=[ADDR_SECRET])
+    return b, setup, k.tags + [f"bit={bit}", f"lines={lo_line}/{hi_line}"]
+
+
 _TEMPLATES = (
     ("bounds_check", _t_bounds_check),
     ("bounds_check_fenced", _t_bounds_check_fenced),
@@ -482,6 +530,7 @@ _TEMPLATES = (
     ("exception", _t_exception),
     ("indirect_branch", _t_indirect_branch),
     ("masked_dead", _t_masked_dead),
+    ("branchy_select", _t_branchy_select),
 )
 
 TEMPLATE_NAMES = tuple(name for name, _fn in _TEMPLATES)

@@ -9,19 +9,350 @@ along which chain of operations.  Every arithmetic/bitwise operator an
 address computation can use is overloaded to propagate taint, so the
 concrete lambda doubles as its own transfer function.
 
-An operation the domain cannot model (indexing a tainted value into a
-host-side table, float conversion, comparisons used for control flow
-inside the lambda) raises :class:`AbstractionError`, which the analyzer
-turns into an ``UNKNOWN`` classification — never a silent ``SAFE``.
+v2 layers two refinements on the pure taint domain:
+
+* a **mask/interval lattice** (:class:`ValueSet`): each value carries an
+  over-approximation of the set of integers it can take *as the secret
+  varies* — a ``[lo, hi]`` interval plus a possibly-set-bits mask.
+  Masking, shifting, scaling and adding narrow it; the analyzer uses it
+  to prove that a tainted address reaches only one cache line (a
+  value-killed transmit).
+* **path splitting**: comparisons and truth tests on non-concrete values
+  no longer abort the evaluation.  They return an :class:`AbstractBool`
+  whose ``bool()`` consults a fork oracle; :func:`explore_paths` re-runs
+  the lambda once per reachable decision vector and hands the analyzer
+  every leaf, so branchy address math joins over all paths instead of
+  collapsing to UNKNOWN.
+
+An operation the domain still cannot model (indexing a tainted value
+into a host-side table, float conversion) raises
+:class:`AbstractionError`, which the analyzer turns into an ``UNKNOWN``
+classification — never a silent ``SAFE``.
 """
 
 from __future__ import annotations
 
-__all__ = ["AbstractionError", "AbstractValue", "TaintEnv"]
+__all__ = [
+    "AbstractionError",
+    "AbstractBool",
+    "AbstractValue",
+    "PathLimitError",
+    "PathResult",
+    "TaintEnv",
+    "ValueSet",
+    "explore_paths",
+]
 
 
 class AbstractionError(Exception):
     """The abstract domain cannot model an operation soundly."""
+
+
+class PathLimitError(Exception):
+    """Path splitting exceeded its exploration budget."""
+
+
+# ---------------------------------------------------------------- value sets
+#
+# A ValueSet over-approximates the set of *non-negative* integers a value
+# can take across executions that differ only in the secret: every
+# representable value satisfies both ``lo <= v <= hi`` and
+# ``v & ~bits == 0``.  Operations that could produce a negative or that
+# the lattice cannot bound return None (= top); None absorbs.
+
+
+def _mask_up(n):
+    """The all-ones mask covering every bit of ``0..n``."""
+    return (1 << n.bit_length()) - 1
+
+
+class ValueSet:
+    """Interval + possibly-set-bits over-approximation of a value."""
+
+    __slots__ = ("lo", "hi", "bits")
+
+    def __init__(self, lo, hi, bits=None):
+        if lo < 0 or hi < lo:
+            raise ValueError(f"malformed ValueSet [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+        self.bits = _mask_up(hi) if bits is None else bits
+
+    @classmethod
+    def point(cls, value):
+        """The singleton set {value}, or None for negative values."""
+        if value < 0:
+            return None
+        return cls(value, value, _mask_up(value) & value | value)
+
+    @classmethod
+    def top_bytes(cls, size):
+        """Every value a ``size``-byte load can produce."""
+        hi = (1 << (8 * size)) - 1
+        return cls(0, hi, hi)
+
+    @property
+    def singleton(self):
+        return self.lo == self.hi
+
+    @staticmethod
+    def hull(a, b):
+        """The join (smallest set covering both); None absorbs."""
+        if a is None or b is None:
+            return None
+        return ValueSet(min(a.lo, b.lo), max(a.hi, b.hi), a.bits | b.bits)
+
+    def __repr__(self):
+        return f"ValueSet[0x{self.lo:x}, 0x{self.hi:x}, bits=0x{self.bits:x}]"
+
+
+def _vs_exact(a, b, py):
+    """Exact transfer when both sides are singletons (or None)."""
+    if a is not None and b is not None and a.singleton and b.singleton:
+        return ValueSet.point(py(a.lo, b.lo))
+    return _ABSENT
+
+
+_ABSENT = object()  # sentinel: "no exact result, fall through"
+
+
+def _vs_add(a, b):
+    if a is None or b is None:
+        return None
+    lo, hi = a.lo + b.lo, a.hi + b.hi
+    if a.bits & b.bits == 0:
+        # No bit is possibly set on both sides: addition cannot carry.
+        bits = a.bits | b.bits
+    else:
+        bits = _mask_up(hi)
+    return ValueSet(lo, hi, bits)
+
+
+def _vs_sub(a, b):
+    if a is None or b is None or a.lo - b.hi < 0:
+        return None
+    return ValueSet(a.lo - b.hi, a.hi - b.lo)
+
+
+def _vs_mul(a, b):
+    if a is None or b is None:
+        return None
+    lo, hi = a.lo * b.lo, a.hi * b.hi
+    for x, k in ((a, b), (b, a)):
+        if k.singleton and k.lo > 0 and k.lo & (k.lo - 1) == 0:
+            # Multiplying by a power of two shifts the bit mask.
+            return ValueSet(lo, hi, x.bits * k.lo)
+    return ValueSet(lo, hi)
+
+
+def _vs_and(a, b):
+    exact = _vs_exact(a, b, lambda x, y: x & y)
+    if exact is not _ABSENT:
+        return exact
+    if a is None and b is None:
+        return None
+    bits = (a.bits if a is not None else -1) & (b.bits if b is not None else -1)
+    hi = bits
+    if a is not None:
+        hi = min(hi, a.hi)
+    if b is not None:
+        hi = min(hi, b.hi)
+    return ValueSet(0, hi, bits)
+
+
+def _vs_or(a, b):
+    if a is None or b is None:
+        return None
+    bits = a.bits | b.bits
+    return ValueSet(max(a.lo, b.lo), min(bits, a.hi + b.hi), bits)
+
+
+def _vs_xor(a, b):
+    if a is None or b is None:
+        return None
+    bits = a.bits | b.bits
+    return ValueSet(0, bits, bits)
+
+
+def _vs_shl(a, b):
+    if a is None or b is None or not b.singleton:
+        return None
+    k = b.lo
+    return ValueSet(a.lo << k, a.hi << k, a.bits << k)
+
+
+def _vs_shr(a, b):
+    if a is None or b is None or not b.singleton:
+        return None
+    k = b.lo
+    return ValueSet(a.lo >> k, a.hi >> k, a.bits >> k)
+
+
+def _vs_mod(a, b):
+    if b is None or not b.singleton or b.lo <= 0:
+        return None
+    m = b.lo
+    if a is not None and a.hi < m:
+        return a
+    # Python's % with a positive modulus lands in [0, m) regardless of
+    # the dividend's sign, so this holds even when ``a`` is unknown.
+    return ValueSet(0, m - 1, _mask_up(m - 1))
+
+
+def _vs_floordiv(a, b):
+    if a is None or b is None or not b.singleton or b.lo <= 0:
+        return None
+    return ValueSet(a.lo // b.lo, a.hi // b.lo)
+
+
+#: op key -> ValueSet transfer function (None-tolerant, sound).
+_VSET_OPS = {
+    "add": _vs_add,
+    "sub": _vs_sub,
+    "mul": _vs_mul,
+    "and": _vs_and,
+    "or": _vs_or,
+    "xor": _vs_xor,
+    "shl": _vs_shl,
+    "shr": _vs_shr,
+    "mod": _vs_mod,
+    "floordiv": _vs_floordiv,
+}
+
+
+# ------------------------------------------------------------ fork oracle
+#
+# Path splitting works by *re-execution*: the lambda runs under an oracle
+# holding a vector of forced decisions.  Each truth test on a
+# non-concrete value consumes the next decision; running past the end
+# raises _NeedFork, and explore_paths re-runs the lambda with the vector
+# extended both ways.  Lambdas are pure over the environment (reads
+# only), so re-execution is sound.
+
+_FORK_ORACLE = None
+
+#: decision-vector length cap: a lambda asking for more forks than this
+#: on a single path is pathological (loops over abstract conditions).
+_MAX_FORK_DEPTH = 16
+
+
+class _NeedFork(Exception):
+    """Internal: the oracle ran out of forced decisions."""
+
+    def __init__(self, cond):
+        self.cond = cond
+
+
+class _ForkOracle:
+    __slots__ = ("decisions", "cursor", "cond_taints", "cond_chain")
+
+    def __init__(self, decisions):
+        self.decisions = decisions
+        self.cursor = 0
+        self.cond_taints = set()
+        self.cond_chain = ()
+
+    def decide(self, cond):
+        if cond.taints:
+            self.cond_taints |= set(cond.taints)
+            if not self.cond_chain and cond.chain:
+                self.cond_chain = tuple(cond.chain)
+        if self.cursor < len(self.decisions):
+            outcome = self.decisions[self.cursor]
+            self.cursor += 1
+            return outcome
+        if len(self.decisions) >= _MAX_FORK_DEPTH:
+            raise PathLimitError(
+                f"more than {_MAX_FORK_DEPTH} abstract decisions on one "
+                f"evaluation path"
+            )
+        raise _NeedFork(cond)
+
+
+class PathResult:
+    """One leaf of a path-split evaluation."""
+
+    __slots__ = ("result", "decisions", "cond_taints", "cond_chain")
+
+    def __init__(self, result, decisions, cond_taints, cond_chain):
+        self.result = result
+        #: the decision vector (tuple of bool) that reached this leaf
+        self.decisions = decisions
+        #: taint labels of every *tainted* condition decided on the path
+        self.cond_taints = cond_taints
+        #: witness chain of the first tainted condition (possibly empty)
+        self.cond_chain = cond_chain
+
+
+def explore_paths(fn, env, max_paths=64, single_path=False):
+    """Evaluate ``fn(env)`` under the fork oracle, enumerating every
+    reachable decision vector (False branch first, depth-first).
+
+    Returns the list of :class:`PathResult` leaves.  ``single_path``
+    follows only the False outcome of every fork (used by the seeded
+    ``fork_single_path`` analyzer weakening — deliberately unsound).
+    Raises :class:`PathLimitError` past ``max_paths`` leaves and
+    propagates whatever the lambda itself raises.
+    """
+    global _FORK_ORACLE
+    leaves = []
+    stack = [()]
+    previous = _FORK_ORACLE
+    try:
+        while stack:
+            prefix = stack.pop()
+            oracle = _ForkOracle(list(prefix))
+            _FORK_ORACLE = oracle
+            try:
+                result = fn(env)
+            except _NeedFork:
+                if not single_path:
+                    stack.append(prefix + (True,))
+                stack.append(prefix + (False,))
+                continue
+            leaves.append(
+                PathResult(
+                    result,
+                    prefix,
+                    frozenset(oracle.cond_taints),
+                    oracle.cond_chain,
+                )
+            )
+            if len(leaves) > max_paths:
+                raise PathLimitError(
+                    f"evaluation forked into more than {max_paths} paths"
+                )
+    finally:
+        _FORK_ORACLE = previous
+    return leaves
+
+
+class AbstractBool:
+    """A truth value the domain could not decide concretely.
+
+    Carries the taint and witness chain of the compared values; its
+    ``bool()`` consults the fork oracle (raising
+    :class:`AbstractionError` outside a path-splitting context, which
+    preserves the legacy taint-only behaviour).
+    """
+
+    __slots__ = ("taints", "chain", "note")
+
+    def __init__(self, taints=frozenset(), chain=(), note="comparison"):
+        self.taints = frozenset(taints)
+        self.chain = tuple(chain)
+        self.note = note
+
+    def __bool__(self):
+        if _FORK_ORACLE is None:
+            raise AbstractionError(
+                "abstract value used in a host-side branch condition"
+            )
+        return _FORK_ORACLE.decide(self)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        tag = "+".join(sorted(self.taints)) if self.taints else "clean"
+        return f"AbstractBool({self.note}, {tag})"
 
 
 class AbstractValue:
@@ -32,14 +363,25 @@ class AbstractValue:
     reached this value, ending at the op that produced it.  The concrete
     component uses the source op's *architectural* value when one is
     known, so in-bounds control flow still evaluates correctly.
+
+    ``vset`` is the :class:`ValueSet` over-approximation of the values
+    this can take across secret-varying executions (None = unbounded);
+    ``concrete`` marks values derived from constants only, whose concrete
+    component is exact in every execution — those may be branched on
+    directly, everything else forks.
     """
 
-    __slots__ = ("value", "taints", "chain")
+    __slots__ = ("value", "taints", "chain", "vset", "concrete")
 
-    def __init__(self, value=0, taints=frozenset(), chain=()):
+    def __init__(self, value=0, taints=frozenset(), chain=(), vset=_ABSENT,
+                 concrete=True):
         self.value = int(value)
         self.taints = frozenset(taints)
         self.chain = tuple(chain)
+        self.vset = ValueSet.point(self.value) if vset is _ABSENT else vset
+        # A tainted value is secret-derived, never constant-derived: it
+        # must not short-circuit truth tests no matter how it was built.
+        self.concrete = concrete and not self.taints
 
     @property
     def tainted(self):
@@ -47,7 +389,8 @@ class AbstractValue:
 
     def with_step(self, step):
         """This value after passing through one more op."""
-        return AbstractValue(self.value, self.taints, self.chain + (step,))
+        return AbstractValue(self.value, self.taints, self.chain + (step,),
+                             vset=self.vset, concrete=self.concrete)
 
     # ------------------------------------------------------------- combining
 
@@ -61,30 +404,42 @@ class AbstractValue:
             )
         return AbstractValue(other)
 
-    def _combine(self, other, value):
+    def _combine(self, other, value, op=None):
         other = self._lift(other)
         # Witness chains merge deterministically: keep the left operand's
         # chain when it carries taint (Python evaluates operands left to
         # right, so "left" is stable), else the right's.
         chain = self.chain if self.taints else other.chain
-        return AbstractValue(value, self.taints | other.taints, chain)
+        vset = None
+        if op is not None:
+            vset = _VSET_OPS[op](self.vset, other.vset)
+        return AbstractValue(
+            value,
+            self.taints | other.taints,
+            chain,
+            vset=vset,
+            concrete=self.concrete and other.concrete,
+        )
 
     # ------------------------------------------------------------ arithmetic
 
     def __add__(self, other):
-        return self._combine(other, self.value + self._lift(other).value)
+        return self._combine(other, self.value + self._lift(other).value,
+                             "add")
 
     def __radd__(self, other):
         return self._lift(other).__add__(self)
 
     def __sub__(self, other):
-        return self._combine(other, self.value - self._lift(other).value)
+        return self._combine(other, self.value - self._lift(other).value,
+                             "sub")
 
     def __rsub__(self, other):
         return self._lift(other).__sub__(self)
 
     def __mul__(self, other):
-        return self._combine(other, self.value * self._lift(other).value)
+        return self._combine(other, self.value * self._lift(other).value,
+                             "mul")
 
     def __rmul__(self, other):
         return self._lift(other).__mul__(self)
@@ -93,7 +448,7 @@ class AbstractValue:
         rhs = self._lift(other)
         if rhs.value == 0:
             raise AbstractionError("division by an (abstract) zero")
-        return self._combine(other, self.value // rhs.value)
+        return self._combine(other, self.value // rhs.value, "floordiv")
 
     def __rfloordiv__(self, other):
         return self._lift(other).__floordiv__(self)
@@ -102,46 +457,133 @@ class AbstractValue:
         rhs = self._lift(other)
         if rhs.value == 0:
             raise AbstractionError("modulo by an (abstract) zero")
-        return self._combine(other, self.value % rhs.value)
+        return self._combine(other, self.value % rhs.value, "mod")
 
     def __rmod__(self, other):
         return self._lift(other).__mod__(self)
 
     def __and__(self, other):
-        return self._combine(other, self.value & self._lift(other).value)
+        return self._combine(other, self.value & self._lift(other).value,
+                             "and")
 
     def __rand__(self, other):
         return self._lift(other).__and__(self)
 
     def __or__(self, other):
-        return self._combine(other, self.value | self._lift(other).value)
+        return self._combine(other, self.value | self._lift(other).value,
+                             "or")
 
     def __ror__(self, other):
         return self._lift(other).__or__(self)
 
     def __xor__(self, other):
-        return self._combine(other, self.value ^ self._lift(other).value)
+        return self._combine(other, self.value ^ self._lift(other).value,
+                             "xor")
 
     def __rxor__(self, other):
         return self._lift(other).__xor__(self)
 
     def __lshift__(self, other):
-        return self._combine(other, self.value << self._lift(other).value)
+        return self._combine(other, self.value << self._lift(other).value,
+                             "shl")
 
     def __rlshift__(self, other):
         return self._lift(other).__lshift__(self)
 
     def __rshift__(self, other):
-        return self._combine(other, self.value >> self._lift(other).value)
+        return self._combine(other, self.value >> self._lift(other).value,
+                             "shr")
 
     def __rrshift__(self, other):
         return self._lift(other).__rshift__(self)
 
     def __neg__(self):
-        return AbstractValue(-self.value, self.taints, self.chain)
+        vset = self.vset if self.value == 0 and self.vset is not None \
+            and self.vset.singleton and self.vset.lo == 0 else None
+        return AbstractValue(-self.value, self.taints, self.chain,
+                             vset=vset, concrete=self.concrete)
 
     def __invert__(self):
-        return AbstractValue(~self.value, self.taints, self.chain)
+        return AbstractValue(~self.value, self.taints, self.chain,
+                             vset=None, concrete=self.concrete)
+
+    # ------------------------------------------------------------ comparisons
+    #
+    # Concrete-vs-concrete compares decide directly; otherwise the value
+    # sets may settle the outcome for *every* execution; otherwise an
+    # AbstractBool defers to the fork oracle.
+
+    def _compare(self, other, note, py, decide):
+        other = self._lift(other)
+        if self.concrete and other.concrete:
+            return py(self.value, other.value)
+        if self.vset is not None and other.vset is not None:
+            decided = decide(self.vset, other.vset)
+            if decided is not None:
+                return decided
+        taints = self.taints | other.taints
+        chain = self.chain if self.taints else other.chain
+        return AbstractBool(taints, chain, note=note)
+
+    def __lt__(self, other):
+        return self._compare(
+            other, "lt", lambda a, b: a < b,
+            lambda a, b: True if a.hi < b.lo
+            else (False if a.lo >= b.hi else None),
+        )
+
+    def __le__(self, other):
+        return self._compare(
+            other, "le", lambda a, b: a <= b,
+            lambda a, b: True if a.hi <= b.lo
+            else (False if a.lo > b.hi else None),
+        )
+
+    def __gt__(self, other):
+        return self._compare(
+            other, "gt", lambda a, b: a > b,
+            lambda a, b: True if a.lo > b.hi
+            else (False if a.hi <= b.lo else None),
+        )
+
+    def __ge__(self, other):
+        return self._compare(
+            other, "ge", lambda a, b: a >= b,
+            lambda a, b: True if a.lo >= b.hi
+            else (False if a.hi < b.lo else None),
+        )
+
+    def __eq__(self, other):
+        return self._compare(
+            other, "eq", lambda a, b: a == b,
+            lambda a, b: True if a.singleton and b.singleton and a.lo == b.lo
+            else (False if a.hi < b.lo or b.hi < a.lo else None),
+        )
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if isinstance(result, bool):
+            return not result
+        return AbstractBool(result.taints, result.chain, note="ne")
+
+    def __bool__(self):
+        if self.concrete:
+            return bool(self.value)
+        if self.vset is not None:
+            if self.vset.lo > 0:
+                return True
+            if self.vset.hi == 0:
+                return False
+        if _FORK_ORACLE is None:
+            # Branching on a tainted value inside an addr_fn would make
+            # the evaluated path secret-dependent — exactly what the
+            # analysis must not silently follow one arm of.
+            raise AbstractionError(
+                "abstract value used in a host-side branch condition"
+            )
+        return _FORK_ORACLE.decide(
+            AbstractBool(self.taints, self.chain, note="truth")
+        )
 
     # ------------------------------------------------- explicitly unsupported
 
@@ -153,18 +595,7 @@ class AbstractValue:
             "through host-side table lookups"
         )
 
-    def __bool__(self):
-        # Branching on a tainted value inside an addr_fn would make the
-        # evaluated path secret-dependent — exactly what the analysis must
-        # not silently follow one arm of.
-        raise AbstractionError(
-            "abstract value used in a host-side branch condition"
-        )
-
-    def __eq__(self, other):
-        raise AbstractionError("abstract values cannot be compared")
-
-    def __hash__(self):  # pragma: no cover - __eq__ raises first in practice
+    def __hash__(self):
         raise AbstractionError("abstract values are unhashable")
 
     def __repr__(self):

@@ -28,7 +28,7 @@ from ..cpu.isa import MicroOp, OpKind
 from ..invisispec.policy import ISFuturePolicy
 from ..security.channel import AttackContext
 from .analyzer import SAFE, TRANSMIT, analyze_program
-from .programs import attack_programs
+from .programs import attack_programs, hardened_programs
 
 __all__ = ["EvidenceOutcome", "gather_evidence"]
 
@@ -152,6 +152,41 @@ def _make_exception_runner(variant):
     return run
 
 
+#: PC for the generic runner's warm-up loads (never analyzed)
+_PC_SETUP = 0x5800
+
+
+def _run_setup_program(prog):
+    """Generic runner for any :class:`~.programs.SpecProgram` carrying a
+    ``setup`` recipe (the hardened corpus; same dict shape as the fuzz
+    harness): plant, write, warm, flush, then replay the program's own
+    ops with the probe armed."""
+
+    def run(config, secret):
+        setup = prog.setup
+        ops, wrong_paths = prog.build()
+        context = AttackContext(config, num_cores=1)
+        base = setup["secret_addr"]
+        for off in range(setup["secret_size"]):
+            context.write_memory(base + off, secret & 0xFF)
+        for addr, data in setup["writes"]:
+            context.write_memory(addr, bytes(data))
+        warm_ops = [
+            MicroOp(OpKind.LOAD, pc=_PC_SETUP + 0x10 * i, addr=addr, size=1)
+            for i, addr in enumerate(setup["warm"])
+        ]
+        if warm_ops:
+            context.run_ops(0, warm_ops)
+        for addr in setup["flush"]:
+            context.flush(addr)
+        fingerprints = {}
+        _install_probe(context, fingerprints)
+        context.run_ops(0, ops, wrong_paths)
+        return fingerprints
+
+    return run
+
+
 _RUNNERS = {
     "spectre_v1": _run_spectre_v1,
     "meltdown_style": _run_meltdown_style,
@@ -192,14 +227,17 @@ class EvidenceOutcome:
 
 
 def gather_evidence(secrets=_SECRETS, programs=None):
-    """Run the harness for every attack PoC (or the named subset);
-    returns a list of :class:`EvidenceOutcome` in program order."""
+    """Run the harness for every attack PoC and every hardened victim
+    (or the named subset); returns a list of :class:`EvidenceOutcome`
+    in program order."""
     outcomes = []
-    for prog in attack_programs():
+    for prog in attack_programs() + hardened_programs():
         if programs is not None and prog.name not in programs:
             continue
         report = analyze_program(prog, model="futuristic")
-        runner = _RUNNERS[prog.name]
+        runner = _RUNNERS.get(prog.name)
+        if runner is None:
+            runner = _run_setup_program(prog)
         config = ProcessorConfig(scheme=Scheme.BASE)
         fp_a = runner(config, secrets[0])
         fp_b = runner(config, secrets[1])

@@ -13,6 +13,12 @@ the two apart is not measuring anything.
 * ``weaken_guard`` — a victim whose bounds check actually excludes the
   secret (in-bounds call): everything is SAFE.  The mutant weakens the
   guard so the secret index reaches the guarded arm.
+* ``unmask_transmit`` — a victim whose transmit masks the secret to
+  zero, so the value lattice proves every reachable address sits on one
+  line (SAFE, ``value-killed``).  The mutant restores the full mask.
+* ``chill_guard`` — a victim whose guard line is warm, so the branch
+  provably resolves (and squashes) before the TLB-cold transmit can
+  issue (SAFE, ``squash-window``).  The mutant flushes the guard.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from ..security.spectre_v1 import (
 )
 from .analyzer import SAFE, TRANSMIT, analyze_program
 from .programs import SpecProgram
+from .window import WindowModel
 
 __all__ = [
     "ANALYZER_WEAKENINGS",
@@ -76,6 +83,49 @@ def _fenced_victim(with_fence):
         return [bound_load, branch], {branch.uid: arm}
 
     return build
+
+
+def _masked_victim(mask):
+    """The Spectre victim with a mask applied to the transmitted value:
+    ``mask=0`` collapses the reachable transmit addresses to one line
+    (the value lattice must prove it SAFE); any wider mask spans lines."""
+
+    def build():
+        bound_load = MicroOp(
+            OpKind.LOAD, pc=0x6000, addr=ADDR_LIMIT, size=1, dst="limit"
+        )
+        branch = MicroOp(
+            OpKind.BRANCH, pc=BRANCH_PC, taken=True, deps=(1,), latency=2
+        )
+        access = MicroOp(
+            OpKind.LOAD, pc=0x7010, addr=ADDR_SECRET, size=1, dst="v",
+            label="access",
+        )
+        transmit = MicroOp(
+            OpKind.LOAD,
+            pc=_TRANSMIT_PC,
+            addr_fn=lambda env: ADDR_B + LINE * (env.get("v", 0) & mask),
+            size=1,
+            deps=(1,),
+            label="transmit",
+        )
+        return [bound_load, branch], {branch.uid: [access, transmit]}
+
+    return build
+
+
+def _guarded_setup(warm_guard):
+    """Dynamic recipe for the squash-window pair: identical ops, only
+    the guard line's temperature differs."""
+    warm = [ADDR_SECRET] + ([ADDR_LIMIT] if warm_guard else [])
+    flush = [] if warm_guard else [ADDR_LIMIT]
+    return {
+        "secret_addr": ADDR_SECRET,
+        "secret_size": 1,
+        "writes": [],
+        "warm": warm,
+        "flush": flush,
+    }
 
 
 class SpecMutation:
@@ -130,6 +180,48 @@ MUTATIONS = [
             "guarded_spectre_weakened", lambda: victim_ops(OOB_INDEX),
             secret_ranges=((ADDR_SECRET, ADDR_SECRET + 1),),
             description="the guard no longer excludes the secret index",
+        ),
+    ),
+    SpecMutation(
+        name="unmask_transmit",
+        description=(
+            "widen the transmit mask from 0 (single reachable line, "
+            "value-killed) back to the full byte"
+        ),
+        model="futuristic",
+        target_pc=_TRANSMIT_PC,
+        baseline=SpecProgram(
+            "masked_spectre", _masked_victim(0),
+            secret_ranges=((ADDR_SECRET, ADDR_SECRET + 1),),
+            description="Spectre victim whose transmit masks the value "
+                        "to zero",
+        ),
+        mutant=SpecProgram(
+            "masked_spectre_unmasked", _masked_victim(0xFF),
+            secret_ranges=((ADDR_SECRET, ADDR_SECRET + 1),),
+            description="the same victim transmitting the full byte",
+        ),
+    ),
+    SpecMutation(
+        name="chill_guard",
+        description=(
+            "flush the guard line so the branch no longer provably "
+            "resolves before the TLB-cold transmit can issue"
+        ),
+        model="futuristic",
+        target_pc=_TRANSMIT_PC,
+        baseline=SpecProgram(
+            "warm_guard_spectre", _masked_victim(0xFF),
+            secret_ranges=((ADDR_SECRET, ADDR_SECRET + 1),),
+            description="Spectre victim whose warm guard squashes the "
+                        "arm before the cold transmit issues",
+            setup=_guarded_setup(warm_guard=True),
+        ),
+        mutant=SpecProgram(
+            "warm_guard_spectre_chilled", _masked_victim(0xFF),
+            secret_ranges=((ADDR_SECRET, ADDR_SECRET + 1),),
+            description="the same victim with the guard line flushed",
+            setup=_guarded_setup(warm_guard=False),
         ),
     ),
 ]
@@ -226,10 +318,58 @@ class _ShortWindowAnalyzer(SpecFlowAnalyzer):
         super().__init__(model=model, window=min(window, self._CAP))
 
 
+class _CollapseBlindAnalyzer(SpecFlowAnalyzer):
+    """Credits *any* bounded address set with collapsing to one cache
+    line — the value-killed proof without its line-span check."""
+
+    def _value_collapse(self, addr, size):
+        if self.precision != "full" or addr.vset is None:
+            return None
+        return {
+            "kind": "value-killed",
+            "lo": f"0x{addr.vset.lo:x}",
+            "hi": f"0x{addr.vset.hi:x}",
+            "line": f"0x{(addr.vset.lo // 64) * 64:x}",
+            "why": "bounded, therefore (wrongly) assumed single-line",
+        }
+
+
+class _AssumeWarmWindowModel(WindowModel):
+    """Grants every concrete-addressed load the warm-hit completion
+    bound, whether or not the setup actually warmed (or flushed) it."""
+
+    def load_hits(self, op, setup):
+        return op.addr is not None and op.addr_fn is None
+
+
+class _AssumeWarmAnalyzer(SpecFlowAnalyzer):
+    """Squash-window proofs built on the assume-warm timing model:
+    flushed resolve chains get warm-hit bounds, so shadows that really
+    resolve after the cold transmit issues are credited with squashing
+    it first."""
+
+    def __init__(self, model="futuristic", window=64):
+        super().__init__(model=model, window=window,
+                         window_model=_AssumeWarmWindowModel())
+
+
+class _SinglePathAnalyzer(SpecFlowAnalyzer):
+    """Follows only the first outcome of every abstract fork, dropping
+    both the other path and the comparison's taint — branchy address
+    math looks like a constant address."""
+
+    def __init__(self, model="futuristic", window=64):
+        super().__init__(model=model, window=window)
+        self.single_path = True
+
+
 class AnalyzerWeakening:
     """A named analyzer bug: ``factory(model, window)`` builds the
     weakened analyzer; ``trips_on`` names the gadget-template families
-    (see :mod:`repro.fuzz.generator`) guaranteed to expose it."""
+    (see :mod:`repro.fuzz.generator`) guaranteed to expose it — as
+    SAFE-but-leaks (soundness) for every weakening except
+    ``short_window``, whose damage shows as window-exhausted UNKNOWNs on
+    dynamically-leaky loads (the campaign's unknown-gap channel)."""
 
     __slots__ = ("name", "description", "factory", "trips_on")
 
@@ -269,7 +409,36 @@ ANALYZER_WEAKENINGS = {
                 f"shadows fall out of reach"
             ),
             factory=_ShortWindowAnalyzer,
-            trips_on=("ssb_padded",),
+            trips_on=("bounds_check",),
+        ),
+        AnalyzerWeakening(
+            name="value_collapse_blind",
+            description=(
+                "any bounded transmit address set is credited as "
+                "single-line: multi-line masked transmits become SAFE"
+            ),
+            factory=_CollapseBlindAnalyzer,
+            trips_on=("ssb", "exception"),
+        ),
+        AnalyzerWeakening(
+            name="window_assumes_warm",
+            description=(
+                "squash-window timing assumes every concrete load hits "
+                "warm: flushed resolve chains look fast enough to "
+                "squash cold transmits that really issue first"
+            ),
+            factory=_AssumeWarmAnalyzer,
+            trips_on=("exception",),
+        ),
+        AnalyzerWeakening(
+            name="fork_single_path",
+            description=(
+                "path splitting follows only the first fork outcome and "
+                "drops the condition taint: select-based transmit "
+                "addresses look constant"
+            ),
+            factory=_SinglePathAnalyzer,
+            trips_on=("branchy_select",),
         ),
     )
 }

@@ -1,0 +1,192 @@
+"""Fence- and squash-window reachability (specflow v2).
+
+The pure taint domain flags every tainted transient load TRANSMIT, even
+when the *machine* guarantees the load can never issue before the
+speculation that covers it resolves.  The dominant case in the fuzz
+corpus: the transmission array lives on pages the program never touches
+otherwise, so the transmit load takes a TLB miss — ``_start_load``
+defers its memory issue by the full page-walk latency (60 cycles at the
+default :class:`~repro.params.TLBParams`) — while a *warm* guard load
+resolves its branch within ~15 cycles.  The squash reaches the deferred
+load first and ``_issue_load_to_memory`` drops it before the load-issue
+probe (the attacker-visible event) ever fires.
+
+:class:`WindowModel` turns that argument into two bounds:
+
+* :meth:`resolve_ub` — an upper bound (cycles from program start) on
+  when a shadow op resolves and squashes its wrong-path arm, chased
+  through the op's dependency tree.  Only provably-warm loads (their
+  lines appear in the program's setup ``warm`` list and survive the
+  ``flush`` list) get a finite completion bound.
+* :meth:`issue_lb` — a lower bound on when a provably-TLB-cold load can
+  first issue to memory: the page-walk latency.
+
+A transient candidate is discharged SAFE when
+``resolve_ub + MARGIN <= issue_lb``.  The *cold-page proof* feeding
+:meth:`issue_lb` lives in the analyzer (it needs the whole-program
+memory footprint); this module only owns the timing arithmetic.
+
+Model assumptions (each one is load-bearing; all are exercised
+continuously by the differential fuzz campaign, where any SAFE-but-leaks
+is campaign-fatal):
+
+* Timer interrupts are off (``CoreParams.interrupt_interval == 0``, the
+  default) — no interrupt replay re-arms a resolved shadow.
+* Dispatch is in-order and progresses at least one op per cycle for the
+  small programs analyzed here (``DISPATCH_SLOP`` absorbs startup).
+* ``tlb.fill`` is synchronous at load *start*, so any other memory op in
+  the program — earlier or later, squashed or not — may pre-warm the
+  candidate's page.  The analyzer therefore requires the candidate's
+  reachable pages to be disjoint from every other op's and from the
+  setup's, and the candidate to execute exactly once.
+* A warm line hits within ``HIT_UB`` cycles (the L2 round trip bounds
+  any cache hit) and its page was walked during the warm-up phase.
+"""
+
+from __future__ import annotations
+
+from ..cpu.isa import OpKind
+from ..params import TLBParams
+
+__all__ = ["WindowModel"]
+
+#: op kinds whose completion a retirement-gated (exception) shadow may
+#: wait on and still be boundable; anything else (stores draining,
+#: fences, nested faults) makes the bound None.
+_BOUNDABLE_OLDER = (
+    OpKind.ALU,
+    OpKind.FP,
+    OpKind.LOAD,
+    OpKind.BRANCH,
+    OpKind.NOP,
+)
+
+
+class WindowModel:
+    """Timing bounds for squash-before-issue discharge proofs."""
+
+    #: dispatch-time upper bound for op ``i`` is ``i + DISPATCH_SLOP``.
+    DISPATCH_SLOP = 3
+    #: any provably-warm load completes within this many cycles of
+    #: starting (L2 round trip bounds L1/L2 hits).
+    HIT_UB = 8
+    #: squash propagation / resolve bookkeeping slack.
+    RESOLVE_SLOP = 2
+    #: required gap between the resolve upper bound and the issue lower
+    #: bound; absorbs every small-cycle effect the model abstracts away.
+    MARGIN = 16
+    #: dependency-chase fuel (chains in analyzed programs are short; a
+    #: deeper chain simply fails to discharge).
+    _CHASE_FUEL = 8
+
+    def __init__(self, tlb=None, line_bytes=64):
+        self.tlb = tlb if tlb is not None else TLBParams()
+        self.line_bytes = line_bytes
+
+    # ------------------------------------------------------ candidate side
+
+    def issue_lb(self):
+        """Earliest cycle a provably-TLB-cold load can issue to memory."""
+        return self.tlb.walk_latency
+
+    def page_span(self, lo, hi):
+        """Inclusive page range covering byte addresses ``lo..hi``."""
+        return (lo // self.tlb.page_bytes, hi // self.tlb.page_bytes)
+
+    # --------------------------------------------------------- shadow side
+
+    def resolve_ub(self, ops, index, setup):
+        """Upper bound (cycles) on when ``ops[index]`` resolves and
+        squashes its arm, or None when no sound bound exists.
+
+        Branches resolve once their dependency values are ready;
+        exceptions trap at retirement, which additionally waits on every
+        older op completing.
+        """
+        if setup is None or not 0 <= index < len(ops):
+            return None
+        op = ops[index]
+        if op.kind is OpKind.BRANCH:
+            ready = self._deps_ready_ub(ops, index, setup, self._CHASE_FUEL)
+            if ready is None:
+                return None
+            return ready + max(op.latency, 2) + self.RESOLVE_SLOP
+        if op.kind is OpKind.EXCEPTION or op.raises_exception:
+            ub = self._deps_ready_ub(ops, index, setup, self._CHASE_FUEL)
+            if ub is None:
+                return None
+            for j in range(index):
+                if ops[j].kind not in _BOUNDABLE_OLDER:
+                    return None
+                done = self._value_ready_ub(ops, j, setup, self._CHASE_FUEL)
+                if done is None:
+                    return None
+                ub = max(ub, done)
+            return ub + max(op.latency, 1) + self.RESOLVE_SLOP
+        return None
+
+    def _deps_ready_ub(self, ops, index, setup, fuel):
+        """When every dependency value of ``ops[index]`` is ready."""
+        ub = index + self.DISPATCH_SLOP
+        for dist in ops[index].deps:
+            j = index - dist
+            if not 0 <= j < index:
+                return None
+            ready = self._value_ready_ub(ops, j, setup, fuel - 1)
+            if ready is None:
+                return None
+            ub = max(ub, ready)
+        return ub
+
+    def _value_ready_ub(self, ops, index, setup, fuel):
+        """When the value ``ops[index]`` produces is ready, or None."""
+        if fuel <= 0:
+            return None
+        op = ops[index]
+        base = self._deps_ready_ub(ops, index, setup, fuel)
+        if base is None:
+            return None
+        if op.kind in (OpKind.ALU, OpKind.FP):
+            return base + max(op.latency, 1)
+        if op.kind is OpKind.LOAD:
+            if self.load_hits(op, setup):
+                return base + self.HIT_UB
+            return None
+        if op.kind is OpKind.BRANCH:
+            return base + max(op.latency, 2)
+        if op.kind is OpKind.NOP:
+            return base + 1
+        return None
+
+    def load_hits(self, op, setup):
+        """Whether the load provably hits warm, TLB-resident state: a
+        concrete address whose lines were all warmed by the setup and
+        none flushed afterward.  (The warm-up loads also walk the page,
+        so cache-warm implies TLB-warm here.)"""
+        if op.addr is None or op.addr_fn is not None:
+            return False
+        line = self.line_bytes
+        lines = set(
+            range(op.addr // line, (op.addr + max(op.size, 1) - 1) // line + 1)
+        )
+        warm = {a // line for a in setup.get("warm", ())}
+        flushed = {a // line for a in setup.get("flush", ())}
+        return lines <= warm and not (lines & flushed)
+
+    # ----------------------------------------------------------- discharge
+
+    def discharge(self, ops, shadow_index, setup):
+        """The timing half of a squash-before-issue proof: a dict of the
+        bounds when ``resolve_ub + MARGIN <= issue_lb``, else None.  The
+        caller supplies the cold-page half (footprint disjointness)."""
+        resolve = self.resolve_ub(ops, shadow_index, setup)
+        if resolve is None:
+            return None
+        issue = self.issue_lb()
+        if resolve + self.MARGIN > issue:
+            return None
+        return {
+            "resolve_ub": resolve,
+            "issue_lb": issue,
+            "margin": self.MARGIN,
+        }

@@ -23,7 +23,7 @@ import argparse
 import json
 import sys
 
-from .lint import rule_catalog, run_lint
+from .lint import audit_suppressions, rule_catalog, run_lint
 from .lint.report import render_json, render_text
 from .model import MUTATION_NAMES, ModelChecker
 from .mutations import MUTATIONS, check_mutation
@@ -153,6 +153,19 @@ def _cmd_lint(args):
         print("lint: no paths given (try: python -m repro.staticcheck "
               "lint src/repro)", file=sys.stderr)
         return 2
+    if args.audit_suppressions:
+        entries = audit_suppressions(args.paths)
+        if args.format == "json":
+            print(json.dumps(entries, indent=2, sort_keys=True))
+        else:
+            for entry in entries:
+                print(
+                    f"{entry['path']}:{entry['line']}: "
+                    f"{', '.join(entry['rules'])} -- "
+                    f"{entry['justification']}"
+                )
+            print(f"lint: {len(entries)} active suppression(s)")
+        return 0
     findings, nfiles = run_lint(args.paths)
     if args.format == "json":
         print(render_json(findings, nfiles))
@@ -161,7 +174,7 @@ def _cmd_lint(args):
     return 1 if findings else 0
 
 
-def _specflow_text(report, witness):
+def _specflow_text(report, witness, proofs=False):
     s = report.summary
     print(
         f"specflow: {report.program} [{report.model}, window "
@@ -170,6 +183,12 @@ def _specflow_text(report, witness):
     )
     for rep in report.loads:
         if rep.classification == "SAFE":
+            if proofs and rep.proof is not None:
+                detail = {k: v for k, v in rep.proof.items() if k != "kind"}
+                print(
+                    f"  0x{rep.pc:x} SAFE proof={rep.proof['kind']} "
+                    f"{detail}"
+                )
             continue  # the summary line carries the count
         line = f"  0x{rep.pc:x} {rep.classification}"
         if rep.classification == "TRANSMIT":
@@ -205,7 +224,10 @@ def _cmd_specflow(args):
     failures = 0
     reports = []
     for prog in programs:
-        report = analyze_program(prog, model=args.model, window=args.window)
+        report = analyze_program(
+            prog, model=args.model, window=args.window,
+            precision=args.precision,
+        )
         reports.append(report)
         unknown = report.pcs("UNKNOWN")
         if unknown and not args.allow_unknown:
@@ -219,13 +241,14 @@ def _cmd_specflow(args):
             {
                 "attack_model": args.model,
                 "window": args.window,
+                "precision": args.precision,
                 "programs": [r.to_dict() for r in reports],
             },
             indent=2, sort_keys=True,
         ))
     else:
         for prog, report in zip(programs, reports):
-            _specflow_text(report, args.witness)
+            _specflow_text(report, args.witness, args.proofs)
             want = tuple(sorted(prog.expected_transmit.get(args.model, ())))
             got = tuple(sorted(report.pcs("TRANSMIT")))
             if got != want:
@@ -318,6 +341,11 @@ def make_parser():
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+    lint.add_argument(
+        "--audit-suppressions", action="store_true",
+        help="print the active waiver list (every justified suppression) "
+        "instead of linting",
+    )
     lint.set_defaults(func=_cmd_lint)
 
     specflow = sub.add_parser(
@@ -337,8 +365,17 @@ def make_parser():
         help="speculation window in dynamic ops (default: 64)",
     )
     specflow.add_argument(
+        "--precision", choices=("full", "taint"), default="full",
+        help="abstract domain: 'full' (v2: path splitting, value sets, "
+        "window discharge) or 'taint' (v1 pure-taint baseline)",
+    )
+    specflow.add_argument(
         "--witness", action="store_true",
         help="print the taint-chain witness for every TRANSMIT load",
+    )
+    specflow.add_argument(
+        "--proofs", action="store_true",
+        help="print the discharge proof carried by every proven-SAFE load",
     )
     specflow.add_argument(
         "--mutations", action="store_true",

@@ -3,6 +3,7 @@
 from .engine import (
     Finding,
     LintRule,
+    audit_suppressions,
     classify_scope,
     iter_python_files,
     lint_file,
@@ -14,6 +15,7 @@ __all__ = [
     "ALL_RULES",
     "Finding",
     "LintRule",
+    "audit_suppressions",
     "classify_scope",
     "iter_python_files",
     "lint_file",

@@ -34,6 +34,7 @@ __all__ = [
     "Finding",
     "LintRule",
     "Suppression",
+    "audit_suppressions",
     "classify_scope",
     "lint_file",
     "lint_paths",
@@ -283,3 +284,31 @@ def lint_paths(paths, rules):
     for path in files:
         findings.extend(lint_file(path, rules))
     return findings, len(files)
+
+
+def audit_suppressions(paths):
+    """The live waiver list: every ``# reprolint: disable=`` comment
+    under ``paths`` as ``{"path", "line", "rules", "justification"}``
+    dicts in (path, line) order.
+
+    This is the review surface for suppressions — the linter itself
+    already rejects malformed or dead ones (``bad-suppression`` /
+    ``unused-suppression``), so anything this returns is a deliberate,
+    justified, still-active waiver.
+    """
+    entries = []
+    for path in iter_python_files(paths):
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        suppressions, _bad = parse_suppressions(source)
+        for lineno in sorted(suppressions):
+            sup = suppressions[lineno]
+            entries.append(
+                {
+                    "path": str(path),
+                    "line": sup.line,
+                    "rules": list(sup.rules),
+                    "justification": sup.justification,
+                }
+            )
+    return entries

@@ -13,6 +13,7 @@ rule                        catches
 ``pure-protocol``           side effects in the protocol table modules
 ``kernel-api-bypass``       event scheduling around SimKernel's API
 ``register-env-bypass``     addr_fn/compute_fn evaluation outside repro.cpu
+``blocking-call-in-async``  event-loop stalls inside ``async def``
 ==========================  ==========================================
 """
 
@@ -336,6 +337,94 @@ class RegisterEnvBypassRule(LintRule):
         self.generic_visit(node)
 
 
+class BlockingCallInAsyncRule(LintRule):
+    name = "blocking-call-in-async"
+    description = (
+        "a blocking call inside 'async def' stalls the event loop for "
+        "every connected client (the job server is single-threaded); "
+        "use the asyncio equivalent or hand the work to an executor"
+    )
+    scopes = frozenset({"host"})
+
+    _SLEEPS = frozenset({"time.sleep"})
+    _FILE_IO = frozenset({"open", "io.open"})
+    _SOCKET_CALLS = frozenset(
+        {
+            "socket.socket",
+            "socket.create_connection",
+            "socket.getaddrinfo",
+            "socket.gethostbyname",
+        }
+    )
+    #: raw-socket methods that block; the asyncio stream API has no
+    #: methods by these names, so any un-awaited call is suspect.
+    _SOCKET_METHODS = frozenset(
+        {"accept", "connect", "recv", "recv_into", "recvfrom", "sendall"}
+    )
+
+    def visit_AsyncFunctionDef(self, node):
+        for stmt in node.body:
+            self._walk(stmt)
+        # decorators and defaults evaluate synchronously at def time
+        for extra in node.decorator_list:
+            self.generic_visit(extra)
+
+    def _walk(self, node):
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            return  # sync helper: typically shipped to an executor
+        if isinstance(node, ast.AsyncFunctionDef):
+            for stmt in node.body:
+                self._walk(stmt)
+            return
+        if isinstance(node, ast.Await):
+            value = node.value
+            if isinstance(value, ast.Call):
+                self._check_call(value, awaited=True)
+                for child in ast.iter_child_nodes(value):
+                    self._walk(child)
+            else:
+                self._walk(value)
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(node, awaited=False)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child)
+
+    def _check_call(self, node, awaited):
+        dotted = _dotted(node.func)
+        if dotted in self._SLEEPS:
+            self.report(
+                node,
+                "time.sleep() inside an async function freezes the whole "
+                "event loop; await asyncio.sleep(...) instead",
+            )
+        elif dotted in self._FILE_IO:
+            self.report(
+                node,
+                "blocking file IO (open) inside an async function; do the "
+                "IO before entering the coroutine or via "
+                "loop.run_in_executor",
+            )
+        elif dotted in self._SOCKET_CALLS:
+            self.report(
+                node,
+                f"blocking socket call {dotted}() inside an async "
+                "function; use asyncio streams "
+                "(open_connection/start_server)",
+            )
+        elif (
+            not awaited
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._SOCKET_METHODS
+        ):
+            self.report(
+                node,
+                f"un-awaited .{node.func.attr}() inside an async function "
+                "looks like a blocking raw-socket operation; use the "
+                "asyncio stream API (or await the coroutine)",
+            )
+
+
 ALL_RULES = (
     WallClockRule,
     UnseededRandomRule,
@@ -344,6 +433,7 @@ ALL_RULES = (
     PureProtocolRule,
     KernelApiBypassRule,
     RegisterEnvBypassRule,
+    BlockingCallInAsyncRule,
 )
 
 

@@ -3,7 +3,8 @@
 These pin the template <-> mechanism contract the campaign's guarantees
 rest on: leak templates confirm, the lfence template is dynamically
 clean, SSB/exception gadgets are futuristic-only, and the value-killing
-gadget is a deterministic precision gap.
+gadget — v1's deterministic precision gap — is now proven SAFE by the
+value-collapse lattice.
 """
 
 import pytest
@@ -11,7 +12,6 @@ import pytest
 from repro.fuzz.generator import build_program
 from repro.fuzz.harness import (
     AGREE,
-    PRECISION,
     differential_check,
 )
 
@@ -68,12 +68,40 @@ def test_indirect_branch_confirms():
     assert result.per_model["futuristic"]["transmit_confirmed"]
 
 
-def test_masked_dead_is_a_deterministic_precision_gap():
+def test_masked_dead_collapse_closes_the_v1_precision_gap():
+    """The mask-to-zero transmit reaches one cache line; the v2 value
+    lattice proves it SAFE, and the dynamic runs confirm it is clean
+    (this was v1's signature TRANSMIT-but-clean case)."""
     result = differential_check(_first("masked_dead"))
-    assert result.classification == PRECISION
+    assert result.classification == AGREE
     for model in ("spectre", "futuristic"):
-        assert result.per_model[model]["transmit_but_clean"]
+        assert not result.per_model[model]["transmit_but_clean"]
         assert not result.per_model[model]["safe_but_leaks"]
+        assert result.per_model[model]["safe_confirmed"]
+
+
+def test_masked_dead_carries_a_value_killed_proof():
+    from repro.specflow.analyzer import analyze_program
+
+    prog = _first("masked_dead").spec_program()
+    rep = analyze_program(prog, model="futuristic")
+    proofs = [
+        load.proof["kind"]
+        for load in rep.loads
+        if load.classification == "SAFE" and load.proof is not None
+    ]
+    assert "value-killed" in proofs
+
+
+def test_branchy_select_confirms_in_both_models():
+    """The path-split template: the transmit address forks on a secret
+    bit across cache lines, so v2 must flag it (v1 collapsed to
+    UNKNOWN) and the dynamics must confirm the leak."""
+    result = differential_check(_first("branchy_select"))
+    assert result.classification == AGREE
+    for model in ("spectre", "futuristic"):
+        assert result.per_model[model]["transmit_confirmed"]
+        assert not result.per_model[model]["unknown"]
 
 
 def test_weakened_analyzer_produces_soundness_disagreement():
@@ -84,6 +112,45 @@ def test_weakened_analyzer_produces_soundness_disagreement():
     assert result.per_model["futuristic"]["safe_but_leaks"]
     targets = result.targets("soundness")
     assert all(model == "futuristic" for model, _pc in targets)
+
+
+@pytest.mark.parametrize(
+    "weaken,template",
+    [
+        ("value_collapse_blind", "ssb"),
+        ("window_assumes_warm", "exception"),
+        ("fork_single_path", "branchy_select"),
+    ],
+)
+def test_v2_sub_analysis_weakenings_are_safe_but_leaks(weaken, template):
+    """Each v2 layer's seeded weakening must surface as a soundness
+    disagreement (a SAFE verdict the machine contradicts) on its
+    documented trip template — the fuzz campaign's guarantee that every
+    new sub-analysis stays under differential test."""
+    result = differential_check(
+        _first(template, exclude_warm_guard=False), weaken=weaken
+    )
+    assert result.classification == "soundness"
+    assert result.per_model["futuristic"]["safe_but_leaks"]
+
+
+def test_short_window_weakening_shows_as_an_unknown_gap():
+    """short_window damages coverage, not verdicts: dynamically leaky
+    loads degrade to window-exhausted UNKNOWNs, which the campaign
+    tracks through its unknown-gap channel rather than as soundness."""
+    for index in range(120):
+        prog = build_program(0, index)
+        if prog.template != "bounds_check":
+            continue
+        result = differential_check(prog, weaken="short_window")
+        if result.classification != "unknown":
+            continue
+        reasons = set(result.per_model["futuristic"]["unknown"].values())
+        assert reasons == {"window-exhausted"}, reasons
+        return
+    raise AssertionError(
+        "no bounds_check draw degraded to UNKNOWN under short_window"
+    )
 
 
 def test_unknown_weakening_name_is_rejected():

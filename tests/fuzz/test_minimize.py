@@ -51,10 +51,15 @@ def test_budget_exhaustion_is_logged_never_silent():
 
 
 def test_minimize_preserves_live_disagreement(tmp_path):
-    """E2E on a real precision gap: masked_dead shrinks below its
-    generated size while the transmit-but-clean target survives."""
-    prog = build_program(0, 8)
-    assert prog.template == "masked_dead"
+    """E2E on a real precision gap.  v2 closed masked_dead (value
+    collapse), so the live gap is a warm-guard bounds check with two
+    transmits: their page footprints overlap, which blocks the
+    squash-window proof, while dynamically the warm guard still
+    squashes both before issue."""
+    prog = build_program(0, 380)
+    assert prog.template == "bounds_check"
+    assert "warm_guard" in prog.mutations
+    assert "extra_transmit" in prog.mutations
     base = differential_check(prog)
     (model, pc) = base.targets("precision")[0]
     hex_pc = f"0x{pc:x}"

@@ -5,7 +5,12 @@ answer)."""
 import pytest
 
 from repro.specflow import AbstractValue, TaintEnv
-from repro.specflow.domain import AbstractionError
+from repro.specflow.domain import (
+    AbstractionError,
+    PathLimitError,
+    ValueSet,
+    explore_paths,
+)
 
 
 def tainted(value, label="secret@0x100", step=("src",)):
@@ -66,13 +71,254 @@ class TestRefusals:
             AbstractValue(4) % AbstractValue(0)
 
     def test_host_side_escapes_raise(self):
+        # An unbounded secret-derived value — the shape every load
+        # result has — may never decide host-side control flow outside
+        # a fork oracle (see explore_paths).
+        t = AbstractValue(3, {"secret@0x100"}, (), vset=None,
+                          concrete=False)
         table = list(range(8))
         with pytest.raises(AbstractionError):
-            table[tainted(3)]  # __index__
+            table[t]  # __index__
         with pytest.raises(AbstractionError):
-            bool(tainted(1))  # host-side branch
+            bool(t)  # host-side branch
         with pytest.raises(AbstractionError):
-            tainted(1) == 1  # comparison
+            bool(t == 1)  # comparison escaping into a branch
+
+    def test_index_refuses_even_when_bounded(self):
+        # Host-side indexing leaks the whole value; a bounded vset
+        # does not make it modelable.
+        with pytest.raises(AbstractionError):
+            list(range(8))[tainted(3)]
+
+    def test_lattice_decisive_comparisons_stay_concrete(self):
+        # vset point(5) proves 5 < 10 in every execution: no fork
+        # needed, the comparison is a plain bool even though tainted.
+        assert (tainted(5) < 10) is True
+        assert (tainted(5) >= 10) is False
+        assert bool(tainted(5))  # lo > 0: provably truthy
+
+    def test_tainted_values_are_never_concrete(self):
+        # concrete=True is ignored for secret-derived values — they
+        # must fork, not short-circuit, in truth tests.
+        t = AbstractValue(1, {"secret@0x100"}, (), concrete=True)
+        assert not t.concrete
+
+
+def _members(vs, cap=4096):
+    """Every concrete value a small ValueSet admits (lattice semantics:
+    lo <= v <= hi and v & ~bits == 0)."""
+    assert vs.hi <= cap, "test set too large to enumerate"
+    return {
+        v for v in range(vs.lo, vs.hi + 1) if v & ~vs.bits == 0
+    }
+
+
+class TestValueSet:
+    def test_point_and_singleton(self):
+        p = ValueSet.point(100)
+        assert p.singleton and p.lo == p.hi == 100
+        assert ValueSet.point(-1) is None
+
+    def test_top_bytes_covers_the_load_width(self):
+        top = ValueSet.top_bytes(2)
+        assert (top.lo, top.hi, top.bits) == (0, 0xFFFF, 0xFFFF)
+
+    def test_malformed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ValueSet(5, 4)
+        with pytest.raises(ValueError):
+            ValueSet(-1, 4)
+
+    def test_hull_joins_and_top_absorbs(self):
+        h = ValueSet.hull(ValueSet.point(8), ValueSet.point(64))
+        assert (h.lo, h.hi) == (8, 64)
+        assert h.bits & 8 and h.bits & 64
+        assert ValueSet.hull(None, ValueSet.point(1)) is None
+        assert ValueSet.hull(ValueSet.point(1), None) is None
+
+    @pytest.mark.parametrize(
+        "op,a,b",
+        [
+            ("add", ValueSet(0, 7), ValueSet(0, 56, 0x38)),
+            ("add", ValueSet(3, 9), ValueSet(1, 5)),  # carrying
+            ("sub", ValueSet(8, 12), ValueSet(1, 3)),
+            ("mul", ValueSet(0, 255), ValueSet.point(64)),
+            ("mul", ValueSet(1, 5), ValueSet(2, 3)),
+            ("and", ValueSet(0, 255), ValueSet.point(0xF0)),
+            ("or", ValueSet(0, 15), ValueSet.point(0x10)),
+            ("xor", ValueSet(0, 15), ValueSet(0, 3)),
+            ("shl", ValueSet(0, 15), ValueSet.point(4)),
+            ("shr", ValueSet(0, 255), ValueSet.point(4)),
+            ("mod", ValueSet(0, 1000), ValueSet.point(64)),
+            ("floordiv", ValueSet(0, 255), ValueSet.point(16)),
+        ],
+    )
+    def test_transfer_ops_are_sound(self, op, a, b):
+        """Every concrete pair's result is contained in the abstract
+        result — the property the SAFE verdicts ultimately rest on."""
+        from repro.specflow.domain import _VSET_OPS
+
+        py = {
+            "add": lambda x, y: x + y,
+            "sub": lambda x, y: x - y,
+            "mul": lambda x, y: x * y,
+            "and": lambda x, y: x & y,
+            "or": lambda x, y: x | y,
+            "xor": lambda x, y: x ^ y,
+            "shl": lambda x, y: x << y,
+            "shr": lambda x, y: x >> y,
+            "mod": lambda x, y: x % y,
+            "floordiv": lambda x, y: x // y,
+        }[op]
+        out = _VSET_OPS[op](a, b)
+        assert out is not None
+        got = {
+            py(x, y) for x in _members(a) for y in _members(b)
+        }
+        members = _members(out, cap=1 << 16)
+        assert got <= members, (op, sorted(got - members)[:5])
+
+    def test_mask_kills_the_value(self):
+        # the masked-dead discharge: (secret & 0) leaves the point set
+        from repro.specflow.domain import _VSET_OPS
+
+        out = _VSET_OPS["and"](ValueSet.top_bytes(1), ValueSet.point(0))
+        assert out.singleton and out.lo == 0
+
+    def test_carry_free_add_keeps_the_bit_mask(self):
+        from repro.specflow.domain import _VSET_OPS
+
+        base = ValueSet.point(0xB00000)
+        offset = ValueSet(0, 0x38, 0x38)  # line-aligned secret offset
+        out = _VSET_OPS["add"](base, offset)
+        assert (out.lo, out.hi) == (0xB00000, 0xB00038)
+        assert out.bits == 0xB00000 | 0x38
+
+    def test_power_of_two_scale_shifts_the_mask(self):
+        from repro.specflow.domain import _VSET_OPS
+
+        out = _VSET_OPS["mul"](ValueSet(0, 255), ValueSet.point(64))
+        assert (out.lo, out.hi) == (0, 255 * 64)
+        assert out.bits == 0xFF * 64
+
+    def test_unsupported_shapes_go_to_top(self):
+        from repro.specflow.domain import _VSET_OPS
+
+        # negative-capable subtraction and variable shifts are top
+        assert _VSET_OPS["sub"](ValueSet(0, 3), ValueSet(0, 5)) is None
+        assert _VSET_OPS["shl"](ValueSet(0, 3), ValueSet(0, 2)) is None
+        assert _VSET_OPS["add"](None, ValueSet.point(1)) is None
+
+
+def _secretish(value=5):
+    """An unbounded tainted value, as a transient load produces."""
+    return AbstractValue(
+        value, {"secret@0x100"}, (), vset=ValueSet.top_bytes(1),
+        concrete=False,
+    )
+
+
+class TestPathSplitting:
+    def test_one_comparison_forks_two_leaves_false_first(self):
+        env = TaintEnv()
+        env.write("v", _secretish())
+
+        def fn(env):
+            return 10 if env.get("v", 0) > 128 else 20
+
+        leaves = explore_paths(fn, env)
+        assert [leaf.decisions for leaf in leaves] == [(False,), (True,)]
+        assert [leaf.result for leaf in leaves] == [20, 10]
+
+    def test_leaves_carry_the_condition_taint(self):
+        env = TaintEnv()
+        env.write("v", _secretish())
+
+        def fn(env):
+            return 1 if env.get("v", 0) > 128 else 0
+
+        for leaf in explore_paths(fn, env):
+            assert leaf.cond_taints == {"secret@0x100"}
+
+    def test_clean_conditions_do_not_taint_the_leaf(self):
+        env = TaintEnv()
+        env.write("v", AbstractValue(5, vset=ValueSet(0, 255),
+                                     concrete=False))
+
+        def fn(env):
+            return 1 if env.get("v", 0) > 128 else 0
+
+        leaves = explore_paths(fn, env)
+        assert len(leaves) == 2
+        assert all(leaf.cond_taints == frozenset() for leaf in leaves)
+
+    def test_nested_comparisons_enumerate_all_vectors(self):
+        env = TaintEnv()
+        env.write("v", _secretish())
+
+        def fn(env):
+            v = env.get("v", 0)
+            hi = 2 if v > 128 else 0
+            lo = 1 if (v & 1) == 1 else 0
+            return hi + lo
+
+        leaves = explore_paths(fn, env)
+        assert sorted(leaf.result for leaf in leaves) == [0, 1, 2, 3]
+        assert len({leaf.decisions for leaf in leaves}) == 4
+
+    def test_max_paths_is_enforced(self):
+        env = TaintEnv()
+        env.write("v", _secretish())
+
+        def fn(env):
+            return 1 if env.get("v", 0) > 128 else 0
+
+        with pytest.raises(PathLimitError):
+            explore_paths(fn, env, max_paths=1)
+
+    def test_runaway_decision_chains_hit_the_depth_cap(self):
+        env = TaintEnv()
+        env.write("v", _secretish())
+
+        def fn(env):
+            v = env.get("v", 0)
+            return sum(1 for i in range(64) if v > i)
+
+        with pytest.raises(PathLimitError):
+            explore_paths(fn, env, max_paths=10 ** 6)
+
+    def test_single_path_follows_only_false(self):
+        env = TaintEnv()
+        env.write("v", _secretish())
+
+        def fn(env):
+            v = env.get("v", 0)
+            hi = 2 if v > 128 else 0
+            lo = 1 if (v & 1) == 1 else 0
+            return hi + lo
+
+        leaves = explore_paths(fn, env, single_path=True)
+        assert [leaf.result for leaf in leaves] == [0]
+
+    def test_oracle_is_restored_after_exploration(self):
+        env = TaintEnv()
+        env.write("v", _secretish())
+        explore_paths(lambda env: 1 if env.get("v", 0) > 1 else 0, env)
+        # outside exploration, abstract truth tests must refuse again
+        with pytest.raises(AbstractionError):
+            bool(_secretish() > 128)
+
+    def test_lambda_errors_propagate(self):
+        env = TaintEnv()
+        env.write("v", _secretish())
+
+        def fn(env):
+            if env.get("v", 0) > 128:
+                raise ZeroDivisionError("leaf blew up")
+            return 0
+
+        with pytest.raises(ZeroDivisionError):
+            explore_paths(fn, env)
 
 
 class TestTaintEnv:

@@ -1,0 +1,180 @@
+"""WindowModel timing bounds and the SAFE discharge-proof contents.
+
+The squash-window discharge is the one v2 layer whose soundness rests on
+a *machine* argument (resolve-before-issue) rather than a lattice one,
+so its bounds are pinned exactly: any change to the slop constants or
+the chase logic must show up here before the fuzz campaign has to find
+it the hard way.
+"""
+
+import pytest
+
+from repro.cpu.isa import MicroOp, OpKind
+from repro.specflow.analyzer import SAFE, analyze_program
+from repro.specflow.programs import hardened_programs
+from repro.specflow.window import WindowModel
+
+WARM_GUARD = 0xA000_0
+COLD_GUARD = 0xA100_0
+
+SETUP = {
+    "secret_addr": 0xA400_0,
+    "secret_size": 1,
+    "writes": [],
+    "warm": [WARM_GUARD],
+    "flush": [COLD_GUARD],
+}
+
+
+def _guarded_ops(guard_addr):
+    guard = MicroOp(OpKind.LOAD, pc=0x100, addr=guard_addr, size=1,
+                    dst="limit")
+    branch = MicroOp(OpKind.BRANCH, pc=0x110, taken=True, deps=(1,),
+                     latency=2)
+    return [guard, branch]
+
+
+class TestLoadHits:
+    def test_warm_unflushed_concrete_load_hits(self):
+        wm = WindowModel()
+        op = MicroOp(OpKind.LOAD, pc=0x100, addr=WARM_GUARD, size=1)
+        assert wm.load_hits(op, SETUP)
+
+    def test_flushed_load_does_not_hit(self):
+        wm = WindowModel()
+        op = MicroOp(OpKind.LOAD, pc=0x100, addr=COLD_GUARD, size=1)
+        assert not wm.load_hits(op, SETUP)
+
+    def test_computed_address_never_hits(self):
+        wm = WindowModel()
+        op = MicroOp(OpKind.LOAD, pc=0x100,
+                     addr_fn=lambda env: WARM_GUARD, size=1)
+        assert not wm.load_hits(op, SETUP)
+
+    def test_load_spanning_past_the_warm_line_misses(self):
+        wm = WindowModel()
+        op = MicroOp(OpKind.LOAD, pc=0x100, addr=WARM_GUARD + 63, size=2)
+        assert not wm.load_hits(op, SETUP)
+
+
+class TestResolveBounds:
+    def test_warm_guarded_branch_bound_is_exact(self):
+        # guard (idx 0): deps ready at 0 + DISPATCH_SLOP = 3, warm hit
+        # adds HIT_UB -> 11; branch (idx 1): max(dispatch 1+3, dep 11)
+        # + max(latency 2, 2) + RESOLVE_SLOP = 15.
+        wm = WindowModel()
+        assert wm.resolve_ub(_guarded_ops(WARM_GUARD), 1, SETUP) == 15
+
+    def test_cold_guard_has_no_bound(self):
+        wm = WindowModel()
+        assert wm.resolve_ub(_guarded_ops(COLD_GUARD), 1, SETUP) is None
+
+    def test_no_setup_means_no_bound(self):
+        wm = WindowModel()
+        assert wm.resolve_ub(_guarded_ops(WARM_GUARD), 1, None) is None
+
+    def test_exception_bound_waits_on_every_older_op(self):
+        wm = WindowModel()
+        ops = [
+            MicroOp(OpKind.LOAD, pc=0x100, addr=WARM_GUARD, size=1),
+            MicroOp(OpKind.ALU, pc=0x110, latency=4),
+            MicroOp(OpKind.EXCEPTION, pc=0x120, latency=1),
+        ]
+        bound = wm.resolve_ub(ops, 2, SETUP)
+        # the ALU at index 1 finishes at 4 (deps) + 4 (latency) = 8; the
+        # warm load at 3 + 8 = 11 dominates; + max(1,1) + slop = 14.
+        assert bound == 14
+
+    def test_exception_over_a_store_is_unboundable(self):
+        wm = WindowModel()
+        ops = [
+            MicroOp(OpKind.STORE, pc=0x100, addr=WARM_GUARD, size=1),
+            MicroOp(OpKind.EXCEPTION, pc=0x110, latency=1),
+        ]
+        assert wm.resolve_ub(ops, 1, SETUP) is None
+
+    def test_branch_on_a_cold_dependency_is_unboundable(self):
+        wm = WindowModel()
+        ops = [
+            MicroOp(OpKind.LOAD, pc=0x100, addr=COLD_GUARD, size=1,
+                    dst="limit"),
+            MicroOp(OpKind.BRANCH, pc=0x110, taken=True, deps=(1,),
+                    latency=2),
+        ]
+        assert wm.resolve_ub(ops, 1, SETUP) is None
+
+
+class TestDischarge:
+    def test_discharge_carries_the_bounds(self):
+        wm = WindowModel()
+        proof = wm.discharge(_guarded_ops(WARM_GUARD), 1, SETUP)
+        assert proof == {"resolve_ub": 15, "issue_lb": 60, "margin": 16}
+
+    def test_margin_is_enforced(self):
+        # shrink the walk so resolve_ub + MARGIN > issue_lb: 15+16 > 30
+        from repro.params import TLBParams
+
+        wm = WindowModel(tlb=TLBParams(walk_latency=30))
+        assert wm.discharge(_guarded_ops(WARM_GUARD), 1, SETUP) is None
+
+    def test_unboundable_shadow_never_discharges(self):
+        wm = WindowModel()
+        assert wm.discharge(_guarded_ops(COLD_GUARD), 1, SETUP) is None
+
+
+class TestProofContents:
+    """The replayable witness a SAFE discharge carries in reports."""
+
+    @staticmethod
+    def _proof(program_name):
+        prog = {p.name: p for p in hardened_programs()}[program_name]
+        report = analyze_program(prog, model="futuristic")
+        proofs = {
+            f"0x{load.pc:x}": load.proof
+            for load in report.loads
+            if load.classification == SAFE and load.proof is not None
+        }
+        assert proofs, report.to_dict()
+        return proofs
+
+    def test_squash_window_proof_names_shadow_pages_and_bounds(self):
+        proof = self._proof("hardened_warm_window")["0xa510"]
+        assert proof["kind"] == "squash-window"
+        assert proof["shadow"]["pc"] == "0xa410"
+        assert proof["shadow"]["kind"] == "branch"
+        assert proof["resolve_ub"] + proof["margin"] <= proof["issue_lb"]
+        assert proof["pages"] == ["0xb00", "0xb03"]
+
+    def test_value_killed_proof_names_the_line(self):
+        proof = self._proof("hardened_masked")["0xa110"]
+        assert proof["kind"] == "value-killed"
+        assert proof["lo"] == proof["hi"] == proof["line"] == "0xb00000"
+
+    def test_path_split_collapse_is_value_killed(self):
+        proof = self._proof("hardened_branchy")["0xa310"]
+        assert proof["kind"] == "value-killed"
+        # both select arms land on the 0xb00000 line
+        assert proof["line"] == "0xb00000"
+
+    def test_arm_fence_proof_names_the_fence(self):
+        from repro.fuzz.generator import build_program
+
+        for index in range(40):
+            fp = build_program(0, index)
+            if fp.template == "bounds_check_fenced":
+                break
+        else:  # pragma: no cover - generator regression
+            pytest.fail("no bounds_check_fenced draw in 40 programs")
+        report = analyze_program(fp.spec_program(), model="futuristic")
+        kinds = {
+            load.proof["kind"]
+            for load in report.loads
+            if load.classification == SAFE and load.proof is not None
+        }
+        assert "arm-fence" in kinds
+
+    def test_proofs_survive_to_dict(self):
+        prog = {p.name: p for p in hardened_programs()}["hardened_masked"]
+        payload = analyze_program(prog, model="futuristic").to_dict()
+        by_pc = {load["pc"]: load for load in payload["loads"]}
+        assert by_pc["0xa110"]["proof"]["kind"] == "value-killed"
