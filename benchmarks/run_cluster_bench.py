@@ -1,0 +1,306 @@
+"""Load benchmark for the replicated analysis cluster (repro.service.cluster).
+
+Drives a real :class:`~repro.service.cluster.ClusterRouter` over three
+in-process :class:`~repro.service.server.AnalysisService` backends
+(real worker pools, real specflow jobs) and records
+``results/BENCH_cluster.json``:
+
+1. **replication** — one cold request per unique specflow job through
+   the router; every result must reach R=2 ring owners;
+2. **hedging** — one backend is made slow with the ``net.delay`` fault
+   (120 ms on every router->backend call); repeat reads of keys whose
+   primary holder is the slow node are measured twice: with hedging
+   enabled (adaptive p95 trigger) and with the hedge disabled (trigger
+   floor pushed past the delay).  The hedged p99 must beat the
+   unhedged p99;
+3. **kill** — one backend is torn down mid-benchmark and the full
+   request set replayed concurrently: availability is the fraction that
+   still answers ``ok`` (failover), and after the active detector marks
+   the node down, re-replication must restore R=2 for every key.
+
+Correctness is asserted throughout: every response is compared
+bit-for-bit (canonical JSON) against the cold baseline for its key —
+``wrong_answers`` must be zero or the benchmark fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_cluster_bench.py
+        [--reads 30] [--out results/BENCH_cluster.json]
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.reliability import LeasePool  # noqa: E402
+from repro.reliability.faults import FaultSchedule  # noqa: E402
+from repro.service.cluster import ClusterRouter  # noqa: E402
+from repro.service.envelope import JobRequest, canonical_json  # noqa: E402
+from repro.service.server import AnalysisService, _handle_connection  # noqa: E402
+from repro.service.store import ResultStore  # noqa: E402
+from repro.specflow import programs as corpus  # noqa: E402
+
+SLOW_NODE_DELAY_MS = 120
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _payloads():
+    names = [program.name for program in corpus.all_programs(seed=0)]
+    return [{"program": name, "model": "spectre"} for name in names]
+
+
+async def _start_backends(root, count):
+    services, servers, backends = {}, {}, []
+    for i in range(count):
+        node = f"n{i}"
+        service = AnalysisService(
+            store=ResultStore(os.path.join(root, f"store-{node}")),
+            pool=LeasePool(workers=1, heartbeat_timeout=60.0,
+                           poll_interval=0.01),
+            backoff_base_s=0.01,
+        )
+        await service.start()
+        server = await asyncio.start_server(
+            lambda r, w, s=service: _handle_connection(s, r, w),
+            "127.0.0.1", 0,
+        )
+        services[node] = service
+        servers[node] = server
+        backends.append(
+            (node, "127.0.0.1", server.sockets[0].getsockname()[1])
+        )
+    return services, servers, backends
+
+
+async def _submit_timed(router, payload):
+    started = time.perf_counter()
+    response = await router.submit(
+        {"op": "submit", "kind": "specflow", "payload": payload}
+    )
+    return response, 1000.0 * (time.perf_counter() - started)
+
+
+async def _wait_replicated(router, keys, copies, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        short = [
+            key for key in keys
+            if len(router.journal.nodes_for(key)) < copies
+        ]
+        if not short:
+            return
+        await asyncio.sleep(0.02)
+    raise AssertionError(f"{len(short)} keys never reached R={copies}")
+
+
+async def _phase_replication(router, payloads):
+    baseline = {}
+    for payload in payloads:
+        response, _ = await _submit_timed(router, payload)
+        assert response["status"] == "ok", response
+        baseline[JobRequest("specflow", payload).cache_key] = canonical_json(
+            response["metrics"]
+        )
+    await _wait_replicated(router, baseline, router.replication)
+    return baseline, {
+        "unique_requests": len(payloads),
+        "replicated_r2": len(baseline),
+    }
+
+
+async def _phase_hedging(router, payloads, baseline, reads):
+    # Slow down exactly one node: keys whose primary holder it is are
+    # the ones a hedged read can rescue.
+    by_primary = {}
+    for payload in payloads:
+        key = JobRequest("specflow", payload).cache_key
+        by_primary.setdefault(router.ring.primary(key), []).append(payload)
+    slow = max(by_primary, key=lambda node: len(by_primary[node]))
+    victims = by_primary[slow]
+    # count= keeps the fault firing for the whole phase (default is a
+    # single shot).
+    schedule = FaultSchedule.parse(
+        [f"net.delay:prob=1.0,extra={SLOW_NODE_DELAY_MS},count=1000000"],
+        seed=0,
+    )
+    router.links[slow].injector = schedule.injector()
+    floor = router.hedge_floor_s
+    wrong = 0
+    try:
+        hedged_ms = []
+        for i in range(reads):
+            payload = victims[i % len(victims)]
+            response, ms = await _submit_timed(router, payload)
+            assert response["status"] == "ok", response
+            key = JobRequest("specflow", payload).cache_key
+            if canonical_json(response["metrics"]) != baseline[key]:
+                wrong += 1
+            hedged_ms.append(ms)
+        hedge_wins = router.counters["hedge_wins"]
+
+        # Disable hedging by pushing the trigger delay past the fault:
+        # the same reads now wait out the slow primary.
+        router.hedge_floor_s = 30.0
+        unhedged_ms = []
+        for i in range(reads):
+            payload = victims[i % len(victims)]
+            response, ms = await _submit_timed(router, payload)
+            assert response["status"] == "ok", response
+            key = JobRequest("specflow", payload).cache_key
+            if canonical_json(response["metrics"]) != baseline[key]:
+                wrong += 1
+            unhedged_ms.append(ms)
+    finally:
+        router.hedge_floor_s = floor
+        router.links[slow].injector = None
+    return {
+        "slow_node": slow,
+        "slow_node_delay_ms": SLOW_NODE_DELAY_MS,
+        "reads_per_mode": reads,
+        "hedge_wins": hedge_wins,
+        "hedged_p50_ms": round(_percentile(hedged_ms, 0.50), 3),
+        "hedged_p99_ms": round(_percentile(hedged_ms, 0.99), 3),
+        "unhedged_p50_ms": round(_percentile(unhedged_ms, 0.50), 3),
+        "unhedged_p99_ms": round(_percentile(unhedged_ms, 0.99), 3),
+    }, wrong
+
+
+async def _phase_kill(router, servers, payloads, baseline, victim):
+    # Tear the backend down for real: stop accepting and drop the
+    # router's pipelined connection so the next call meets a dead peer.
+    servers[victim].close()
+    await servers[victim].wait_closed()
+    await router.links[victim].reset()
+
+    responses = await asyncio.gather(
+        *(
+            router.submit(
+                {"op": "submit", "kind": "specflow", "payload": payload}
+            )
+            for payload in payloads
+        )
+    )
+    ok = shed = wrong = 0
+    for payload, response in zip(payloads, responses):
+        if response["status"] == "ok":
+            ok += 1
+            key = JobRequest("specflow", payload).cache_key
+            if canonical_json(response["metrics"]) != baseline[key]:
+                wrong += 1
+        elif response["status"] == "shed":
+            shed += 1
+            assert response["retry_after_s"] > 0, response
+        else:
+            raise AssertionError(f"unexpected status: {response}")
+
+    # Active detection marks the victim down, then re-replication must
+    # restore R=2 from the surviving holders.
+    for _ in range(router.health[victim].down_after):
+        await router._ping_node(victim)
+    assert not router.health[victim].up
+    deadline = time.monotonic() + 120
+    while router._tasks and time.monotonic() < deadline:
+        await asyncio.gather(*router._tasks, return_exceptions=True)
+    status = await router.status()
+    return {
+        "victim": victim,
+        "requests": len(payloads),
+        "ok": ok,
+        "shed": shed,
+        "availability": round(ok / len(payloads), 4),
+        "failovers": router.counters["failovers"],
+        "rereplications": router.counters["rereplications"],
+        "under_replicated_after": status["replicas"]["under_replicated"],
+    }, wrong
+
+
+async def _run(root, reads):
+    services, servers, backends = await _start_backends(root, 3)
+    router = ClusterRouter(
+        backends,
+        call_timeout_s=5.0,
+        ping_timeout_s=0.5,
+        hedge_floor_s=0.005,
+    )
+    try:
+        payloads = _payloads()
+        baseline, replication = await _phase_replication(router, payloads)
+        hedging, wrong_hedge = await _phase_hedging(
+            router, payloads, baseline, reads
+        )
+        victim = next(
+            node for node in router.ring.nodes
+            if node != hedging["slow_node"]
+        )
+        kill, wrong_kill = await _phase_kill(
+            router, servers, payloads, baseline, victim
+        )
+        counters = dict(router.counters)
+    finally:
+        await router.drain(timeout=10)
+        for server in servers.values():
+            server.close()
+            await server.wait_closed()
+        for service in services.values():
+            await service.drain(timeout=10)
+    return {
+        "benchmark": "analysis_cluster",
+        "nodes": 3,
+        "replication": 2,
+        "replication_phase": replication,
+        "hedging": hedging,
+        "kill": kill,
+        "wrong_answers": wrong_hedge + wrong_kill,
+        "counters": counters,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reads", type=int, default=30,
+                        help="hedged/unhedged reads per mode")
+    parser.add_argument(
+        "--out", default=os.path.join("results", "BENCH_cluster.json")
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        loop = asyncio.new_event_loop()
+        try:
+            record = loop.run_until_complete(_run(tmp, args.reads))
+        finally:
+            loop.close()
+
+    assert record["wrong_answers"] == 0, record
+    assert record["kill"]["availability"] >= 0.9, record["kill"]
+    assert record["kill"]["under_replicated_after"] == 0, record["kill"]
+    assert record["hedging"]["hedge_wins"] > 0, record["hedging"]
+    assert (
+        record["hedging"]["hedged_p99_ms"]
+        < record["hedging"]["unhedged_p99_ms"]
+    ), record["hedging"]
+
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump([record], handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

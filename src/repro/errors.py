@@ -105,6 +105,31 @@ class WorkerCrashError(TransientError):
         )
 
 
+class ServiceProtocolError(TransientError):
+    """A service transport failed mid-conversation (cluster tier).
+
+    Raised by :mod:`repro.service.client` and the cluster router when a
+    TCP peer refuses the connection, half-closes the socket mid-write
+    (a truncated or EOF-cut response line), or exceeds its per-call
+    timeout.  The *computation* is untouched — every service request is
+    idempotent under its content-addressed cache key — so this is a
+    :class:`TransientError`: safe to retry, against the same node or a
+    replica.
+    """
+
+    def __init__(self, detail, host=None, port=None):
+        where = f" ({host}:{port})" if host is not None else ""
+        super().__init__(f"service transport failure{where}: {detail}")
+        self.detail = detail
+        self.host = host
+        self.port = port
+
+    def __reduce__(self):
+        # Same rule as DeadlockError: args holds the formatted message,
+        # so default pickling would double-format; rebuild from fields.
+        return (type(self), (self.detail, self.host, self.port))
+
+
 class SanitizerError(SimulationError):
     """Base class for runtime-sanitizer failures (:mod:`repro.sanitizer`).
 

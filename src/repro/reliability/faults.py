@@ -32,6 +32,13 @@ Site                   Effect when triggered
                        segfault/OOM-kill mid-cell.  Only consulted inside
                        pool workers (``--jobs`` > 1); each heartbeat
                        period counts as one operation for ``nth``.
+``net.delay``          A cluster router→backend send is delayed ``extra``
+                       **milliseconds of wall-clock time** (the cluster
+                       tier lives outside the simulated-cycle domain).
+                       Models a slow node / congested link; the router's
+                       hedged reads and EMA latency detection are the
+                       mitigations under test.  Consulted once per
+                       backend call by :mod:`repro.service.cluster`.
 =====================  =====================================================
 
 Triggers are counted per site: ``FaultSpec(site, nth=5)`` fires on the 5th
@@ -65,12 +72,15 @@ FAULT_SITES = (
     "inv.drop",
     "kernel.event_drop",
     "worker.kill",
+    "net.delay",
 )
 
-#: Default extra-delay cycles per site when a spec does not set ``extra``.
+#: Default extra-delay cycles per site when a spec does not set ``extra``
+#: (``net.delay`` is wall-clock milliseconds, not cycles — see table).
 DEFAULT_EXTRA = {
     "noc.delay": 200,
     "dram.stall": 5_000,
+    "net.delay": 250,
 }
 
 #: A dropped message is modeled as this many cycles of delay — far beyond

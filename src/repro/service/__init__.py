@@ -1,4 +1,4 @@
-"""Analysis-as-a-service: a fault-tolerant async job server.
+"""Analysis-as-a-service: a fault-tolerant async job server + cluster.
 
 ``python -m repro.service serve`` runs a long-lived asyncio front-end
 that accepts simulation, specflow, and fuzz-cell requests over a
@@ -7,14 +7,21 @@ keys, serves repeat requests from a checksum-verified on-disk result
 store (:mod:`~repro.service.store`), and schedules misses onto a
 crash-isolated :class:`~repro.reliability.pool.LeasePool`.
 
+``python -m repro.service route`` runs the replicated-cluster tier
+(:mod:`~repro.service.cluster`) over N such nodes: a consistent-hash
+failover router with R=2 result replication, circuit breakers, hedged
+reads, active/passive failure detection, and automatic re-replication
+when a node is lost.
+
 Robustness is the design center — bounded admission with explicit
 load-shedding, per-client fairness with priority lanes, per-request
 deadlines plumbed into worker watchdogs, seed-bump retry of worker
 crashes, corrupt-shard quarantine, and a journaled SIGTERM drain.  See
-``docs/SERVICE.md`` for the architecture and the failure-mode table.
+``docs/SERVICE.md`` for the architecture and the failure-mode tables.
 """
 
 from .admission import AdmissionQueue
+from .cluster import ClusterRouter, parse_backends, route_serve
 from .envelope import (
     CACHE_SCHEMA_VERSION,
     JobRequest,
@@ -22,17 +29,26 @@ from .envelope import (
     cache_key,
     canonical_json,
 )
+from .health import BackendHealth, CircuitBreaker, LatencyTracker
+from .ring import HashRing
 from .server import AnalysisService, serve
 from .store import ResultStore
 
 __all__ = [
     "AdmissionQueue",
     "AnalysisService",
+    "BackendHealth",
     "CACHE_SCHEMA_VERSION",
+    "CircuitBreaker",
+    "ClusterRouter",
+    "HashRing",
     "JobRequest",
+    "LatencyTracker",
     "ResultStore",
     "SpecflowCellSpec",
     "cache_key",
     "canonical_json",
+    "parse_backends",
+    "route_serve",
     "serve",
 ]

@@ -14,6 +14,17 @@ Submit a request (JSON payload on the command line or stdin)::
 Query server health::
 
     PYTHONPATH=src python -m repro.service status --port 8753
+
+Run the replicated-cluster router over three backends (each started
+with ``serve`` as above)::
+
+    PYTHONPATH=src python -m repro.service route --port 8700 \\
+        --backends n0=127.0.0.1:8753,n1=127.0.0.1:8754,n2=127.0.0.1:8755 \\
+        --journal results/service/cluster.json
+
+``request`` and ``status`` against the router port work unchanged (the
+router speaks the same envelope); ``status`` additionally renders
+per-node health, breaker state, and replica counts.
 """
 
 from __future__ import annotations
@@ -23,7 +34,9 @@ import asyncio
 import json
 import sys
 
+from ..reliability.faults import FaultSchedule
 from .client import request_sync, status_sync
+from .cluster import ClusterRouter, parse_backends, route_serve
 from .server import build_service, serve
 
 
@@ -64,6 +77,41 @@ def _parser():
                      help="write 'host port' here once listening (for "
                      "scripts that need the auto-picked port)")
 
+    rte = sub.add_parser(
+        "route", help="run the replicated-cluster failover router"
+    )
+    rte.add_argument("--host", default="127.0.0.1")
+    rte.add_argument("--port", type=int, default=0,
+                     help="TCP port (0 picks a free port, printed on start)")
+    rte.add_argument("--backends", required=True,
+                     help="comma-separated [name=]host:port backend list")
+    rte.add_argument("--replication", type=int, default=2,
+                     help="result copies maintained per key (default 2)")
+    rte.add_argument("--vnodes", type=int, default=64,
+                     help="virtual nodes per backend on the hash ring")
+    rte.add_argument("--journal", default=None,
+                     help="membership + replica-index journal path")
+    rte.add_argument("--resume", action="store_true",
+                     help="reload the journal's replica index on start")
+    rte.add_argument("--call-timeout", type=float, default=30.0,
+                     help="per-backend-call timeout in seconds")
+    rte.add_argument("--ping-interval", type=float, default=0.5,
+                     help="active health-check period in seconds")
+    rte.add_argument("--ping-timeout", type=float, default=2.0)
+    rte.add_argument("--down-after", type=int, default=3,
+                     help="consecutive failed pings before a node is down")
+    rte.add_argument("--hedge-floor", type=float, default=0.02,
+                     help="minimum hedged-read trigger delay in seconds")
+    rte.add_argument("--breaker-threshold", type=int, default=3)
+    rte.add_argument("--breaker-cooldown", type=float, default=2.0)
+    rte.add_argument("--fault", action="append", default=[],
+                     metavar="SITE[:k=v,...]",
+                     help="inject a fault (e.g. net.delay:prob=0.1,extra=250)")
+    rte.add_argument("--fault-seed", type=int, default=0)
+    rte.add_argument("--drain-timeout", type=float, default=15.0)
+    rte.add_argument("--ready-file", default=None,
+                     help="write 'host port' here once listening")
+
     req = sub.add_parser("request", help="submit one request")
     req.add_argument("--host", default="127.0.0.1")
     req.add_argument("--port", type=int, required=True)
@@ -76,6 +124,12 @@ def _parser():
                      choices=("interactive", "batch"))
     req.add_argument("--deadline", type=float, default=None)
     req.add_argument("--nocache", action="store_true")
+    req.add_argument("--retries", type=int, default=0,
+                     help="retry explicit sheds this many times, honoring "
+                     "retry_after_s with decorrelated jitter")
+    req.add_argument("--transport-retries", type=int, default=1,
+                     help="retry transport failures on a fresh connection "
+                     "(idempotent; default 1)")
 
     sta = sub.add_parser("status", help="query server health")
     sta.add_argument("--host", default="127.0.0.1")
@@ -134,6 +188,56 @@ def _cmd_serve(args):
     return 0
 
 
+def _cmd_route(args):
+    faults = (
+        FaultSchedule.parse(args.fault, seed=args.fault_seed)
+        if args.fault
+        else None
+    )
+    router = ClusterRouter(
+        parse_backends(args.backends),
+        replication=args.replication,
+        vnodes=args.vnodes,
+        journal_path=args.journal,
+        resume=args.resume,
+        faults=faults,
+        call_timeout_s=args.call_timeout,
+        ping_interval_s=args.ping_interval,
+        ping_timeout_s=args.ping_timeout,
+        hedge_floor_s=args.hedge_floor,
+        down_after=args.down_after,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+    )
+
+    def ready(host, port):
+        print(
+            f"routing on {host}:{port} -> "
+            f"{', '.join(router.ring.nodes)}",
+            flush=True,
+        )
+        if args.ready_file:
+            with open(args.ready_file, "w") as handle:
+                handle.write(f"{host} {port}\n")
+
+    loop = asyncio.new_event_loop()
+    asyncio.set_event_loop(loop)
+    try:
+        origin = loop.run_until_complete(
+            route_serve(
+                router,
+                host=args.host,
+                port=args.port,
+                ready_callback=ready,
+                drain_timeout=args.drain_timeout,
+            )
+        )
+    finally:
+        loop.close()
+    print(f"drained ({origin})", flush=True)
+    return 0
+
+
 def _cmd_request(args):
     if args.payload == "-":
         payload = json.load(sys.stdin)
@@ -143,13 +247,43 @@ def _cmd_request(args):
         args.host, args.port, args.kind, payload,
         client=args.client, lane=args.lane,
         deadline_s=args.deadline, nocache=args.nocache,
+        retries=args.retries, transport_retries=args.transport_retries,
     )
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0 if response.get("status") == "ok" else 1
 
 
+def _render_cluster_status(healthz):
+    """Human summary of the router's cluster view (before the JSON)."""
+    lines = [
+        f"cluster: {len(healthz['nodes'])} node(s), "
+        f"replication R={healthz['replication']}, "
+        f"draining={healthz['draining']}"
+    ]
+    for node, snap in sorted(healthz["nodes"].items()):
+        breaker = snap["breaker"]
+        latency = snap["latency"]
+        lines.append(
+            f"  {node} ({snap.get('address')}): "
+            f"{'up' if snap['up'] else 'DOWN'}, "
+            f"breaker={breaker['state']}, "
+            f"ema={latency['ema_ms']}ms p95={latency['p95_ms']}ms, "
+            f"store_entries={snap.get('store_entries')}"
+        )
+    replicas = healthz["replicas"]
+    lines.append(
+        f"  replicas: {replicas['tracked_keys']} tracked key(s), "
+        f"by_count={replicas['by_count']}, "
+        f"under_replicated={replicas['under_replicated']}"
+    )
+    return "\n".join(lines)
+
+
 def _cmd_status(args):
     response = status_sync(args.host, args.port)
+    healthz = response.get("healthz") or {}
+    if healthz.get("cluster"):
+        print(_render_cluster_status(healthz))
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0 if response.get("status") == "ok" else 1
 
@@ -158,6 +292,8 @@ def main(argv=None):
     args = _parser().parse_args(argv)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "route":
+        return _cmd_route(args)
     if args.command == "request":
         return _cmd_request(args)
     return _cmd_status(args)

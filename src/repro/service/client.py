@@ -3,19 +3,39 @@
 :class:`ServiceClient` is the async API (one connection, pipelined
 request ids); :func:`request_sync` / :func:`status_sync` are one-shot
 synchronous helpers for scripts and the CLI.
+
+Transport failures are **typed, never raw**: a refused connection, a
+half-closed socket that EOFs mid-response, a truncated or garbage
+response line — all surface as
+:class:`~repro.errors.ServiceProtocolError` (pickle-safe, marked
+transient).  Because every service request is idempotent under its
+content-addressed cache key, the sync helpers retry a transport failure
+once on a fresh connection by default, and retry explicit sheds with
+**decorrelated-jitter** backoff that honors the server's
+``retry_after_s`` hint (never sooner than the server asked, never in
+lockstep with other clients).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
+import time
 
-from ..errors import ReproError
+from ..errors import ServiceProtocolError
 
-__all__ = ["ServiceClient", "ServiceUnavailable", "request_sync", "status_sync"]
+__all__ = [
+    "ServiceClient",
+    "ServiceProtocolError",
+    "ServiceUnavailable",
+    "decorrelated_jitter",
+    "request_sync",
+    "status_sync",
+]
 
 
-class ServiceUnavailable(ReproError):
+class ServiceUnavailable(ServiceProtocolError):
     """The server closed the connection before answering."""
 
 
@@ -30,6 +50,7 @@ class ServiceClient:
         self._next_id = 0
         self._pending = {}  # id -> Future
         self._reader_task = None
+        self._transport_error = None
 
     async def __aenter__(self):
         await self.connect()
@@ -39,9 +60,15 @@ class ServiceClient:
         await self.close()
 
     async def connect(self):
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except (ConnectionError, OSError) as error:
+            raise ServiceProtocolError(
+                f"connect failed: {error}", host=self.host, port=self.port
+            ) from error
+        self._transport_error = None
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     async def close(self):
@@ -59,38 +86,76 @@ class ServiceClient:
         self._fail_pending()
 
     def _fail_pending(self):
+        error = self._transport_error or ServiceUnavailable(
+            "connection closed mid-request", host=self.host, port=self.port
+        )
         for future in self._pending.values():
             if not future.done():
-                future.set_exception(
-                    ServiceUnavailable("connection closed mid-request")
-                )
+                future.set_exception(error)
         self._pending.clear()
 
     async def _read_loop(self):
+        """Demultiplex response lines to their waiting futures.
+
+        Every abnormal end — EOF with requests outstanding, a line cut
+        mid-write by a half-closed socket, a line that is not JSON —
+        fails the pending futures with a typed ServiceProtocolError
+        instead of hanging them or leaking a JSONDecodeError.
+        """
         try:
             while True:
                 line = await self._reader.readline()
                 if not line:
+                    break  # clean EOF; outstanding futures fail as unavailable
+                if not line.endswith(b"\n"):
+                    # readline() only returns a newline-less chunk at EOF:
+                    # the peer died mid-write (SIGKILL, half-close).
+                    self._transport_error = ServiceProtocolError(
+                        "response line truncated by half-closed socket",
+                        host=self.host, port=self.port,
+                    )
                     break
                 try:
                     message = json.loads(line)
-                except ValueError:
-                    continue
+                except ValueError as error:
+                    self._transport_error = ServiceProtocolError(
+                        f"malformed response line: {error}",
+                        host=self.host, port=self.port,
+                    )
+                    break
                 future = self._pending.pop(message.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(message)
+        except (ConnectionError, OSError) as error:
+            self._transport_error = ServiceProtocolError(
+                f"read failed: {error}", host=self.host, port=self.port
+            )
         finally:
             self._fail_pending()
 
-    async def _call(self, body):
+    async def call(self, body):
+        """Send one op object, await its matched response object."""
+        if self._writer is None:
+            raise ServiceProtocolError(
+                "not connected", host=self.host, port=self.port
+            )
         self._next_id += 1
         message_id = self._next_id
         body = dict(body, id=message_id)
         future = asyncio.get_event_loop().create_future()
         self._pending[message_id] = future
-        self._writer.write((json.dumps(body) + "\n").encode())
-        await self._writer.drain()
+        try:
+            self._writer.write((json.dumps(body) + "\n").encode())
+            await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            self._pending.pop(message_id, None)
+            raise ServiceProtocolError(
+                f"write failed: {error}", host=self.host, port=self.port
+            ) from error
         return await future
+
+    # Backwards-compatible alias (pre-cluster name).
+    _call = call
 
     async def submit(
         self,
@@ -102,7 +167,7 @@ class ServiceClient:
         nocache=False,
     ):
         """Submit one analysis request; returns the response dict."""
-        return await self._call(
+        return await self.call(
             {
                 "op": "submit",
                 "kind": kind,
@@ -115,14 +180,25 @@ class ServiceClient:
         )
 
     async def status(self):
-        return await self._call({"op": "status"})
+        return await self.call({"op": "status"})
 
     async def ping(self):
-        return await self._call({"op": "ping"})
+        return await self.call({"op": "ping"})
 
     async def drain(self):
         """Ask the server to drain and shut down."""
-        return await self._call({"op": "drain"})
+        return await self.call({"op": "drain"})
+
+
+def decorrelated_jitter(rng, base_s, cap_s, previous_s):
+    """Next backoff sleep: AWS-style decorrelated jitter.
+
+    Each interval is drawn from ``[base, 3 * previous]`` (capped), so
+    retries decorrelate across clients instead of thundering back in
+    lockstep, while still growing roughly exponentially under sustained
+    pressure.
+    """
+    return min(cap_s, rng.uniform(base_s, max(base_s, 3.0 * previous_s)))
 
 
 def _run(coro):
@@ -133,14 +209,65 @@ def _run(coro):
         loop.close()
 
 
-def request_sync(host, port, kind, payload, **options):
-    """One-shot synchronous submit (opens and closes a connection)."""
+def request_sync(
+    host,
+    port,
+    kind,
+    payload,
+    retries=0,
+    transport_retries=1,
+    retry_base_s=0.05,
+    retry_cap_s=5.0,
+    jitter_seed=None,
+    sleep=time.sleep,
+    **options,
+):
+    """One-shot synchronous submit with typed-failure retry.
+
+    * a :class:`ServiceProtocolError` (connection refused, EOF
+      mid-response) is retried ``transport_retries`` times on a fresh
+      connection — safe because submits are idempotent;
+    * an explicit shed is retried up to ``retries`` times, sleeping at
+      least the server's ``retry_after_s`` hint plus decorrelated
+      jitter each attempt;
+    * the jitter RNG is seeded (``jitter_seed`` or a stable per-target
+      default) so tests and replayed scripts are deterministic.
+    """
+    seed = (
+        jitter_seed
+        if jitter_seed is not None
+        else f"{host}:{port}:{kind}"
+    )
+    rng = random.Random(seed)
+    previous_s = retry_base_s
+    transport_left = max(0, int(transport_retries))
+    shed_left = max(0, int(retries))
 
     async def go():
         async with ServiceClient(host, port) as client:
             return await client.submit(kind, payload, **options)
 
-    return _run(go())
+    while True:
+        try:
+            response = _run(go())
+        except ServiceProtocolError:
+            if transport_left <= 0:
+                raise
+            transport_left -= 1
+            previous_s = decorrelated_jitter(
+                rng, retry_base_s, retry_cap_s, previous_s
+            )
+            sleep(previous_s)
+            continue
+        if response.get("status") == "shed" and shed_left > 0:
+            shed_left -= 1
+            previous_s = decorrelated_jitter(
+                rng, retry_base_s, retry_cap_s, previous_s
+            )
+            hint = response.get("retry_after_s") or 0.0
+            sleep(max(float(hint), previous_s))
+            continue
+        return response
 
 
 def status_sync(host, port):

@@ -1,0 +1,197 @@
+"""Per-backend failure detection for the cluster router.
+
+Three cooperating detectors, all wall-clock-injectable for tests:
+
+* :class:`CircuitBreaker` — classic closed/open/half-open.  Consecutive
+  request failures trip it open; after a cooldown it admits a bounded
+  probe budget (half-open) and one success closes it, one failure
+  re-opens it.  An open breaker makes failover *fast*: the router skips
+  the node instead of burning a timeout per request.
+* :class:`LatencyTracker` — EMA plus a sliding-window p95 of observed
+  call latencies.  The p95 is the hedged-read trigger delay (adaptive:
+  a node that slows down widens its own hedge window), and the EMA is
+  the passive slow-node signal surfaced in ``status``.
+* :class:`BackendHealth` — active-probe liveness: ``down_after``
+  consecutive failed pings mark the node down (triggering
+  re-replication of its keys), any successful ping marks it back up.
+
+Pings bypass the breaker's admission gate but feed its outcome
+counters, so an idle cluster still re-closes breakers for recovered
+nodes without waiting for client traffic.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["BackendHealth", "CircuitBreaker", "LatencyTracker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker with a bounded half-open probe budget."""
+
+    def __init__(
+        self,
+        failure_threshold=3,
+        cooldown_s=2.0,
+        probe_budget=1,
+        clock=time.monotonic,
+    ):
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.cooldown_s = float(cooldown_s)
+        self.probe_budget = max(1, int(probe_budget))
+        self._clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._opened_at = None
+        self._probes_left = 0
+        self.stats = {"opens": 0, "closes": 0, "probes": 0, "rejections": 0}
+
+    def allow(self):
+        """May a request be sent now?  (Half-open consumes probe budget.)"""
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                self.state = HALF_OPEN
+                self._probes_left = self.probe_budget
+            else:
+                self.stats["rejections"] += 1
+                return False
+        if self.state == HALF_OPEN:
+            if self._probes_left <= 0:
+                self.stats["rejections"] += 1
+                return False
+            self._probes_left -= 1
+            self.stats["probes"] += 1
+        return True
+
+    def record_success(self):
+        self.consecutive_failures = 0
+        if self.state != CLOSED:
+            self.state = CLOSED
+            self.stats["closes"] += 1
+
+    def record_failure(self):
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self):
+        self.state = OPEN
+        self._opened_at = self._clock()
+        self._probes_left = 0
+        self.stats["opens"] += 1
+
+    def snapshot(self):
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            **self.stats,
+        }
+
+
+class LatencyTracker:
+    """EMA + sliding-window p95 of call latencies (seconds)."""
+
+    def __init__(self, window=128, default_s=0.05, alpha=0.2):
+        self.window = max(4, int(window))
+        self.default_s = float(default_s)
+        self.alpha = float(alpha)
+        self._samples = []
+        self._cursor = 0
+        self.ema_s = None
+
+    def record(self, seconds):
+        seconds = float(seconds)
+        if len(self._samples) < self.window:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._cursor] = seconds
+            self._cursor = (self._cursor + 1) % self.window
+        self.ema_s = (
+            seconds
+            if self.ema_s is None
+            else (1 - self.alpha) * self.ema_s + self.alpha * seconds
+        )
+
+    def p95(self):
+        """95th percentile of the window (``default_s`` until warmed up)."""
+        if not self._samples:
+            return self.default_s
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+        return ordered[index]
+
+    def snapshot(self):
+        return {
+            "ema_ms": round(1000 * self.ema_s, 3) if self.ema_s else None,
+            "p95_ms": round(1000 * self.p95(), 3),
+            "samples": len(self._samples),
+        }
+
+
+class BackendHealth:
+    """One backend's liveness, breaker, and latency rolled together."""
+
+    def __init__(
+        self,
+        node_id,
+        breaker=None,
+        latency=None,
+        down_after=3,
+        clock=time.monotonic,
+    ):
+        self.node_id = node_id
+        self.breaker = breaker or CircuitBreaker(clock=clock)
+        self.latency = latency or LatencyTracker()
+        self.down_after = max(1, int(down_after))
+        self._clock = clock
+        self.up = True
+        self.ping_failures = 0
+        self.last_ping_ok_at = None
+        self.transitions = {"down": 0, "up": 0}
+
+    def record_ping(self, ok):
+        """Fold one active-probe result in; returns "down"/"up"/None
+        when this ping *transitions* the node's liveness."""
+        if ok:
+            self.ping_failures = 0
+            self.last_ping_ok_at = self._clock()
+            self.breaker.record_success()
+            if not self.up:
+                self.up = True
+                self.transitions["up"] += 1
+                return "up"
+            return None
+        self.ping_failures += 1
+        self.breaker.record_failure()
+        if self.up and self.ping_failures >= self.down_after:
+            self.up = False
+            self.transitions["down"] += 1
+            return "down"
+        return None
+
+    def record_call(self, ok, seconds=None):
+        """Fold one request outcome in (passive detection path)."""
+        if seconds is not None:
+            self.latency.record(seconds)
+        if ok:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+
+    def snapshot(self):
+        return {
+            "node": self.node_id,
+            "up": self.up,
+            "ping_failures": self.ping_failures,
+            "transitions": dict(self.transitions),
+            "breaker": self.breaker.snapshot(),
+            "latency": self.latency.snapshot(),
+        }

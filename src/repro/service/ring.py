@@ -1,0 +1,136 @@
+"""Consistent-hash ring for the replicated analysis cluster.
+
+Placement must satisfy three properties, each pinned by a property test
+(``tests/service/test_ring.py``):
+
+* **balance** — with the default 64 virtual nodes per backend the
+  busiest node's key share stays within 15% of the mean.  One point per
+  vnode is too lumpy for that at small cluster sizes, so each vnode
+  contributes **four** ring points carved from one SHA-256 digest (the
+  libketama trick: one hash, four 64-bit words) — 256 points per node
+  from 64 vnode indices;
+* **minimal movement** — adding or removing a single node moves only
+  the keys whose arc changed hands (≈ ``1/N`` of the keyspace); every
+  other key keeps its owner, so a membership change never invalidates
+  the surviving replicas;
+* **determinism** — placement is a pure function of node ids and keys
+  through :mod:`hashlib`; it is bit-identical across processes,
+  machines, and ``PYTHONHASHSEED`` values, which is what lets a
+  restarted router (or a second router) agree on every key's owners.
+
+Keys are the result store's content addresses (normalized-payload
+SHA-256 hex); they are re-hashed onto the ring rather than used raw so
+arbitrary strings also place uniformly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: Virtual nodes per backend (each contributes POINTS_PER_VNODE points).
+DEFAULT_VNODES = 64
+
+#: 64-bit words carved from each vnode digest (libketama-style).
+POINTS_PER_VNODE = 4
+
+
+def _key_point(key):
+    """Ring coordinate of a cache key (uniform 64-bit, hash-seed free)."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode()).digest()[:8], "big"
+    )
+
+
+def _node_points(node_id, vnodes):
+    """All ring coordinates owned by ``node_id``."""
+    points = []
+    for index in range(vnodes):
+        digest = hashlib.sha256(f"{node_id}#{index}".encode()).digest()
+        for word in range(POINTS_PER_VNODE):
+            points.append(
+                int.from_bytes(digest[word * 8:(word + 1) * 8], "big")
+            )
+    return points
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over logical node ids."""
+
+    def __init__(self, nodes=(), vnodes=DEFAULT_VNODES):
+        self.vnodes = max(1, int(vnodes))
+        self._nodes = set()
+        self._hashes = []  # sorted ring coordinates
+        self._owners = []  # owner node id per coordinate
+        for node in nodes:
+            self.add(node)
+
+    # ----------------------------------------------------------- membership
+
+    def add(self, node_id):
+        """Add a node (idempotent); O(ring) rebuild keeps lookups O(log)."""
+        if node_id in self._nodes:
+            return
+        self._nodes.add(node_id)
+        self._rebuild()
+
+    def remove(self, node_id):
+        """Remove a node (idempotent)."""
+        if node_id not in self._nodes:
+            return
+        self._nodes.discard(node_id)
+        self._rebuild()
+
+    def _rebuild(self):
+        points = sorted(
+            (point, node)
+            for node in sorted(self._nodes)
+            for point in _node_points(node, self.vnodes)
+        )
+        self._hashes = [point for point, _ in points]
+        self._owners = [node for _, node in points]
+
+    @property
+    def nodes(self):
+        """Current membership, sorted (deterministic iteration order)."""
+        return tuple(sorted(self._nodes))
+
+    def __contains__(self, node_id):
+        return node_id in self._nodes
+
+    def __len__(self):
+        return len(self._nodes)
+
+    # -------------------------------------------------------------- lookups
+
+    def nodes_for(self, key, count=1, exclude=()):
+        """The first ``count`` distinct nodes clockwise from ``key``.
+
+        Index 0 is the primary, the rest are the replica preference
+        order.  ``exclude`` (an iterable of node ids) filters candidates
+        — the router uses it to skip nodes it believes are down while
+        preserving the ring's ordering for everyone else.
+        """
+        if not self._hashes:
+            return []
+        excluded = frozenset(exclude)
+        start = bisect.bisect_right(self._hashes, _key_point(key))
+        chosen = []
+        seen = set()
+        total = len(self._owners)
+        for offset in range(total):
+            owner = self._owners[(start + offset) % total]
+            if owner in seen or owner in excluded:
+                continue
+            seen.add(owner)
+            chosen.append(owner)
+            if len(chosen) >= count:
+                break
+        return chosen
+
+    def primary(self, key):
+        """The key's first-preference owner (None on an empty ring)."""
+        owners = self.nodes_for(key, count=1)
+        return owners[0] if owners else None

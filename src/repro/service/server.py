@@ -29,7 +29,7 @@ import asyncio
 import json
 import time
 
-from ..errors import ReproError, WorkerCrashError
+from ..errors import ConfigError, ReproError, WorkerCrashError
 from ..reliability.atomic_io import atomic_write_json
 from ..reliability.engine import RetryPolicy
 from ..reliability.pool import LeasePool
@@ -158,6 +158,7 @@ class AnalysisService:
             "crashes": 0,
             "deadline_failures": 0,
             "resumed": 0,
+            "replicated_in": 0,
         }
         self._started_at = time.monotonic()
         self._inflight = {}  # key -> _Job (owning compute)
@@ -274,6 +275,27 @@ class AnalysisService:
         self._wakeup.set()
         return await asyncio.shield(job.future)
 
+    def put_result(self, kind, payload, metrics):
+        """Accept one replicated result from a cluster peer (``put`` op).
+
+        The key is **re-derived** from the normalized payload, never
+        trusted from the wire, so a confused router cannot file metrics
+        under the wrong content address; the store's checksum then binds
+        them at rest.  Overwrites are idempotent (same key, same canonical
+        metrics for a deterministic computation).
+        """
+        if not isinstance(metrics, dict) or not metrics:
+            raise ConfigError("put needs a non-empty 'metrics' object")
+        request = JobRequest(kind, payload)
+        self.store.put(request.cache_key, request.kind, metrics)
+        self.counters["replicated_in"] += 1
+        return {
+            "status": "ok",
+            "stored": True,
+            "key": request.cache_key,
+            "kind": request.kind,
+        }
+
     def healthz(self):
         """Status snapshot: queue depths, cache, pool, shed counts."""
         return {
@@ -286,6 +308,7 @@ class AnalysisService:
             "cache": dict(
                 self.store.stats,
                 hit_rate=self.store.hit_rate(),
+                entries=self.store.entry_count(),
             ),
             "pool": self.pool.snapshot(),
             "journal_pending": (
@@ -508,6 +531,15 @@ async def _handle_connection(service, reader, writer):
             elif op == "submit":
                 request = JobRequest.from_wire(message)
                 await reply(message_id, await service.submit(request))
+            elif op == "put":
+                await reply(
+                    message_id,
+                    service.put_result(
+                        message.get("kind"),
+                        message.get("payload") or {},
+                        message.get("metrics"),
+                    ),
+                )
             else:
                 await reply(
                     message_id,

@@ -186,5 +186,5 @@ class TestEndToEndInjection:
         assert set(FAULT_SITES) == {
             "noc.delay", "noc.drop", "dram.stall", "mshr.stuck",
             "inv.ack_drop", "inv.drop", "kernel.event_drop",
-            "worker.kill",
+            "worker.kill", "net.delay",
         }

@@ -1,0 +1,183 @@
+"""Unit tests for the cluster's failure detectors.
+
+All three detectors take an injectable clock, so every transition is
+exercised deterministically — no sleeps, no wall-clock reads.
+"""
+
+from repro.service.health import BackendHealth, CircuitBreaker, LatencyTracker
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("cooldown_s", 2.0)
+        return CircuitBreaker(clock=clock, **kwargs)
+
+    def test_stays_closed_below_threshold(self):
+        breaker = self._breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = self._breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_trips_open_and_rejects_until_cooldown(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.stats["rejections"] == 1
+        clock.advance(1.9)
+        assert not breaker.allow()
+
+    def test_half_open_probe_budget_is_bounded(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, probe_budget=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()          # the single probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()      # budget exhausted
+        assert breaker.stats["probes"] == 1
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.stats["closes"] == 1
+
+    def test_probe_failure_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.stats["opens"] == 2
+        assert not breaker.allow()
+        # A fresh cooldown starts from the re-open, not the first trip.
+        clock.advance(2.0)
+        assert breaker.allow()
+
+
+class TestLatencyTracker:
+    def test_p95_defaults_until_warmed_up(self):
+        tracker = LatencyTracker(default_s=0.05)
+        assert tracker.p95() == 0.05
+        tracker.record(0.2)
+        assert tracker.p95() == 0.2
+
+    def test_p95_tracks_the_tail_not_the_median(self):
+        tracker = LatencyTracker(window=128)
+        for _ in range(95):
+            tracker.record(0.01)
+        for _ in range(5):
+            tracker.record(1.0)
+        assert tracker.p95() == 1.0
+
+    def test_window_evicts_oldest_samples(self):
+        tracker = LatencyTracker(window=4)
+        for _ in range(4):
+            tracker.record(1.0)
+        for _ in range(4):
+            tracker.record(0.01)
+        assert tracker.p95() == 0.01
+
+    def test_ema_converges_toward_recent_latency(self):
+        tracker = LatencyTracker(alpha=0.5)
+        tracker.record(1.0)
+        tracker.record(0.0)
+        tracker.record(0.0)
+        assert tracker.ema_s == 0.25
+
+    def test_snapshot_is_json_ready(self):
+        tracker = LatencyTracker()
+        tracker.record(0.1)
+        snap = tracker.snapshot()
+        assert snap == {"ema_ms": 100.0, "p95_ms": 100.0, "samples": 1}
+
+
+class TestBackendHealth:
+    def _health(self, clock=None, **kwargs):
+        clock = clock or FakeClock()
+        kwargs.setdefault("down_after", 3)
+        return BackendHealth("node-0", clock=clock, **kwargs)
+
+    def test_down_after_consecutive_ping_failures_only(self):
+        health = self._health()
+        assert health.record_ping(False) is None
+        assert health.record_ping(True) is None
+        assert health.record_ping(False) is None
+        assert health.record_ping(False) is None
+        assert health.up
+        assert health.record_ping(False) == "down"
+        assert not health.up
+        assert health.transitions == {"down": 1, "up": 0}
+
+    def test_single_good_ping_recovers(self):
+        health = self._health()
+        for _ in range(3):
+            health.record_ping(False)
+        assert health.record_ping(True) == "up"
+        assert health.up
+        assert health.ping_failures == 0
+
+    def test_pings_feed_the_breaker_so_idle_nodes_recover(self):
+        # The router never sends traffic through an open breaker, so
+        # without this coupling a recovered-but-idle node would stay
+        # open forever.
+        clock = FakeClock()
+        health = self._health(clock=clock)
+        for _ in range(3):
+            health.record_ping(False)
+        assert health.breaker.state == "open"
+        health.record_ping(True)
+        assert health.breaker.state == "closed"
+
+    def test_record_call_updates_latency_and_breaker(self):
+        health = self._health()
+        health.record_call(True, seconds=0.2)
+        assert health.latency.p95() == 0.2
+        for _ in range(3):
+            health.record_call(False, seconds=1.0)
+        assert health.breaker.state == "open"
+
+    def test_snapshot_shape(self):
+        health = self._health()
+        snap = health.snapshot()
+        assert snap["node"] == "node-0"
+        assert snap["up"] is True
+        assert set(snap) == {
+            "node", "up", "ping_failures", "transitions", "breaker",
+            "latency",
+        }

@@ -1,0 +1,150 @@
+"""Property tests for the cluster's consistent-hash ring.
+
+The three properties the cluster leans on (see ``ring.py``): balance
+within 15% at the default 64 vnodes, minimal key movement on a single
+join/leave, and bit-identical placement across ``PYTHONHASHSEED``.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.ring import DEFAULT_VNODES, HashRing
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+KEYS = [
+    hashlib.sha256(f"key-{i}".encode()).hexdigest() for i in range(20000)
+]
+
+
+def _shares(ring, keys=KEYS):
+    counts = {node: 0 for node in ring.nodes}
+    for key in keys:
+        counts[ring.primary(key)] += 1
+    return counts
+
+
+class TestBalance:
+    @pytest.mark.parametrize("n_nodes", [2, 3, 4, 5])
+    def test_busiest_node_within_15_percent_of_mean(self, n_nodes):
+        ring = HashRing(
+            [f"node-{i}" for i in range(n_nodes)], vnodes=DEFAULT_VNODES
+        )
+        counts = _shares(ring)
+        mean = len(KEYS) / n_nodes
+        worst = max(abs(count - mean) / mean for count in counts.values())
+        assert worst <= 0.15, counts
+
+    def test_default_vnodes_is_64(self):
+        assert DEFAULT_VNODES == 64
+        assert HashRing(["a"]).vnodes == 64
+
+
+class TestMinimalMovement:
+    def test_join_moves_at_most_one_nth_and_only_to_the_new_node(self):
+        before = HashRing([f"node-{i}" for i in range(3)])
+        owners_before = {key: before.primary(key) for key in KEYS}
+        after = HashRing([f"node-{i}" for i in range(4)])
+        moved = [
+            key for key in KEYS if owners_before[key] != after.primary(key)
+        ]
+        # Ideal movement is 1/(N+1) = 25%; anything <= 1/N proves keys
+        # are not being reshuffled wholesale (naive modulo moves ~75%).
+        assert len(moved) / len(KEYS) <= 1 / 3, len(moved)
+        assert all(after.primary(key) == "node-3" for key in moved)
+
+    def test_leave_moves_only_the_departed_nodes_keys(self):
+        before = HashRing([f"node-{i}" for i in range(4)])
+        owners_before = {key: before.primary(key) for key in KEYS}
+        after = HashRing([f"node-{i}" for i in range(4)])
+        after.remove("node-1")
+        moved = [
+            key for key in KEYS if owners_before[key] != after.primary(key)
+        ]
+        departed = [key for key in KEYS if owners_before[key] == "node-1"]
+        assert sorted(moved) == sorted(departed)
+        # The departed node's share respects the balance bound, so the
+        # movement stays within (1 + 0.15)/N of the keyspace.
+        assert len(moved) / len(KEYS) <= 1.15 / 4
+
+    def test_leave_never_perturbs_replica_sets_that_excluded_it(self):
+        before = HashRing([f"node-{i}" for i in range(4)])
+        after = HashRing([f"node-{i}" for i in range(4)])
+        after.remove("node-1")
+        for key in KEYS[:4000]:
+            pair_before = tuple(before.nodes_for(key, count=2))
+            if "node-1" in pair_before:
+                continue
+            assert tuple(after.nodes_for(key, count=2)) == pair_before
+
+
+class TestLookupContract:
+    @given(
+        st.text(min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nodes_for_returns_distinct_live_nodes(self, key, count):
+        ring = HashRing([f"node-{i}" for i in range(5)], vnodes=8)
+        owners = ring.nodes_for(key, count=count)
+        assert len(owners) == min(count, 5)
+        assert len(set(owners)) == len(owners)
+
+    @given(st.text(min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_exclude_preserves_ordering_of_the_rest(self, key):
+        ring = HashRing([f"node-{i}" for i in range(5)], vnodes=8)
+        full = ring.nodes_for(key, count=5)
+        skipped = ring.nodes_for(key, count=4, exclude=(full[1],))
+        assert skipped == [node for node in full if node != full[1]]
+
+    def test_empty_ring_and_membership_idempotence(self):
+        ring = HashRing()
+        assert ring.nodes_for("k") == []
+        assert ring.primary("k") is None
+        ring.add("a")
+        ring.add("a")
+        assert ring.nodes == ("a",)
+        ring.remove("missing")
+        ring.remove("a")
+        assert len(ring) == 0
+
+
+_PLACEMENT_SCRIPT = """
+import hashlib, json, sys
+from repro.service.ring import HashRing
+
+ring = HashRing(["node-%d" % i for i in range(4)])
+keys = [hashlib.sha256(("key-%d" % i).encode()).hexdigest()
+        for i in range(500)]
+placement = {key: ring.nodes_for(key, count=2) for key in keys}
+json.dump(placement, sys.stdout, sort_keys=True)
+"""
+
+
+def _placement(hashseed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hashseed)
+    env["PYTHONPATH"] = _SRC
+    proc = subprocess.run(
+        [sys.executable, "-c", _PLACEMENT_SCRIPT],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+class TestDeterminism:
+    def test_placement_bit_identical_across_hash_seeds(self):
+        # Fresh interpreters with different PYTHONHASHSEED values must
+        # place every key identically — a router restart (or a second
+        # router) has to agree on every key's owners.
+        assert _placement(1) == _placement(424242)

@@ -55,6 +55,9 @@ ERROR_INSTANCES = {
         "signal", "SIGKILL", worker_id=3, cell_id="spec:mcf:IS-Sp:TSO:s0"
     ),
     errors.SanitizerError: lambda: errors.SanitizerError("invariant"),
+    errors.ServiceProtocolError: lambda: errors.ServiceProtocolError(
+        "EOF mid-response", host="127.0.0.1", port=8753,
+    ),
     errors.InvariantViolation: lambda: errors.InvariantViolation(
         "stale sharer", cycle=99, core_id=1, line_addr=0x2440,
         event="inv", trace=("a", "b"),
